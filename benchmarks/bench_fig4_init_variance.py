@@ -1,0 +1,62 @@
+"""Figure 4 — variance across weight initialisations, with and without GSE.
+
+Repeats GAT training on a fixed split with different initialisation seeds and
+compares the spread of the resulting test accuracies against the spread of a
+graph self-ensemble (K members).  The expected shape: GSE shrinks the
+min-to-max band and raises the mean.
+"""
+
+import numpy as np
+
+from benchmarks.harness import format_table, prepare_node_dataset, settings
+from repro.core import GraphSelfEnsemble
+from repro.nn.data import GraphTensors
+from repro.tasks.trainer import TrainConfig
+
+NUM_REPEATS = 4  # the paper uses 100 repeats; the shape is visible with a handful
+
+
+def _variance_study(graph, spec_name="gat"):
+    cfg = settings()
+    prepared = prepare_node_dataset(graph, seed=0)
+    data = GraphTensors.from_graph(prepared)
+    labels = prepared.labels
+    train_idx = prepared.mask_indices("train")
+    val_idx = prepared.mask_indices("val")
+    test_idx = prepared.mask_indices("test")
+    train_config = TrainConfig(lr=0.02, max_epochs=cfg.max_epochs, patience=15)
+
+    single_scores, gse_scores = [], []
+    for repeat in range(NUM_REPEATS):
+        single = GraphSelfEnsemble(spec_name=spec_name, num_members=1, hidden=cfg.hidden,
+                                   num_layers=2, base_seed=1000 + repeat * 37)
+        single.fit(data, labels, train_idx, val_idx, train_config=train_config,
+                   num_classes=prepared.num_classes)
+        single_scores.append(single.evaluate(data, labels, test_idx))
+
+        gse = GraphSelfEnsemble(spec_name=spec_name, num_members=cfg.ensemble_size + 1,
+                                hidden=cfg.hidden, num_layers=2,
+                                base_seed=1000 + repeat * 37)
+        gse.fit(data, labels, train_idx, val_idx, train_config=train_config,
+                num_classes=prepared.num_classes)
+        gse_scores.append(gse.evaluate(data, labels, test_idx))
+    return single_scores, gse_scores
+
+
+def bench_fig4_initialization_variance(benchmark, kddcup_graphs):
+    single, gse = benchmark.pedantic(lambda: _variance_study(kddcup_graphs["A"]),
+                                     rounds=1, iterations=1)
+    rows = [
+        ["GAT", f"{np.mean(single) * 100:.1f}", f"{np.min(single) * 100:.1f}",
+         f"{np.max(single) * 100:.1f}", f"{(np.max(single) - np.min(single)) * 100:.1f}"],
+        ["GAT + GSE", f"{np.mean(gse) * 100:.1f}", f"{np.min(gse) * 100:.1f}",
+         f"{np.max(gse) * 100:.1f}", f"{(np.max(gse) - np.min(gse)) * 100:.1f}"],
+    ]
+    print()
+    print(format_table(
+        "Figure 4 — initialisation variance on dataset A (GAT vs GAT+GSE)",
+        ["Model", "Mean", "Min", "Max", "Range"], rows))
+
+    # GSE must not be worse on average and should not widen the band.
+    assert np.mean(gse) >= np.mean(single) - 0.02
+    assert (np.max(gse) - np.min(gse)) <= (np.max(single) - np.min(single)) + 0.02

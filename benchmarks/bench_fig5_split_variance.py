@@ -1,0 +1,92 @@
+"""Figure 5 — variance across train/validation splits and the effect of bagging.
+
+Trains GCN and GAT on several random splits of dataset B, then the same with
+bagging over splits, and finally AutoHEnsGNN with bagging; the expected shape
+is a shrinking spread and a rising mean from left to right.
+"""
+
+import numpy as np
+
+from benchmarks.harness import format_table, pipeline_config, prepare_node_dataset, settings
+from repro.core import AutoHEnsGNN, BaggingEnsemble, SearchMethod
+from repro.graph.splits import random_split
+from repro.nn import build_model
+from repro.nn.data import GraphTensors
+from repro.tasks.trainer import NodeClassificationTrainer, TrainConfig
+
+NUM_REPEATS = 3
+NUM_BAGS = 2
+
+
+def _train_once(model_name, split_graph, data, cfg, seed):
+    model = build_model(model_name, data.num_features, split_graph.num_classes,
+                        hidden=cfg.hidden, seed=seed)
+    trainer = NodeClassificationTrainer(TrainConfig(lr=0.02, max_epochs=cfg.max_epochs,
+                                                    patience=15, seed=seed))
+    trainer.train(model, data, split_graph.labels, split_graph.mask_indices("train"),
+                  split_graph.mask_indices("val"))
+    return model.predict_proba(data)
+
+
+def _split_variance(graph):
+    cfg = settings()
+    prepared = prepare_node_dataset(graph, seed=0)
+    data = GraphTensors.from_graph(prepared)
+    labels = prepared.labels
+    test_idx = prepared.mask_indices("test")
+    pool = prepared.metadata.get("labelled_pool")
+    from repro.tasks.metrics import accuracy
+
+    scores = {}
+    for model_name in ("gcn", "gat"):
+        # Plain training on different splits.
+        plain = []
+        for repeat in range(NUM_REPEATS):
+            split = random_split(prepared, val_fraction=0.25, seed=100 + repeat,
+                                 labelled_pool=pool)
+            proba = _train_once(model_name, split, data, cfg, seed=repeat)
+            plain.append(accuracy(proba[test_idx], labels[test_idx]))
+        scores[model_name.upper()] = plain
+
+        # Bagging over splits.
+        bagged = []
+        for repeat in range(NUM_REPEATS):
+            bagging = BaggingEnsemble(num_splits=NUM_BAGS, val_fraction=0.25,
+                                      seed=500 + repeat * 31)
+            bagging.fit(prepared, data,
+                        lambda split_graph, split_data, split_index:
+                        _train_once(model_name, split_graph, split_data, cfg,
+                                    seed=repeat * 10 + split_index),
+                        labelled_pool=pool)
+            bagged.append(bagging.evaluate(labels, test_idx))
+        scores[f"{model_name.upper()}-B"] = bagged
+
+    # AutoHEnsGNN (adaptive, with the GCN/GAT pool) across repeats.
+    auto = []
+    for repeat in range(NUM_REPEATS):
+        config = pipeline_config(cfg, SearchMethod.ADAPTIVE, seed=repeat)
+        pipeline = AutoHEnsGNN(config)
+        outcome = pipeline.fit_predict(prepared, pool=["gcn", "gat"])
+        auto.append(outcome.test_accuracy(labels, test_idx))
+    scores["AutoHEnsGNN-Ada"] = auto
+    return scores
+
+
+def bench_fig5_split_variance(benchmark, kddcup_graphs):
+    scores = benchmark.pedantic(lambda: _split_variance(kddcup_graphs["B"]),
+                                rounds=1, iterations=1)
+    rows = []
+    for name, values in scores.items():
+        rows.append([name, f"{np.mean(values) * 100:.1f}", f"{np.min(values) * 100:.1f}",
+                     f"{np.max(values) * 100:.1f}",
+                     f"{(np.max(values) - np.min(values)) * 100:.1f}"])
+    print()
+    print(format_table("Figure 5 — split variance on dataset B ('-B' = with bagging)",
+                       ["Method", "Mean", "Min", "Max", "Range"], rows))
+
+    for model_name in ("GCN", "GAT"):
+        plain_range = np.max(scores[model_name]) - np.min(scores[model_name])
+        bagged_range = np.max(scores[f"{model_name}-B"]) - np.min(scores[f"{model_name}-B"])
+        assert bagged_range <= plain_range + 0.03
+    assert np.mean(scores["AutoHEnsGNN-Ada"]) >= \
+        max(np.mean(scores["GCN"]), np.mean(scores["GAT"])) - 0.02

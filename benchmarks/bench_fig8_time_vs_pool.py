@@ -1,0 +1,58 @@
+"""Figure 8 — search time as a function of the pool size N.
+
+The adaptive search optimises each architecture independently, so its search
+time grows roughly linearly with N; the gradient search trains everything
+jointly, so adding architectures increases the cost of each epoch but not the
+number of training runs, giving a flatter curve.
+"""
+
+import time
+
+from benchmarks.harness import format_table, prepare_node_dataset, settings
+from repro.core import AdaptiveSearch, GradientSearch
+from repro.nn.data import GraphTensors
+from repro.tasks.trainer import TrainConfig
+
+POOL_RANKING = ("gcn", "sgc", "tagcn", "graphsage-mean")
+N_VALUES = (1, 2, 3)
+
+
+def _time_study(graph):
+    cfg = settings()
+    prepared = prepare_node_dataset(graph, seed=0)
+    data = GraphTensors.from_graph(prepared)
+    labels = prepared.labels
+    train_idx = prepared.mask_indices("train")
+    val_idx = prepared.mask_indices("val")
+    train_config = TrainConfig(lr=0.05, max_epochs=15, patience=15)
+
+    rows = []
+    for n in N_VALUES:
+        pool = list(POOL_RANKING[:n])
+        start = time.time()
+        AdaptiveSearch(pool=pool, ensemble_size=2, max_layers=2, hidden=cfg.hidden,
+                       train_config=train_config, seed=0).search(
+            prepared, data, labels, train_idx, val_idx,
+            num_classes=prepared.num_classes, hidden_fraction=0.5)
+        adaptive_time = time.time() - start
+
+        start = time.time()
+        GradientSearch(pool=pool, ensemble_size=2, max_layers=2, hidden=cfg.hidden,
+                       hidden_fraction=0.5, lr=0.05, epochs=15, patience=15, seed=0).search(
+            data, labels, train_idx, val_idx, num_classes=prepared.num_classes)
+        gradient_time = time.time() - start
+        rows.append((n, adaptive_time, gradient_time))
+    return rows
+
+
+def bench_fig8_search_time_vs_pool_size(benchmark, cora_graph):
+    rows = benchmark.pedantic(lambda: _time_study(cora_graph), rounds=1, iterations=1)
+    print()
+    print(format_table("Figure 8 — search time (s) vs pool size N on the Cora analogue",
+                       ["N", "Adaptive", "Gradient"],
+                       [[str(n), f"{a:.2f}", f"{g:.2f}"] for n, a, g in rows]))
+
+    # Shape: the adaptive search time grows faster with N than the gradient search time.
+    adaptive_growth = rows[-1][1] / max(rows[0][1], 1e-9)
+    gradient_growth = rows[-1][2] / max(rows[0][2], 1e-9)
+    assert adaptive_growth >= gradient_growth * 0.8

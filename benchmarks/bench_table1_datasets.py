@@ -1,0 +1,44 @@
+"""Table I — statistics of the AutoGraph challenge datasets A–E.
+
+Prints the paper's reported statistics next to the statistics of the
+generated synthetic analogues, so the scaling of every analogue is explicit.
+"""
+
+from benchmarks.harness import format_table
+from repro.datasets import kddcup_dataset_statistics
+
+
+def bench_table1_dataset_statistics(benchmark, bench_settings):
+    rows_data = benchmark.pedantic(
+        lambda: kddcup_dataset_statistics(scale=bench_settings.dataset_scale * 0.6, seed=0),
+        rounds=1, iterations=1)
+
+    rows = []
+    for entry in rows_data:
+        paper = entry["paper"]
+        generated = entry["generated"]
+        rows.append([
+            entry["dataset"],
+            f"{paper['nodes_train']}/{paper['nodes_test']}",
+            f"{generated['nodes_train']}/{generated['nodes_test']}",
+            f"{paper['edges']}",
+            f"{generated['edges']}",
+            f"{paper['classes']}",
+            f"{generated['classes']}",
+            "yes" if paper["directed"] else "no",
+            "yes" if generated["directed"] else "no",
+            "yes" if paper["node_feat"] else "no",
+            "yes" if generated["node_feat"] else "no",
+        ])
+    print()
+    print(format_table(
+        "Table I — dataset statistics (paper vs generated analogue)",
+        ["Dataset", "Train/Test (paper)", "Train/Test (ours)", "Edges (paper)",
+         "Edges (ours)", "Classes (paper)", "Classes (ours)", "Directed (paper)",
+         "Directed (ours)", "Node feat (paper)", "Node feat (ours)"],
+        rows))
+
+    # Sanity: the regime flags (directionality, featurelessness) must match the paper.
+    for entry in rows_data:
+        assert entry["paper"]["directed"] == entry["generated"]["directed"]
+        assert entry["paper"]["node_feat"] == entry["generated"]["node_feat"]

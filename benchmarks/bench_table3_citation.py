@@ -1,0 +1,29 @@
+"""Table III — node classification on the Cora / Citeseer / Pubmed analogues.
+
+The citation analogues use the fixed planetoid-style split of the paper; the
+comparison rows are the same as Table II.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import comparison_rows, ensemble_comparison, format_table, settings
+
+POOL = ("gcn", "gat", "gcnii")
+
+
+@pytest.mark.parametrize("dataset", ["cora", "citeseer", "pubmed"])
+def bench_table3_citation(benchmark, citation_graphs, dataset):
+    cfg = settings()
+    results = benchmark.pedantic(
+        lambda: ensemble_comparison(citation_graphs[dataset], POOL, cfg),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        f"Table III — {dataset} (accuracy %, mean±std; * = best)",
+        ["Method", "Accuracy"], comparison_rows(results)))
+
+    single_best = max(np.mean(results[name]) for name in POOL)
+    auto_best = max(np.mean(results["AutoHEnsGNN-Adaptive"]),
+                    np.mean(results["AutoHEnsGNN-Gradient"]))
+    assert auto_best >= single_best - 0.02

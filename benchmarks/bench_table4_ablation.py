@@ -1,0 +1,113 @@
+"""Table IV — ablation study.
+
+Successively adds each component of AutoHEnsGNN on dataset A and B analogues:
+single models (range), a random ensemble of candidates, an ensemble of
+proxy-selected models (+PE), adding graph self-ensemble (+GSE), and the two
+search algorithms (+Adaptive / +Gradient).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import (
+    format_mean_std,
+    format_table,
+    pipeline_config,
+    prepare_node_dataset,
+    settings,
+)
+from repro.core import (
+    AutoHEnsGNN,
+    DEnsemble,
+    ProxyEvaluator,
+    RandomEnsemble,
+    SearchMethod,
+    GraphSelfEnsemble,
+    HierarchicalEnsemble,
+    select_top_models,
+    train_single_models,
+)
+from repro.core.config import ProxyConfig
+from repro.nn.data import GraphTensors
+from repro.tasks.metrics import accuracy
+from repro.tasks.trainer import TrainConfig
+
+CANDIDATES = ("gcn", "gat", "tagcn", "sgc", "mlp", "gin")
+
+
+def _ablation(graph, seed=0):
+    cfg = settings()
+    prepared = prepare_node_dataset(graph, seed=seed)
+    data = GraphTensors.from_graph(prepared)
+    labels = prepared.labels
+    train_idx = prepared.mask_indices("train")
+    val_idx = prepared.mask_indices("val")
+    test_idx = prepared.mask_indices("test")
+    train_config = TrainConfig(lr=0.02, max_epochs=cfg.max_epochs, patience=15, seed=seed)
+
+    rows = {}
+    # Single models over the whole candidate set: report min..max range.
+    outcome = train_single_models(CANDIDATES, data, labels, train_idx, val_idx,
+                                  num_classes=prepared.num_classes, hidden=cfg.hidden,
+                                  train_config=train_config, replicas=1, seed=seed)
+    single_scores = [accuracy(entry["probas"][0][test_idx], labels[test_idx])
+                     for entry in outcome.values()]
+    rows["Single model (range)"] = (min(single_scores), max(single_scores))
+
+    # Random ensemble of candidates.
+    random_scores = []
+    for repeat in range(2):
+        ensemble = RandomEnsemble.from_pool(outcome, size=2, seed=repeat)
+        random_scores.append(ensemble.evaluate(labels, test_idx))
+    rows["Random ensemble"] = random_scores
+
+    # + proxy evaluation (ensemble of the selected pool).
+    evaluator = ProxyEvaluator(ProxyConfig(dataset_fraction=0.3, bagging_rounds=cfg.proxy_bagging,
+                                           hidden_fraction=0.5, max_epochs=30, seed=seed),
+                               candidates=list(CANDIDATES))
+    report = evaluator.evaluate(prepared, seed=seed)
+    pool = select_top_models(report, cfg.pool_size)
+    pe_ensemble = DEnsemble()
+    for name in pool:
+        pe_ensemble.add(name, outcome[name]["probas"][0])
+    rows["Ensemble + PE"] = [pe_ensemble.evaluate(labels, test_idx)]
+
+    # + GSE (uniform beta, default depths).
+    hierarchical = HierarchicalEnsemble()
+    for index, name in enumerate(pool):
+        hierarchical.add(GraphSelfEnsemble(spec_name=name, num_members=cfg.ensemble_size,
+                                           hidden=cfg.hidden, num_layers=2,
+                                           base_seed=seed + index * 97))
+    hierarchical.fit(data, labels, train_idx, val_idx, train_config=train_config,
+                     num_classes=prepared.num_classes)
+    rows["Ensemble + PE + GSE"] = [hierarchical.evaluate(data, labels, test_idx)]
+
+    # + search algorithms (full pipeline on the selected pool).
+    for method, label in ((SearchMethod.ADAPTIVE, "+ Adaptive"),
+                          (SearchMethod.GRADIENT, "+ Gradient")):
+        pipeline = AutoHEnsGNN(pipeline_config(cfg, method, seed))
+        result = pipeline.fit_predict(prepared, pool=pool)
+        rows[f"Ensemble + PE + GSE {label}"] = [result.test_accuracy(labels, test_idx)]
+    return rows
+
+
+@pytest.mark.parametrize("dataset", ["A", "B"])
+def bench_table4_ablation(benchmark, kddcup_graphs, dataset):
+    rows = benchmark.pedantic(lambda: _ablation(kddcup_graphs[dataset]), rounds=1, iterations=1)
+    formatted = []
+    for name, values in rows.items():
+        if name.startswith("Single"):
+            low, high = values
+            formatted.append([name, f"{low * 100:.1f} ~ {high * 100:.1f}"])
+        else:
+            formatted.append([name, format_mean_std(list(values))])
+    print()
+    print(format_table(f"Table IV — ablation study on dataset {dataset}",
+                       ["Configuration", "Accuracy"], formatted))
+
+    # Shape checks: PE-selected ensemble >= random ensemble, and the full
+    # pipeline >= the bare PE ensemble (within noise).
+    assert np.mean(rows["Ensemble + PE"]) >= np.mean(rows["Random ensemble"]) - 0.03
+    full = max(np.mean(rows["Ensemble + PE + GSE + Adaptive"]),
+               np.mean(rows["Ensemble + PE + GSE + Gradient"]))
+    assert full >= np.mean(rows["Ensemble + PE"]) - 0.03

@@ -1,0 +1,36 @@
+"""Table V — scalability study on the ogbn-arxiv analogue.
+
+Compares single models (including the graph-agnostic MLP and the strongest
+individual GNNs) against the ensemble baselines and both AutoHEnsGNN variants
+on the largest dataset of the suite.
+"""
+
+import numpy as np
+
+from benchmarks.harness import comparison_rows, ensemble_comparison, format_table, settings
+
+POOL = ("gcn", "gat", "sgc")
+SINGLES = ("mlp",)
+
+
+def bench_table5_arxiv(benchmark, arxiv_graph):
+    cfg = settings()
+
+    def run():
+        results = ensemble_comparison(arxiv_graph, POOL, cfg, seeds=[0])
+        extra = ensemble_comparison(arxiv_graph, SINGLES, cfg, seeds=[0],
+                                    include_methods=SINGLES)
+        results.update(extra)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table("Table V — ogbn-arxiv analogue (accuracy %, * = best)",
+                       ["Method", "Accuracy"], comparison_rows(results)))
+
+    # Shape: the MLP trails the GNNs; AutoHEnsGNN is at least as good as the
+    # best single GNN of the pool.
+    assert np.mean(results["mlp"]) < max(np.mean(results[name]) for name in POOL)
+    auto_best = max(np.mean(results["AutoHEnsGNN-Adaptive"]),
+                    np.mean(results["AutoHEnsGNN-Gradient"]))
+    assert auto_best >= max(np.mean(results[name]) for name in POOL) - 0.02

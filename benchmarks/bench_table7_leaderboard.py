@@ -1,0 +1,79 @@
+"""Table VII — KDD Cup final leaderboard (average rank score).
+
+The other teams' code is unavailable, so the leaderboard is reproduced in two
+parts:
+
+1. the *metric*: the average-rank-score machinery is run over a set of frozen
+   baseline "teams" (single GNN models standing in for competitor solutions)
+   plus our AutoHEnsGNN submission across the five challenge-dataset
+   analogues — the submission is expected to take rank 1;
+2. the paper's reported leaderboard is printed alongside for reference.
+"""
+
+import numpy as np
+
+from benchmarks.harness import format_table, settings
+from repro.automl.runner import AutoGraphRunner
+from repro.core import train_single_models
+from repro.graph.splits import random_split
+from repro.nn.data import GraphTensors
+from repro.tasks.metrics import accuracy, average_rank_score
+from repro.tasks.trainer import TrainConfig
+
+#: The final-phase leaderboard reported in Table VII of the paper.
+PAPER_LEADERBOARD = [
+    ("aister (ours)", 4.8), ("PASA_NJU", 5.2), ("qqerret", 5.4), ("common", 6.6),
+    ("PostDawn", 7.4), ("SmartMN-THU", 7.8), ("JunweiSun", 7.8), ("u1234x1234", 9.2),
+    ("shiqitao", 9.6), ("supergx", 11.8),
+]
+
+#: Frozen single-model "teams" standing in for competitor solutions.
+BASELINE_TEAMS = {"team-gcn": "gcn", "team-gat": "gat", "team-sage": "graphsage-mean",
+                  "team-mlp": "mlp"}
+
+
+def _leaderboard(kddcup_graphs):
+    cfg = settings()
+    runner = AutoGraphRunner(candidate_models=list(cfg.candidates), seed=0)
+    scores_per_dataset = {}
+    for name, graph in kddcup_graphs.items():
+        hidden_labels = graph.metadata["hidden_labels"]
+        test_idx = graph.mask_indices("test")
+
+        # Baseline teams: one single model each, trained on the labelled part.
+        split = random_split(graph, val_fraction=0.25, seed=0)
+        data = GraphTensors.from_graph(split)
+        outcome = train_single_models(
+            list(BASELINE_TEAMS.values()), data, split.labels,
+            split.mask_indices("train"), split.mask_indices("val"),
+            num_classes=graph.num_classes, hidden=cfg.hidden,
+            train_config=TrainConfig(lr=0.02, max_epochs=cfg.max_epochs, patience=15),
+            replicas=1, seed=0)
+        dataset_scores = {}
+        for team, model_name in BASELINE_TEAMS.items():
+            proba = outcome[model_name]["probas"][0]
+            dataset_scores[team] = accuracy(proba[test_idx], hidden_labels[test_idx])
+
+        # Our submission: the competition runner without human intervention.
+        submission = runner.run_graph(graph, time_budget=None, dataset_name=name)
+        dataset_scores["aister (ours)"] = submission.accuracy_against(hidden_labels)
+        scores_per_dataset[name] = dataset_scores
+    return scores_per_dataset, average_rank_score(scores_per_dataset)
+
+
+def bench_table7_leaderboard(benchmark, kddcup_graphs):
+    scores, ranks = benchmark.pedantic(lambda: _leaderboard(kddcup_graphs),
+                                       rounds=1, iterations=1)
+    rows = [[team, f"{rank:.1f}"] for team, rank
+            in sorted(ranks.items(), key=lambda item: item[1])]
+    print()
+    print(format_table("Table VII (reproduced) — average rank score across datasets A-E "
+                       "(lower is better)", ["Team", "Avg rank"], rows))
+    print()
+    print(format_table("Table VII (paper reference) — final-phase leaderboard",
+                       ["Team", "Avg rank score"],
+                       [[team, f"{score:.1f}"] for team, score in PAPER_LEADERBOARD]))
+
+    # Shape: our automated submission ranks first (or ties for first).
+    best_rank = min(ranks.values())
+    assert ranks["aister (ours)"] <= best_rank + 0.5

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite (scaled-down synthetic datasets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import settings
+from repro.datasets import (
+    make_arxiv_dataset,
+    make_citation_dataset,
+    make_kddcup_dataset,
+    make_proteins_dataset,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_settings():
+    return settings()
+
+
+@pytest.fixture(scope="session")
+def kddcup_graphs(bench_settings):
+    """The five challenge-dataset analogues at benchmark scale."""
+    return {name: make_kddcup_dataset(name, scale=bench_settings.dataset_scale * 0.6, seed=0)
+            for name in "ABCDE"}
+
+
+@pytest.fixture(scope="session")
+def citation_graphs(bench_settings):
+    return {name: make_citation_dataset(name, scale=bench_settings.dataset_scale, seed=0)
+            for name in ("cora", "citeseer", "pubmed")}
+
+
+@pytest.fixture(scope="session")
+def cora_graph(citation_graphs):
+    return citation_graphs["cora"]
+
+
+@pytest.fixture(scope="session")
+def arxiv_graph(bench_settings):
+    return make_arxiv_dataset(scale=0.25 * bench_settings.dataset_scale, seed=0)
+
+
+@pytest.fixture(scope="session")
+def proteins_dataset(bench_settings):
+    return make_proteins_dataset(num_graphs=int(120 * bench_settings.dataset_scale), seed=0)

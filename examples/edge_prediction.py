@@ -1,0 +1,67 @@
+"""Edge prediction with a hierarchical ensemble of GNN encoders (Table VIII scenario).
+
+Link prediction on a citation-style graph: several encoder architectures are
+wrapped as dot-product edge predictors, each is self-ensembled over a few
+initialisation seeds, and the per-encoder predictions are combined with the
+adaptive weight of Eqn 8.  The example prints the AUC of every single encoder
+and of the ensemble.
+
+Run with::
+
+    python examples/edge_prediction.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import adaptive_beta
+from repro.datasets import make_citation_dataset
+from repro.nn import build_model
+from repro.tasks import EdgePredictionTask, EdgePredictor
+from repro.tasks.edge_prediction import EdgeTrainConfig
+from repro.tasks.metrics import auc_score
+
+ENCODERS = ("gcn", "sgc", "graphsage-mean")
+MEMBERS_PER_ENCODER = 2
+
+
+def main() -> None:
+    graph = make_citation_dataset("cora", scale=0.6, seed=0)
+    print(f"Graph: {graph}")
+    task = EdgePredictionTask(graph, val_fraction=0.05, test_fraction=0.10, seed=0)
+
+    test_pos = task.edge_splits["test_pos"]
+    test_neg = task.edge_splits["test_neg"]
+    test_edges = np.hstack([test_pos, test_neg])
+    test_labels = np.concatenate([np.ones(test_pos.shape[1]), np.zeros(test_neg.shape[1])])
+
+    encoder_probabilities = {}
+    encoder_val_auc = {}
+    for encoder_name in ENCODERS:
+        member_probas = []
+        member_val = []
+        for member in range(MEMBERS_PER_ENCODER):
+            encoder = build_model(encoder_name, graph.num_features, 16, hidden=32,
+                                  dropout=0.0, seed=11 * member)
+            predictor = EdgePredictor(encoder)
+            outcome = task.train(predictor,
+                                 EdgeTrainConfig(lr=0.05, max_epochs=80, patience=25))
+            member_probas.append(task.score_edges_proba(predictor, test_edges))
+            member_val.append(outcome["val_auc"])
+        encoder_probabilities[encoder_name] = np.mean(member_probas, axis=0)
+        encoder_val_auc[encoder_name] = float(np.mean(member_val))
+        test_auc = auc_score(encoder_probabilities[encoder_name], test_labels)
+        print(f"{encoder_name:>16s}: val AUC {encoder_val_auc[encoder_name]:.3f}, "
+              f"test AUC {test_auc:.3f}")
+
+    beta = adaptive_beta([encoder_val_auc[name] for name in ENCODERS],
+                         graph.num_edges, graph.num_nodes)
+    stacked = np.stack([encoder_probabilities[name] for name in ENCODERS], axis=0)
+    ensemble_auc = auc_score((stacked * beta[:, None]).sum(axis=0), test_labels)
+    print(f"\nAdaptive ensemble weights beta: {np.round(beta, 3)}")
+    print(f"Hierarchical ensemble test AUC : {ensemble_auc:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Graph classification with hierarchical ensembles (Table IX scenario).
+
+Classifies small protein-like graphs: node-level backbones from the model zoo
+are lifted to graph level with mean+max readout, self-ensembled over seeds
+and combined with accuracy-adaptive weights.
+
+Run with::
+
+    python examples/graph_classification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import adaptive_beta
+from repro.datasets import make_proteins_dataset
+from repro.nn import build_model
+from repro.tasks import GraphClassificationTask, GraphLevelModel
+from repro.tasks.graph_classification import GraphTrainConfig
+from repro.tasks.metrics import accuracy
+
+BACKBONES = ("gin", "gcn", "graphsage-mean")
+MEMBERS_PER_BACKBONE = 2
+
+
+def main() -> None:
+    dataset = make_proteins_dataset(num_graphs=150, seed=0)
+    task = GraphClassificationTask(dataset)
+    print(f"PROTEINS analogue: {len(dataset)} graphs, "
+          f"{len(dataset.train_index)}/{len(dataset.val_index)}/{len(dataset.test_index)} "
+          "train/val/test")
+
+    test_labels = task.labels("test")
+    backbone_probabilities = {}
+    backbone_val = {}
+    for backbone_name in BACKBONES:
+        member_probas = []
+        member_val = []
+        for member in range(MEMBERS_PER_BACKBONE):
+            backbone = build_model(backbone_name, task.num_features, task.num_classes,
+                                   hidden=32, dropout=0.1, seed=7 * member)
+            model = GraphLevelModel(backbone, task.num_classes)
+            outcome = task.train(model, GraphTrainConfig(lr=0.01, max_epochs=80, patience=20))
+            member_probas.append(task.predict_proba(model, "test"))
+            member_val.append(outcome["val_accuracy"])
+        backbone_probabilities[backbone_name] = np.mean(member_probas, axis=0)
+        backbone_val[backbone_name] = float(np.mean(member_val))
+        test_accuracy = accuracy(backbone_probabilities[backbone_name], test_labels)
+        print(f"{backbone_name:>16s}: val acc {backbone_val[backbone_name]:.3f}, "
+              f"test acc {test_accuracy:.3f}")
+
+    total_edges = sum(graph.num_edges for graph in dataset.graphs)
+    total_nodes = sum(graph.num_nodes for graph in dataset.graphs)
+    beta = adaptive_beta([backbone_val[name] for name in BACKBONES], total_edges, total_nodes)
+    stacked = np.stack([backbone_probabilities[name] for name in BACKBONES], axis=0)
+    ensemble_accuracy = accuracy((stacked * beta[:, None, None]).sum(axis=0), test_labels)
+    print(f"\nAdaptive ensemble weights beta : {np.round(beta, 3)}")
+    print(f"Hierarchical ensemble test acc : {ensemble_accuracy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Competition-style run: AutoGraph dataset directories in, predictions out.
+
+This mirrors how the winning solution was actually used in the KDD Cup:
+datasets arrive as directories in the challenge on-disk format (Table X of
+the paper) with a per-dataset time budget, and the solution must produce one
+predicted class per test node with no human in the loop.
+
+The example writes two synthetic datasets to a temporary directory in the
+challenge format, runs :class:`repro.automl.AutoGraphRunner` over them, and
+scores the submissions against the held-back labels.
+
+Run with::
+
+    python examples/kddcup_autograph.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.automl import AutoGraphRunner
+from repro.datasets import load_dataset, save_autograph_directory
+from repro.tasks.metrics import average_rank_score
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="autograph-")
+    dataset_names = ["kddcup-A", "kddcup-E"]
+    hidden_labels = {}
+
+    print(f"Writing challenge-format datasets under {workdir}")
+    for name in dataset_names:
+        graph = load_dataset(name, scale=0.35, seed=0)
+        hidden_labels[name] = graph.metadata["hidden_labels"]
+        directory = os.path.join(workdir, name)
+        save_autograph_directory(graph, directory, time_budget=600.0)
+
+    runner = AutoGraphRunner(candidate_models=["gcn", "gat", "sgc", "tagcn", "mlp"], seed=0)
+    scores = {}
+    for name in dataset_names:
+        directory = os.path.join(workdir, name)
+        output_path = os.path.join(workdir, f"{name}-predictions.tsv")
+        submission = runner.run_directory(directory, output_path=output_path)
+        accuracy = submission.accuracy_against(hidden_labels[name])
+        scores[name] = accuracy
+        print(f"\nDataset {name}:")
+        print(f"  selected pool : {submission.result.pool}")
+        print(f"  elapsed       : {submission.elapsed:.1f}s "
+              f"(within budget: {submission.within_budget})")
+        print(f"  predictions   : {output_path}")
+        print(f"  test accuracy : {accuracy:.3f}")
+
+    # The challenge metric averages the solution's rank across datasets; with a
+    # single solution per dataset this is trivially 1.0 but the call shows how
+    # the leaderboard of Table VII is computed.
+    leaderboard = average_rank_score({name: {"ours": score} for name, score in scores.items()})
+    print(f"\nAverage rank score (ours only): {leaderboard['ours']:.1f}")
+
+
+if __name__ == "__main__":
+    main()

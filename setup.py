@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+A ``setup.py`` is kept alongside ``pyproject.toml`` so that ``pip install -e .``
+works in fully offline environments where the ``wheel`` package (required by
+PEP 660 editable builds) is unavailable: pip then falls back to the legacy
+``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""AutoHEnsGNN reproduction — automated hierarchical ensembles of GNNs.
+
+This package reproduces "AutoHEnsGNN: Winning Solution to AutoGraph Challenge
+for KDD Cup 2020" (ICDE 2022) as a self-contained Python library: a NumPy
+autograd engine and GNN model zoo stand in for PyTorch/PyG, synthetic
+attributed-SBM datasets stand in for the proprietary challenge data, and the
+paper's contribution — proxy evaluation, graph self-ensemble, hierarchical
+ensembling and the two configuration-search algorithms — is implemented in
+:mod:`repro.core`.
+
+Quickstart
+----------
+>>> from repro import AutoHEnsGNN, AutoHEnsGNNConfig, load_dataset
+>>> graph = load_dataset("kddcup-A", scale=0.3)
+>>> pipeline = AutoHEnsGNN(AutoHEnsGNNConfig(pool_size=2, ensemble_size=2))
+>>> result = pipeline.fit_predict(graph)
+>>> result.predictions.shape
+(graph.num_nodes,)
+"""
+
+from repro.core import (
+    AutoHEnsGNN,
+    AutoHEnsGNNConfig,
+    GraphSelfEnsemble,
+    HierarchicalEnsemble,
+    PipelineResult,
+    ProxyEvaluator,
+    SearchMethod,
+)
+from repro.datasets import load_dataset
+from repro.graph import Graph
+from repro.nn import GraphTensors, available_models, build_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoHEnsGNN",
+    "AutoHEnsGNNConfig",
+    "SearchMethod",
+    "PipelineResult",
+    "ProxyEvaluator",
+    "GraphSelfEnsemble",
+    "HierarchicalEnsemble",
+    "Graph",
+    "GraphTensors",
+    "load_dataset",
+    "available_models",
+    "build_model",
+    "__version__",
+]

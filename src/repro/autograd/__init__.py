@@ -1,0 +1,51 @@
+"""A small reverse-mode automatic differentiation engine over NumPy arrays.
+
+The engine stands in for PyTorch in this reproduction: it provides exactly the
+primitives AutoHEnsGNN needs — differentiable dense tensor algebra, constant
+sparse operands for graph propagation, parameterised modules, optimisers and
+weight initialisers — while staying pure NumPy/SciPy so the whole repository
+runs offline on a CPU.
+
+Public API
+----------
+``Tensor``
+    The differentiable array type.  Create leaves with ``Tensor(data,
+    requires_grad=True)`` and call ``.backward()`` on a scalar result.
+``Parameter`` / ``Module``
+    Building blocks for neural network layers (see :mod:`repro.nn`).
+``functional``
+    Stateless differentiable operations (softmax, dropout, cross entropy, …).
+``optim``
+    ``SGD`` and ``Adam`` optimisers plus learning-rate schedulers.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+from repro.autograd.module import Module, Parameter, ModuleList, Sequential
+from repro.autograd.modules import Linear, Dropout, ReLU, ELU, Identity, LayerNorm, BatchNorm
+from repro.autograd import init
+from repro.autograd import optim
+from repro.autograd.gradcheck import gradcheck
+from repro.autograd.sparse import SparseTensor
+
+__all__ = [
+    "Tensor",
+    "SparseTensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Sequential",
+    "Linear",
+    "Dropout",
+    "ReLU",
+    "ELU",
+    "Identity",
+    "LayerNorm",
+    "BatchNorm",
+    "init",
+    "optim",
+    "gradcheck",
+]

@@ -1,0 +1,362 @@
+"""Stateless differentiable operations used by the GNN layers.
+
+Everything here takes and returns :class:`~repro.autograd.tensor.Tensor`
+objects (or plain arrays, which are promoted to constant tensors).  Besides
+the usual dense-NN functions, the module contains the scatter/segment
+primitives needed for message passing on edge lists: :func:`index_select`,
+:func:`scatter_add`, :func:`scatter_mean`, :func:`scatter_max` and
+:func:`segment_softmax` (per-destination softmax over incoming edges used by
+attention aggregators such as GAT).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, is_grad_enabled
+
+ArrayLike = Union[Tensor, np.ndarray, float, int]
+
+
+def _ensure(value: ArrayLike) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+# ---------------------------------------------------------------------------
+# Elementwise nonlinearities
+# ---------------------------------------------------------------------------
+def relu(x: Tensor) -> Tensor:
+    return _ensure(x).relu()
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    x = _ensure(x)
+    positive = (x.data > 0).astype(np.float64)
+    exp_part = np.exp(np.minimum(x.data, 0.0))
+    out_data = np.where(x.data > 0, x.data, alpha * (exp_part - 1.0))
+    out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,) if x.requires_grad else ())
+    if out.requires_grad:
+        local = positive + (1.0 - positive) * alpha * exp_part
+
+        def _backward(grad: np.ndarray) -> None:
+            x._accumulate(grad * local)
+
+        out._backward = _backward
+    return out
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    x = _ensure(x)
+    local = np.where(x.data > 0, 1.0, negative_slope)
+    out = Tensor(x.data * local, requires_grad=x.requires_grad, _prev=(x,) if x.requires_grad else ())
+    if out.requires_grad:
+        def _backward(grad: np.ndarray) -> None:
+            x._accumulate(grad * local)
+
+        out._backward = _backward
+    return out
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return _ensure(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return _ensure(x).tanh()
+
+
+def identity(x: Tensor) -> Tensor:
+    return _ensure(x)
+
+
+ACTIVATIONS = {
+    "relu": relu,
+    "elu": elu,
+    "leaky_relu": leaky_relu,
+    "sigmoid": sigmoid,
+    "tanh": tanh,
+    "identity": identity,
+    "none": identity,
+}
+
+
+def activation(name: str):
+    """Look up an activation function by name (raises ``KeyError`` if unknown)."""
+    return ACTIVATIONS[name]
+
+
+# ---------------------------------------------------------------------------
+# Softmax family
+# ---------------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = _ensure(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+    out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,) if x.requires_grad else ())
+    if out.requires_grad:
+        def _backward(grad: np.ndarray) -> None:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - dot))
+
+        out._backward = _backward
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = _ensure(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_sum
+    out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,) if x.requires_grad else ())
+    if out.requires_grad:
+        soft = np.exp(out_data)
+
+        def _backward(grad: np.ndarray) -> None:
+            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+        out._backward = _backward
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Regularisation
+# ---------------------------------------------------------------------------
+def dropout(x: Tensor, p: float, training: bool = True, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: zero entries with probability ``p`` and rescale."""
+    x = _ensure(x)
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    out = Tensor(x.data * mask, requires_grad=x.requires_grad, _prev=(x,) if x.requires_grad else ())
+    if out.requires_grad:
+        def _backward(grad: np.ndarray) -> None:
+            x._accumulate(grad * mask)
+
+        out._backward = _backward
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+def nll_loss(log_probs: Tensor, target: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood of integer targets given log-probabilities."""
+    log_probs = _ensure(log_probs)
+    target = np.asarray(target, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), target]
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def cross_entropy(logits: Tensor, target: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy with integer targets."""
+    return nll_loss(log_softmax(logits, axis=-1), target, reduction=reduction)
+
+
+def soft_cross_entropy(log_probs: Tensor, soft_target: np.ndarray) -> Tensor:
+    """Cross-entropy against a soft (probability) target distribution."""
+    log_probs = _ensure(log_probs)
+    soft_target = np.asarray(soft_target, dtype=np.float64)
+    return -(Tensor(soft_target) * log_probs).sum(axis=-1).mean()
+
+
+def mse_loss(prediction: Tensor, target: ArrayLike, reduction: str = "mean") -> Tensor:
+    prediction = _ensure(prediction)
+    diff = prediction - _ensure(target).detach()
+    squared = diff * diff
+    if reduction == "mean":
+        return squared.mean()
+    if reduction == "sum":
+        return squared.sum()
+    return squared
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, target: ArrayLike, reduction: str = "mean") -> Tensor:
+    """Numerically stable sigmoid + binary cross entropy."""
+    logits = _ensure(logits)
+    target_arr = np.asarray(target.data if isinstance(target, Tensor) else target, dtype=np.float64)
+    x = logits.data
+    loss_data = np.maximum(x, 0.0) - x * target_arr + np.log1p(np.exp(-np.abs(x)))
+    out = Tensor(loss_data, requires_grad=logits.requires_grad, _prev=(logits,) if logits.requires_grad else ())
+    if out.requires_grad:
+        sig = 1.0 / (1.0 + np.exp(-x))
+
+        def _backward(grad: np.ndarray) -> None:
+            logits._accumulate(grad * (sig - target_arr))
+
+        out._backward = _backward
+    if reduction == "mean":
+        return out.mean()
+    if reduction == "sum":
+        return out.sum()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Shape manipulation
+# ---------------------------------------------------------------------------
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    tensors = [_ensure(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _prev=tuple(tensors) if requires else ())
+    if requires:
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def _backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(index)])
+
+        out._backward = _backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [_ensure(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _prev=tuple(tensors) if requires else ())
+    if requires:
+        def _backward(grad: np.ndarray) -> None:
+            slices = np.moveaxis(grad, axis, 0)
+            for tensor, piece in zip(tensors, slices):
+                tensor._accumulate(piece)
+
+        out._backward = _backward
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Gather / scatter primitives for message passing
+# ---------------------------------------------------------------------------
+def index_select(x: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows of ``x`` (equivalent to ``x[index]`` along axis 0)."""
+    x = _ensure(x)
+    index = np.asarray(index, dtype=np.int64)
+    out = Tensor(x.data[index], requires_grad=x.requires_grad, _prev=(x,) if x.requires_grad else ())
+    if out.requires_grad:
+        def _backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(x.data)
+            np.add.at(full, index, grad)
+            x._accumulate(full)
+
+        out._backward = _backward
+    return out
+
+
+def scatter_add(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Sum rows of ``src`` into ``dim_size`` buckets given by ``index``."""
+    src = _ensure(src)
+    index = np.asarray(index, dtype=np.int64)
+    out_shape = (dim_size,) + src.shape[1:]
+    out_data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(out_data, index, src.data)
+    out = Tensor(out_data, requires_grad=src.requires_grad, _prev=(src,) if src.requires_grad else ())
+    if out.requires_grad:
+        def _backward(grad: np.ndarray) -> None:
+            src._accumulate(grad[index])
+
+        out._backward = _backward
+    return out
+
+
+def scatter_mean(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Average rows of ``src`` into ``dim_size`` buckets given by ``index``."""
+    index = np.asarray(index, dtype=np.int64)
+    counts = np.bincount(index, minlength=dim_size).astype(np.float64)
+    counts = np.maximum(counts, 1.0).reshape((dim_size,) + (1,) * (len(_ensure(src).shape) - 1))
+    summed = scatter_add(src, index, dim_size)
+    return summed * Tensor(1.0 / counts)
+
+
+def scatter_max(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Per-bucket maximum of rows of ``src`` (empty buckets yield zero)."""
+    src = _ensure(src)
+    index = np.asarray(index, dtype=np.int64)
+    out_shape = (dim_size,) + src.shape[1:]
+    out_data = np.full(out_shape, -np.inf, dtype=np.float64)
+    np.maximum.at(out_data, index, src.data)
+    empty = ~np.isfinite(out_data)
+    out_data[empty] = 0.0
+    out = Tensor(out_data, requires_grad=src.requires_grad, _prev=(src,) if src.requires_grad else ())
+    if out.requires_grad:
+        argmax_mask = (src.data == out_data[index]) & ~empty[index]
+        # Split gradient evenly between ties to keep the op well defined.
+        tie_counts = np.zeros(out_shape, dtype=np.float64)
+        np.add.at(tie_counts, index, argmax_mask.astype(np.float64))
+        tie_counts = np.maximum(tie_counts, 1.0)
+
+        def _backward(grad: np.ndarray) -> None:
+            src._accumulate(argmax_mask * grad[index] / tie_counts[index])
+
+        out._backward = _backward
+    return out
+
+
+def segment_softmax(scores: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Softmax over groups of entries sharing the same ``index`` value.
+
+    Used for attention coefficients: ``scores`` holds one value per edge and
+    ``index`` holds the destination node of each edge; the result sums to one
+    over the incoming edges of every node.
+    """
+    scores = _ensure(scores)
+    index = np.asarray(index, dtype=np.int64)
+    extra_dims = (1,) * (scores.data.ndim - 1)
+
+    group_max = np.full((dim_size,) + scores.shape[1:], -np.inf, dtype=np.float64)
+    np.maximum.at(group_max, index, scores.data)
+    group_max[~np.isfinite(group_max)] = 0.0
+    shifted = scores.data - group_max[index]
+    exp = np.exp(shifted)
+    denom = np.zeros((dim_size,) + scores.shape[1:], dtype=np.float64)
+    np.add.at(denom, index, exp)
+    denom = np.maximum(denom, 1e-16)
+    out_data = exp / denom[index]
+
+    out = Tensor(out_data, requires_grad=scores.requires_grad, _prev=(scores,) if scores.requires_grad else ())
+    if out.requires_grad:
+        def _backward(grad: np.ndarray) -> None:
+            weighted = grad * out_data
+            group_dot = np.zeros((dim_size,) + scores.shape[1:], dtype=np.float64)
+            np.add.at(group_dot, index, weighted)
+            scores._accumulate(out_data * (grad - group_dot[index]))
+
+        out._backward = _backward
+    del extra_dims
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Misc
+# ---------------------------------------------------------------------------
+def weighted_sum(tensors: Sequence[Tensor], weights: Tensor) -> Tensor:
+    """Weighted sum ``sum_i weights[i] * tensors[i]`` with differentiable weights."""
+    stacked = stack(list(tensors), axis=0)
+    n = stacked.shape[0]
+    w = weights.reshape((n,) + (1,) * (stacked.ndim - 1))
+    return (stacked * w).sum(axis=0)
+
+
+def l2_penalty(parameters) -> Tensor:
+    """Sum of squared entries of every parameter (used for weight decay in losses)."""
+    total = Tensor(0.0)
+    for param in parameters:
+        total = total + (param * param).sum()
+    return total

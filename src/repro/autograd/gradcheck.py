@@ -1,0 +1,55 @@
+"""Numerical gradient checking used by the autograd test-suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(func: Callable[..., Tensor], inputs: Sequence[Tensor],
+                       index: int, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``func(*inputs)`` w.r.t. ``inputs[index]``."""
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(func(*inputs).data)
+        flat[i] = original - eps
+        minus = float(func(*inputs).data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(func: Callable[..., Tensor], inputs: Sequence[Tensor],
+              eps: float = 1e-6, atol: float = 1e-4, rtol: float = 1e-3) -> bool:
+    """Compare analytic gradients against central differences.
+
+    Returns ``True`` when every gradient matches; raises ``AssertionError``
+    with a helpful message otherwise so pytest failures are informative.
+    """
+    inputs = list(inputs)
+    for tensor in inputs:
+        tensor.grad = None
+    output = func(*inputs)
+    if output.data.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    output.backward()
+
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(func, inputs, index, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            max_err = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {index}: max abs error {max_err:.3e}"
+            )
+    return True

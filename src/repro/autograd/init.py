@@ -1,0 +1,72 @@
+"""Weight initialisers.
+
+Graph self-ensemble (GSE) builds several replicas of the same architecture
+with *different initialisation seeds*, so every initialiser takes an explicit
+``rng`` to make that reproducible and controllable from the ensemble code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)
+
+
+def uniform(shape: Tuple[int, ...], low: float = -0.1, high: float = 0.1,
+            rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    return _rng(rng).uniform(low, high, size=shape)
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.01,
+           rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Xavier/Glorot uniform initialisation (the PyG default for GNN layers)."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return _rng(rng).uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return _rng(rng).uniform(-limit, limit, size=shape)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    fan_out = int(shape[-1])
+    return fan_in, fan_out
+
+
+INITIALIZERS = {
+    "zeros": zeros,
+    "ones": ones,
+    "uniform": uniform,
+    "normal": normal,
+    "glorot_uniform": glorot_uniform,
+    "glorot_normal": glorot_normal,
+    "kaiming_uniform": kaiming_uniform,
+}

@@ -1,0 +1,76 @@
+"""Constant sparse operands for graph propagation.
+
+GNN layers repeatedly multiply a (normalised) adjacency matrix against dense
+node-feature tensors.  The adjacency matrix itself is never a trainable
+quantity in any of the models this repository reproduces, so we wrap a SciPy
+CSR matrix in :class:`SparseTensor` and expose a differentiable
+``sparse @ dense`` product (:func:`spmm`) whose gradient only flows into the
+dense operand.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor
+
+
+class SparseTensor:
+    """An immutable sparse matrix used as a constant in autograd expressions."""
+
+    __slots__ = ("matrix",)
+
+    def __init__(self, matrix: Union[sp.spmatrix, np.ndarray]) -> None:
+        if sp.issparse(matrix):
+            self.matrix = matrix.tocsr().astype(np.float64)
+        else:
+            self.matrix = sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+
+    @property
+    def shape(self) -> tuple:
+        return self.matrix.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+    def to_dense(self) -> np.ndarray:
+        return np.asarray(self.matrix.todense())
+
+    def transpose(self) -> "SparseTensor":
+        return SparseTensor(self.matrix.T)
+
+    @property
+    def T(self) -> "SparseTensor":
+        return self.transpose()
+
+    def __matmul__(self, dense: Tensor) -> Tensor:
+        return spmm(self, dense)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"SparseTensor(shape={self.shape}, nnz={self.nnz})"
+
+
+def spmm(sparse: SparseTensor, dense: Tensor) -> Tensor:
+    """Differentiable product of a constant sparse matrix and a dense tensor.
+
+    Gradients flow only into ``dense``; the sparse operand is a constant.
+    """
+    if not isinstance(sparse, SparseTensor):
+        sparse = SparseTensor(sparse)
+    if not isinstance(dense, Tensor):
+        dense = Tensor(dense)
+
+    out_data = sparse.matrix @ dense.data
+    out = Tensor(out_data, requires_grad=dense.requires_grad, _prev=(dense,) if dense.requires_grad else ())
+    if out.requires_grad:
+        transposed = sparse.matrix.T.tocsr()
+
+        def _backward(grad: np.ndarray) -> None:
+            dense._accumulate(transposed @ grad)
+
+        out._backward = _backward
+    return out

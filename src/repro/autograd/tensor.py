@@ -1,0 +1,429 @@
+"""Core ``Tensor`` type implementing reverse-mode automatic differentiation.
+
+The implementation follows the classic tape-less design: every operation
+returns a new :class:`Tensor` holding references to its inputs and a closure
+that propagates the output gradient to them.  Calling :meth:`Tensor.backward`
+runs a topological sort of the recorded graph and accumulates gradients into
+the ``grad`` attribute of every leaf that has ``requires_grad=True``.
+
+Only float64 is used internally.  Graphs in this repository have at most a few
+tens of thousands of nodes, so double precision is both affordable and removes
+an entire class of numerical-stability questions from the architecture-search
+experiments.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradient information."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype != np.float64:
+            return value.astype(np.float64)
+        return value
+    return np.asarray(value, dtype=np.float64)
+
+
+def _reduce_extra_dims(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum leading batch dimensions so ``grad`` matches ``shape``.
+
+    Needed by batched matrix products where one operand (typically a weight
+    matrix) participates in a broadcasted 3-D product.
+    """
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    return grad
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were broadcast from size one.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed array that records operations for backpropagation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __array_priority__ = 100  # make NumPy defer to our reflected operators
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _prev: Iterable["Tensor"] = (),
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._prev: tuple = tuple(_prev)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ensure(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(self, data: np.ndarray, parents: Iterable["Tensor"]) -> "Tensor":
+        parents = tuple(parents)
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate through the recorded graph starting from this tensor."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out = self._make(self.data + other.data, (self, other))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(_unbroadcast(grad, self.shape))
+                other._accumulate(_unbroadcast(grad, other.shape))
+            out._backward = _backward
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out = self._make(self.data - other.data, (self, other))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(_unbroadcast(grad, self.shape))
+                other._accumulate(_unbroadcast(-grad, other.shape))
+            out._backward = _backward
+        return out
+
+    def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._ensure(other).__sub__(self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out = self._make(self.data * other.data, (self, other))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+            out._backward = _backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out = self._make(self.data / other.data, (self, other))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+                )
+            out._backward = _backward
+        return out
+
+    def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._ensure(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        out = self._make(-self.data, (self,))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(-grad)
+            out._backward = _backward
+        return out
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out = self._make(self.data ** exponent, (self,))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out = self._make(self.data @ other.data, (self, other))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    if other.data.ndim == 1:
+                        grad_self = (np.outer(grad, other.data)
+                                     if grad.ndim == 1 else grad[..., None] * other.data)
+                    else:
+                        grad_self = grad @ other.data.swapaxes(-1, -2)
+                    self._accumulate(_reduce_extra_dims(grad_self, self.shape))
+                if other.requires_grad:
+                    if self.data.ndim == 1:
+                        grad_other = np.outer(self.data, grad)
+                    else:
+                        grad_other = self.data.swapaxes(-1, -2) @ grad
+                    other._accumulate(_reduce_extra_dims(grad_other, other.shape))
+            out._backward = _backward
+        return out
+
+    def matmul(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self.__matmul__(other)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_arg = axes if axes else None
+        out = self._make(np.transpose(self.data, axes_arg), (self,))
+        if out.requires_grad:
+            if axes_arg is None:
+                inverse = None
+            else:
+                inverse = tuple(np.argsort(axes_arg))
+
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(np.transpose(grad, inverse))
+            out._backward = _backward
+        return out
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make(self.data.reshape(shape), (self,))
+        if out.requires_grad:
+            original = self.shape
+
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(grad.reshape(original))
+            out._backward = _backward
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make(self.data[index], (self,))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                expanded = grad
+                if axis is not None and not keepdims:
+                    expanded = np.expand_dims(grad, axis)
+                self._accumulate(np.broadcast_to(expanded, self.shape).copy())
+            out._backward = _backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make(out_data, (self,))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                expanded_out = out_data
+                expanded_grad = grad
+                if axis is not None and not keepdims:
+                    expanded_out = np.expand_dims(out_data, axis)
+                    expanded_grad = np.expand_dims(grad, axis)
+                mask = (self.data == expanded_out).astype(np.float64)
+                mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+                self._accumulate(mask * expanded_grad)
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities (the rest live in ``functional``)
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        out = self._make(out_data, (self,))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(grad * out_data)
+            out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make(np.log(self.data), (self,))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(grad / self.data)
+            out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(np.float64)
+        out = self._make(self.data * mask, (self,))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(grad * mask)
+            out._backward = _backward
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        out = self._make(out_data, (self,))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+            out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make(out_data, (self,))
+        if out.requires_grad:
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+            out._backward = _backward
+        return out
+
+    def abs(self) -> "Tensor":
+        out = self._make(np.abs(self.data), (self,))
+        if out.requires_grad:
+            sign = np.sign(self.data)
+
+            def _backward(grad: np.ndarray) -> None:
+                self._accumulate(grad * sign)
+            out._backward = _backward
+        return out

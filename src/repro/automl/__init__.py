@@ -1,0 +1,15 @@
+"""AutoML runtime utilities: time budgets, hyper-parameter grids and the
+competition-style runner that consumes AutoGraph-format dataset directories."""
+
+from repro.automl.budget import TimeBudget, BudgetExceeded
+from repro.automl.hyperparams import HyperparameterGrid, DEFAULT_GRID
+from repro.automl.runner import AutoGraphRunner, CompetitionSubmission
+
+__all__ = [
+    "TimeBudget",
+    "BudgetExceeded",
+    "HyperparameterGrid",
+    "DEFAULT_GRID",
+    "AutoGraphRunner",
+    "CompetitionSubmission",
+]

@@ -1,0 +1,71 @@
+"""Wall-clock time-budget management.
+
+The AutoGraph challenge aborts solutions that exceed a per-dataset time
+budget, so the winning solution constantly checks remaining time and degrades
+gracefully (fewer bagging rounds, the memory-light adaptive search) instead
+of failing.  :class:`TimeBudget` provides that bookkeeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised when a stage starts after the time budget has already elapsed."""
+
+
+class TimeBudget:
+    """Tracks elapsed wall-clock time against an optional budget in seconds."""
+
+    def __init__(self, budget_seconds: Optional[float] = None) -> None:
+        self.budget_seconds = budget_seconds
+        self.start_time = time.time()
+        self.checkpoints: list[tuple[str, float]] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        return time.time() - self.start_time
+
+    def remaining(self) -> float:
+        if self.budget_seconds is None:
+            return float("inf")
+        return max(self.budget_seconds - self.elapsed(), 0.0)
+
+    def remaining_fraction(self) -> float:
+        if self.budget_seconds is None:
+            return 1.0
+        return self.remaining() / self.budget_seconds
+
+    def exhausted(self) -> bool:
+        return self.remaining() <= 0.0
+
+    # ------------------------------------------------------------------
+    # Control flow helpers
+    # ------------------------------------------------------------------
+    def check(self, stage: str) -> None:
+        """Record a checkpoint; raise :class:`BudgetExceeded` if out of time."""
+        self.checkpoints.append((stage, self.elapsed()))
+        if self.budget_seconds is not None and self.exhausted():
+            raise BudgetExceeded(
+                f"time budget of {self.budget_seconds:.0f}s exhausted after stage {stage!r}"
+            )
+
+    def has_time_for_another(self, elapsed_so_far: float, completed_rounds: int) -> bool:
+        """Heuristic: is there room for one more round of the same average cost?"""
+        if self.budget_seconds is None:
+            return True
+        if completed_rounds <= 0:
+            return not self.exhausted()
+        average_cost = elapsed_so_far / completed_rounds
+        return self.remaining() > 1.5 * average_cost
+
+    def report(self) -> dict:
+        return {
+            "budget_seconds": self.budget_seconds,
+            "elapsed": self.elapsed(),
+            "checkpoints": list(self.checkpoints),
+        }

@@ -1,0 +1,80 @@
+"""Hyper-parameter grids searched automatically by the AutoML layer.
+
+Appendix A1 of the paper: dropout in {0.5, 0.25, 0.1}, learning rate in
+{5e-2, 3e-2, 1e-2, 7.5e-3, 5e-3, 3e-3, 1e-3, 5e-4}, plus per-model variants
+(e.g. GraphSAGE-mean vs GraphSAGE-pool, which live in the model zoo as
+separate candidates).  ``budget_scale`` lets callers shrink the grid under a
+tight time budget — the same reduction the winning submission applied on the
+final challenge datasets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+#: The paper's full learning-rate grid (Appendix A1).
+PAPER_LR_GRID: Sequence[float] = (5e-2, 3e-2, 1e-2, 7.5e-3, 5e-3, 3e-3, 1e-3, 5e-4)
+#: The paper's dropout grid.
+PAPER_DROPOUT_GRID: Sequence[float] = (0.5, 0.25, 0.1)
+
+
+@dataclass
+class HyperparameterGrid:
+    """A named cartesian product of hyper-parameter values."""
+
+    learning_rates: Sequence[float] = PAPER_LR_GRID
+    dropouts: Sequence[float] = PAPER_DROPOUT_GRID
+    hidden_sizes: Sequence[int] = (64,)
+    extra: Dict[str, Sequence[object]] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        keys = ["lr", "dropout", "hidden"] + list(self.extra)
+        value_lists: List[Sequence[object]] = [self.learning_rates, self.dropouts,
+                                               self.hidden_sizes]
+        value_lists.extend(self.extra.values())
+        for combination in itertools.product(*value_lists):
+            yield dict(zip(keys, combination))
+
+    def __len__(self) -> int:
+        size = len(self.learning_rates) * len(self.dropouts) * len(self.hidden_sizes)
+        for values in self.extra.values():
+            size *= len(values)
+        return size
+
+    def scaled(self, budget_scale: float) -> "HyperparameterGrid":
+        """Return a grid shrunk to roughly ``budget_scale`` of the original size.
+
+        The reduction keeps the extreme and the middle values of each axis,
+        which is how the winning solution reduced its search space when the
+        challenge time budget was tight (Section IV-E).
+        """
+        if not 0.0 < budget_scale <= 1.0:
+            raise ValueError("budget_scale must lie in (0, 1]")
+        if budget_scale == 1.0:
+            return self
+
+        def shrink(values: Sequence) -> Sequence:
+            values = list(values)
+            target = max(1, int(round(len(values) * budget_scale)))
+            if target >= len(values):
+                return values
+            if target == 1:
+                return [values[len(values) // 2]]
+            step = (len(values) - 1) / (target - 1)
+            return [values[int(round(i * step))] for i in range(target)]
+
+        return HyperparameterGrid(
+            learning_rates=shrink(self.learning_rates),
+            dropouts=shrink(self.dropouts),
+            hidden_sizes=shrink(self.hidden_sizes),
+            extra={key: shrink(values) for key, values in self.extra.items()},
+        )
+
+
+#: Grid actually used by the offline reproduction (a mid-sized subset of the paper grid).
+DEFAULT_GRID = HyperparameterGrid(
+    learning_rates=(5e-2, 1e-2, 5e-3, 1e-3),
+    dropouts=(0.5, 0.25, 0.1),
+)

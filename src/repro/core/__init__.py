@@ -1,0 +1,64 @@
+"""AutoHEnsGNN — the paper's primary contribution.
+
+The package mirrors Figure 1 of the paper:
+
+1. :mod:`~repro.core.proxy` / :mod:`~repro.core.selection` — proxy evaluation
+   of the candidate zoo and selection of the top-performing pool ``P_GNN``.
+2. :mod:`~repro.core.gse` — graph self-ensemble (GSE): K replicas of one
+   architecture with different seeds, aggregating all layer outputs through
+   per-layer weights α (Eqns 1–3).
+3. :mod:`~repro.core.hierarchical` — the weighted ensemble over different
+   architectures with weights β (Eqn 4).
+4. :mod:`~repro.core.gradient_search` — ``AutoHEnsGNN_Gradient``: bi-level,
+   first-order gradient search of α and β (Algorithm 1).
+5. :mod:`~repro.core.adaptive` — ``AutoHEnsGNN_Adaptive``: per-GSE grid search
+   plus the accuracy/temperature softmax for β (Eqn 8).
+6. :mod:`~repro.core.bagging` — bagging over random train/validation splits.
+7. :mod:`~repro.core.baselines` — the ensemble baselines of the experiment
+   section (D-ensemble, L-ensemble, random ensemble, Goyal et al. greedy).
+8. :mod:`~repro.core.pipeline` — the end-to-end automated pipeline
+   (:class:`AutoHEnsGNN`) used by the examples, benchmarks and the
+   competition runner.
+"""
+
+from repro.core.config import AdaptiveConfig, AutoHEnsGNNConfig, ProxyConfig, SearchMethod
+from repro.core.proxy import ProxyEvaluator, ProxyEvaluationReport, CandidateScore
+from repro.core.selection import select_top_models
+from repro.core.gse import GraphSelfEnsemble
+from repro.core.hierarchical import HierarchicalEnsemble
+from repro.core.adaptive import adaptive_beta, AdaptiveSearch
+from repro.core.gradient_search import GradientSearch, GradientSearchResult
+from repro.core.bagging import BaggingEnsemble
+from repro.core.baselines import (
+    DEnsemble,
+    GoyalGreedyEnsemble,
+    LEnsemble,
+    RandomEnsemble,
+    train_single_models,
+)
+from repro.core.pipeline import AutoHEnsGNN, PipelineResult
+
+__all__ = [
+    "AutoHEnsGNNConfig",
+    "ProxyConfig",
+    "AdaptiveConfig",
+    "SearchMethod",
+    "ProxyEvaluator",
+    "ProxyEvaluationReport",
+    "CandidateScore",
+    "select_top_models",
+    "GraphSelfEnsemble",
+    "HierarchicalEnsemble",
+    "adaptive_beta",
+    "AdaptiveSearch",
+    "GradientSearch",
+    "GradientSearchResult",
+    "BaggingEnsemble",
+    "DEnsemble",
+    "LEnsemble",
+    "RandomEnsemble",
+    "GoyalGreedyEnsemble",
+    "train_single_models",
+    "AutoHEnsGNN",
+    "PipelineResult",
+]

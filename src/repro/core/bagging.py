@@ -1,0 +1,67 @@
+"""Bagging over random train/validation splits (Section IV-D1, Figure 5).
+
+The nodes of a graph are not i.i.d., so different train/validation splits can
+lead models to fit different data distributions; the paper reduces the
+resulting variance by training the whole hierarchical ensemble on several
+random splits and averaging the predicted probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.splits import random_split
+from repro.nn.data import GraphTensors
+from repro.tasks.metrics import accuracy
+
+
+@dataclass
+class BaggingEnsemble:
+    """Average predictions of models trained on different data splits.
+
+    ``fit_predict_fn(split_graph, data, split_index)`` must train whatever
+    predictor the caller wants on the masks of ``split_graph`` and return a
+    probability matrix for *all* nodes.  The bagging ensemble averages those
+    matrices; it is agnostic to whether the per-split predictor is a single
+    model, a GSE or a full hierarchical ensemble.
+    """
+
+    num_splits: int = 2
+    val_fraction: float = 0.2
+    seed: int = 0
+    probabilities: List[np.ndarray] = field(default_factory=list)
+    split_descriptions: List[Dict[str, object]] = field(default_factory=list)
+
+    def fit(self, graph: Graph, data: GraphTensors,
+            fit_predict_fn: Callable[[Graph, GraphTensors, int], np.ndarray],
+            labelled_pool: Optional[np.ndarray] = None) -> "BaggingEnsemble":
+        self.probabilities = []
+        self.split_descriptions = []
+        for split_index in range(self.num_splits):
+            split_graph = random_split(graph, val_fraction=self.val_fraction,
+                                       seed=self.seed + 7919 * split_index,
+                                       labelled_pool=labelled_pool)
+            probabilities = fit_predict_fn(split_graph, data, split_index)
+            self.probabilities.append(np.asarray(probabilities))
+            self.split_descriptions.append({
+                "split": split_index,
+                "train_nodes": int(split_graph.train_mask.sum()),
+                "val_nodes": int(split_graph.val_mask.sum()),
+            })
+        return self
+
+    def predict_proba(self) -> np.ndarray:
+        if not self.probabilities:
+            raise RuntimeError("bagging ensemble has not been fitted")
+        return np.mean(self.probabilities, axis=0)
+
+    def predict(self) -> np.ndarray:
+        return self.predict_proba().argmax(axis=1)
+
+    def evaluate(self, labels: np.ndarray, index: np.ndarray) -> float:
+        index = np.asarray(index)
+        return accuracy(self.predict_proba()[index], np.asarray(labels)[index])

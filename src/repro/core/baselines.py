@@ -1,0 +1,182 @@
+"""Ensemble baselines used throughout the experiment section.
+
+* :class:`DEnsemble` — directly average the probabilities of the pool models.
+* :class:`LEnsemble` — learn the ensemble weights on the validation set
+  (gradient descent on a softmax-parameterised weight vector, Appendix A3).
+* :class:`RandomEnsemble` — ensemble of randomly selected candidates (the
+  "Random Ensemble" row of the ablation, Table IV).
+* :class:`GoyalGreedyEnsemble` — greedy forward selection in the spirit of
+  Goyal et al. (2019): repeatedly add the model whose inclusion improves the
+  validation accuracy of the running average the most.
+* :func:`train_single_models` — trains one model per pool entry and returns
+  the individual scores (the "single model" rows of Tables II, III, V).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.data import GraphTensors
+from repro.nn.model_zoo import get_model_spec
+from repro.nn.models.base import GNNModel
+from repro.tasks.metrics import accuracy
+from repro.tasks.trainer import NodeClassificationTrainer, TrainConfig
+
+
+def train_single_models(pool: Sequence[str], data: GraphTensors, labels: np.ndarray,
+                        train_index: np.ndarray, val_index: np.ndarray, num_classes: int,
+                        hidden: int = 64, train_config: Optional[TrainConfig] = None,
+                        replicas: int = 1, seed: int = 0) -> Dict[str, Dict[str, object]]:
+    """Train ``replicas`` differently-seeded copies of every pool model.
+
+    Returns ``{name: {"models": [...], "probas": [...], "val_scores": [...]}}``;
+    the ensemble baselines below consume this shared pool so every method in a
+    table row comparison sees exactly the same trained models (as the paper
+    does for fairness).
+    """
+    config = train_config or TrainConfig(lr=0.02, max_epochs=150, patience=20)
+    outcome: Dict[str, Dict[str, object]] = {}
+    for name in pool:
+        spec = get_model_spec(name)
+        models: List[GNNModel] = []
+        probas: List[np.ndarray] = []
+        val_scores: List[float] = []
+        for replica in range(replicas):
+            model = spec.build(in_features=data.num_features, num_classes=num_classes,
+                               hidden=hidden, seed=seed + 31 * replica)
+            trainer = NodeClassificationTrainer(config.with_overrides(seed=seed + replica))
+            result = trainer.train(model, data, labels, train_index, val_index)
+            models.append(model)
+            probas.append(model.predict_proba(data))
+            val_scores.append(result.best_val_accuracy)
+        outcome[name] = {"models": models, "probas": probas, "val_scores": val_scores}
+    return outcome
+
+
+@dataclass
+class _PoolEnsemble:
+    """Shared plumbing: holds per-model probability predictions and weights."""
+
+    probas: List[np.ndarray] = field(default_factory=list)
+    names: List[str] = field(default_factory=list)
+    weights: Optional[np.ndarray] = None
+
+    def add(self, name: str, proba: np.ndarray) -> None:
+        self.probas.append(np.asarray(proba))
+        self.names.append(name)
+
+    def predict_proba(self) -> np.ndarray:
+        if not self.probas:
+            raise RuntimeError("ensemble has no member predictions")
+        weights = self.weights
+        if weights is None:
+            weights = np.full(len(self.probas), 1.0 / len(self.probas))
+        total = None
+        for weight, proba in zip(weights, self.probas):
+            term = proba * weight
+            total = term if total is None else total + term
+        return total
+
+    def evaluate(self, labels: np.ndarray, index: np.ndarray) -> float:
+        index = np.asarray(index)
+        return accuracy(self.predict_proba()[index], np.asarray(labels)[index])
+
+
+class DEnsemble(_PoolEnsemble):
+    """Direct average of the pool probabilities."""
+
+
+class RandomEnsemble(_PoolEnsemble):
+    """Average over a random subset of the *candidate zoo* (not the selected pool)."""
+
+    @classmethod
+    def from_pool(cls, pool_outcome: Dict[str, Dict[str, object]], size: int,
+                  seed: int = 0) -> "RandomEnsemble":
+        rng = np.random.default_rng(seed)
+        names = list(pool_outcome)
+        chosen = rng.choice(names, size=min(size, len(names)), replace=False)
+        ensemble = cls()
+        for name in chosen:
+            for proba in pool_outcome[name]["probas"]:
+                ensemble.add(name, proba)
+        return ensemble
+
+
+class LEnsemble(_PoolEnsemble):
+    """Learn ensemble weights on the validation set by gradient descent.
+
+    The weights are parameterised through a softmax so they stay on the
+    simplex; optimisation minimises the validation cross-entropy of the mixed
+    probabilities, mirroring Appendix A3 of the paper.
+    """
+
+    def fit_weights(self, labels: np.ndarray, val_index: np.ndarray, lr: float = 0.05,
+                    epochs: int = 200, seed: int = 0) -> np.ndarray:
+        from repro.autograd import functional as F
+        from repro.autograd import optim
+        from repro.autograd.module import Parameter
+        from repro.autograd.tensor import Tensor
+
+        labels = np.asarray(labels)
+        val_index = np.asarray(val_index)
+        logits = Parameter(np.zeros(len(self.probas)))
+        optimizer = optim.Adam([logits], lr=lr, weight_decay=0.0)
+        stacked = np.stack([proba[val_index] for proba in self.probas], axis=0)
+        targets = labels[val_index]
+        for _ in range(epochs):
+            optimizer.zero_grad()
+            weights = F.softmax(logits, axis=-1)
+            mixture = F.weighted_sum(
+                [Tensor(stacked[i]) for i in range(stacked.shape[0])], weights)
+            loss = F.nll_loss((mixture + 1e-12).log(), targets)
+            loss.backward()
+            optimizer.step()
+        exp = np.exp(logits.data - logits.data.max())
+        self.weights = exp / exp.sum()
+        return self.weights
+
+
+class GoyalGreedyEnsemble(_PoolEnsemble):
+    """Greedy forward selection of pool members (Goyal et al., 2019).
+
+    Starting from the best single model, each step adds the member whose
+    inclusion most improves the running-average validation accuracy; the
+    procedure stops when no addition helps.
+    """
+
+    def fit_greedy(self, labels: np.ndarray, val_index: np.ndarray) -> List[int]:
+        labels = np.asarray(labels)
+        val_index = np.asarray(val_index)
+        remaining = list(range(len(self.probas)))
+        selected: List[int] = []
+
+        def score(indices: List[int]) -> float:
+            mixture = np.mean([self.probas[i][val_index] for i in indices], axis=0)
+            return accuracy(mixture, labels[val_index])
+
+        # Seed with the single best member.
+        best_single = max(remaining, key=lambda i: score([i]))
+        selected.append(best_single)
+        remaining.remove(best_single)
+        best_score = score(selected)
+        improved = True
+        while improved and remaining:
+            improved = False
+            best_candidate = None
+            for candidate in remaining:
+                candidate_score = score(selected + [candidate])
+                if candidate_score > best_score:
+                    best_score = candidate_score
+                    best_candidate = candidate
+                    improved = True
+            if best_candidate is not None:
+                selected.append(best_candidate)
+                remaining.remove(best_candidate)
+        weights = np.zeros(len(self.probas))
+        weights[selected] = 1.0 / len(selected)
+        self.weights = weights
+        return selected

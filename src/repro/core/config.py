@@ -1,0 +1,73 @@
+"""Configuration objects for the AutoHEnsGNN pipeline.
+
+Defaults follow the paper: proxy evaluation with ``D_proxy = 30 %``,
+``B_proxy = 6`` and ``M_proxy = 50 %`` (Section IV-B2), a pool of ``N = 3``
+architectures with ``K = 3`` replicas per graph self-ensemble (Figure 6), and
+the adaptive-β hyper-parameters ``ε = 3``, ``γ = 8000``, ``λ = 5``
+(Appendix A2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.tasks.trainer import TrainConfig
+
+
+class SearchMethod(str, enum.Enum):
+    """Which configuration-search algorithm the pipeline uses."""
+
+    ADAPTIVE = "adaptive"
+    GRADIENT = "gradient"
+
+
+@dataclass
+class ProxyConfig:
+    """Parameters of the proxy task used for fast model selection."""
+
+    dataset_fraction: float = 0.3      # D_proxy
+    bagging_rounds: int = 6            # B_proxy (scaled down by benchmarks)
+    hidden_fraction: float = 0.5       # M_proxy
+    max_epochs: int = 60
+    patience: int = 10
+    lr: float = 0.01
+    val_fraction: float = 0.2
+    seed: int = 0
+
+
+@dataclass
+class AdaptiveConfig:
+    """Hyper-parameters of the adaptive ensemble weight β (Eqn 8)."""
+
+    epsilon: float = 3.0
+    gamma: float = 8000.0
+    lam: float = 5.0
+
+
+@dataclass
+class AutoHEnsGNNConfig:
+    """Full pipeline configuration."""
+
+    candidate_models: Optional[Sequence[str]] = None   # None = entire zoo
+    pool_size: int = 3                                  # N
+    ensemble_size: int = 3                              # K
+    max_layers: int = 4                                 # L, depth of the alpha grid
+    search_method: SearchMethod = SearchMethod.ADAPTIVE
+    proxy: ProxyConfig = field(default_factory=ProxyConfig)
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
+    train: TrainConfig = field(default_factory=lambda: TrainConfig(lr=0.02, max_epochs=150,
+                                                                   patience=20))
+    # Gradient search (Algorithm 1) specifics.
+    architecture_lr: float = 3e-4
+    architecture_update_every: int = 1
+    search_epochs: int = 60
+    # Bagging over data splits (Section IV-C: two random splits for the
+    # challenge datasets, none for the public fixed-split datasets).
+    bagging_splits: int = 1
+    val_fraction: float = 0.2
+    hidden: int = 64
+    time_budget: Optional[float] = None
+    seed: int = 0
+    verbose: bool = False

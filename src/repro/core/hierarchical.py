@@ -1,0 +1,93 @@
+"""Hierarchical ensemble — the weighted combination of graph self-ensembles (Eqn 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.gse import GraphSelfEnsemble
+from repro.nn.data import GraphTensors
+from repro.tasks.metrics import accuracy
+from repro.tasks.trainer import TrainConfig
+
+
+def normalize_weights(weights: Sequence[float]) -> np.ndarray:
+    """Softmax-free normalisation used for already-positive ensemble weights."""
+    array = np.asarray(list(weights), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("cannot normalise an empty weight vector")
+    array = np.maximum(array, 0.0)
+    total = array.sum()
+    if total <= 0:
+        return np.full(array.size, 1.0 / array.size)
+    return array / total
+
+
+@dataclass
+class HierarchicalEnsemble:
+    """Weighted ensemble ``Y = sum_j beta_j * Y_GSE_j`` over the model pool."""
+
+    ensembles: List[GraphSelfEnsemble] = field(default_factory=list)
+    beta: Optional[np.ndarray] = None
+
+    def add(self, ensemble: GraphSelfEnsemble) -> "HierarchicalEnsemble":
+        self.ensembles.append(ensemble)
+        return self
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, data: GraphTensors, labels: np.ndarray, train_index: np.ndarray,
+            val_index: np.ndarray, train_config: Optional[TrainConfig] = None,
+            num_classes: Optional[int] = None) -> "HierarchicalEnsemble":
+        """Train every member GSE (each member model is trained separately)."""
+        for ensemble in self.ensembles:
+            ensemble.fit(data, labels, train_index, val_index,
+                         train_config=train_config, num_classes=num_classes)
+        return self
+
+    def set_beta(self, beta: Sequence[float]) -> "HierarchicalEnsemble":
+        beta = np.asarray(list(beta), dtype=np.float64)
+        if beta.shape[0] != len(self.ensembles):
+            raise ValueError("beta must have one weight per ensemble")
+        self.beta = normalize_weights(beta)
+        return self
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def effective_beta(self) -> np.ndarray:
+        if self.beta is not None:
+            return self.beta
+        return np.full(len(self.ensembles), 1.0 / max(len(self.ensembles), 1))
+
+    def predict_proba(self, data: GraphTensors) -> np.ndarray:
+        if not self.ensembles:
+            raise RuntimeError("hierarchical ensemble is empty")
+        beta = self.effective_beta()
+        total = None
+        for weight, ensemble in zip(beta, self.ensembles):
+            probabilities = ensemble.predict_proba(data) * weight
+            total = probabilities if total is None else total + probabilities
+        return total
+
+    def predict(self, data: GraphTensors) -> np.ndarray:
+        return self.predict_proba(data).argmax(axis=1)
+
+    def evaluate(self, data: GraphTensors, labels: np.ndarray, index: np.ndarray) -> float:
+        index = np.asarray(index)
+        return accuracy(self.predict_proba(data)[index], np.asarray(labels)[index])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def validation_accuracies(self) -> List[float]:
+        return [ensemble.validation_accuracy for ensemble in self.ensembles]
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "pool": [ensemble.describe() for ensemble in self.ensembles],
+            "beta": [float(b) for b in self.effective_beta()],
+        }

@@ -1,0 +1,213 @@
+"""The end-to-end AutoHEnsGNN pipeline (Figure 1).
+
+Given a graph whose test labels are unknown, :class:`AutoHEnsGNN`:
+
+1. runs proxy evaluation over the candidate zoo and selects the top-``N`` pool,
+2. searches the hierarchical-ensemble configuration (α per GSE replica and β)
+   with either the adaptive or the gradient algorithm,
+3. re-trains every sub-model from scratch with the searched configuration on
+   one or more random train/validation splits (bagging), and
+4. averages everything into the final prediction.
+
+The pipeline is deliberately *hands-off*: the only required input is the
+graph; every decision the paper automates (model choice, depths, weights,
+hyper-parameters) is made internally, honouring an optional wall-clock time
+budget like the challenge imposes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.automl.budget import TimeBudget
+from repro.core.adaptive import AdaptiveSearch
+from repro.core.config import AutoHEnsGNNConfig, SearchMethod
+from repro.core.gradient_search import GradientSearch
+from repro.core.gse import GraphSelfEnsemble, one_hot_alpha
+from repro.core.hierarchical import HierarchicalEnsemble
+from repro.core.proxy import ProxyEvaluator
+from repro.core.selection import select_top_models
+from repro.graph.graph import Graph
+from repro.graph.splits import random_split
+from repro.nn.data import GraphTensors
+from repro.tasks.metrics import accuracy
+from repro.tasks.trainer import TrainConfig
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline produced, for inspection and the experiment harness."""
+
+    probabilities: np.ndarray
+    predictions: np.ndarray
+    pool: List[str]
+    beta: np.ndarray
+    chosen_layers: Dict[str, object]
+    proxy_time: float
+    search_time: float
+    train_time: float
+    total_time: float
+    proxy_ranking: List[str] = field(default_factory=list)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def test_accuracy(self, labels: np.ndarray, test_index: np.ndarray) -> float:
+        test_index = np.asarray(test_index)
+        return accuracy(self.probabilities[test_index], np.asarray(labels)[test_index])
+
+
+class AutoHEnsGNN:
+    """Automated hierarchical ensemble of graph neural networks."""
+
+    def __init__(self, config: Optional[AutoHEnsGNNConfig] = None) -> None:
+        self.config = config or AutoHEnsGNNConfig()
+        self.hierarchical_ensembles: List[HierarchicalEnsemble] = []
+
+    # ------------------------------------------------------------------
+    # Fit / predict
+    # ------------------------------------------------------------------
+    def fit_predict(self, graph: Graph, pool: Optional[Sequence[str]] = None) -> PipelineResult:
+        """Run the full pipeline on ``graph`` and return predictions for every node.
+
+        ``pool`` can pre-specify the model pool (used by ablations); otherwise
+        proxy evaluation selects it automatically.
+        """
+        config = self.config
+        total_start = time.time()
+        budget = TimeBudget(config.time_budget)
+        data = GraphTensors.from_graph(graph)
+        labelled = graph.metadata.get("labelled_pool")
+
+        # ------------------------------------------------------------------
+        # 1. Proxy evaluation and pool selection
+        # ------------------------------------------------------------------
+        proxy_start = time.time()
+        proxy_ranking: List[str] = []
+        if pool is None:
+            evaluator = ProxyEvaluator(config.proxy, candidates=config.candidate_models)
+            report = evaluator.evaluate(graph, seed=config.seed)
+            proxy_ranking = report.ranking()
+            pool = select_top_models(report, config.pool_size)
+        pool = list(pool)
+        proxy_time = time.time() - proxy_start
+        budget.check("proxy evaluation")
+
+        # ------------------------------------------------------------------
+        # 2. Configuration search (α, β)
+        # ------------------------------------------------------------------
+        search_start = time.time()
+        search_split = random_split(graph, val_fraction=config.val_fraction,
+                                    seed=config.seed, labelled_pool=labelled)
+        train_index = search_split.mask_indices("train")
+        val_index = search_split.mask_indices("val")
+        if config.search_method == SearchMethod.GRADIENT and budget.remaining_fraction() > 0.3:
+            search = GradientSearch(
+                pool=pool,
+                ensemble_size=config.ensemble_size,
+                max_layers=config.max_layers,
+                hidden=config.hidden,
+                hidden_fraction=config.proxy.hidden_fraction,
+                lr=config.train.lr,
+                architecture_lr=config.architecture_lr,
+                epochs=config.search_epochs,
+                update_every=config.architecture_update_every,
+                seed=config.seed,
+            )
+            result = search.search(data, search_split.labels, train_index, val_index,
+                                   num_classes=graph.num_classes)
+            beta = result.beta
+            chosen_layers: Dict[str, object] = result.chosen_layers
+            layer_weights = {name: result.layer_weights(name) for name in pool}
+            search_details: Dict[str, object] = {"history": result.history}
+        else:
+            search = AdaptiveSearch(
+                pool=pool,
+                ensemble_size=config.ensemble_size,
+                max_layers=config.max_layers,
+                hidden=config.hidden,
+                adaptive_config=config.adaptive,
+                train_config=config.train.with_overrides(max_epochs=config.search_epochs),
+                seed=config.seed,
+            )
+            result = search.search(graph, data, search_split.labels, train_index, val_index,
+                                   num_classes=graph.num_classes,
+                                   hidden_fraction=config.proxy.hidden_fraction)
+            beta = result.beta
+            chosen_layers = result.chosen_layers
+            layer_weights = {
+                name: [one_hot_alpha(result.chosen_layers[name], result.chosen_layers[name])]
+                for name in pool
+            }
+            search_details = {"layer_scores": result.layer_scores}
+        search_time = time.time() - search_start
+        budget.check("configuration search")
+
+        # ------------------------------------------------------------------
+        # 3. Re-training with bagging over data splits
+        # ------------------------------------------------------------------
+        train_start = time.time()
+        self.hierarchical_ensembles = []
+        split_probabilities: List[np.ndarray] = []
+        for split_index in range(max(config.bagging_splits, 1)):
+            split_graph = random_split(graph, val_fraction=config.val_fraction,
+                                       seed=config.seed + 7919 * split_index,
+                                       labelled_pool=labelled)
+            hierarchical = HierarchicalEnsemble()
+            for model_index, name in enumerate(pool):
+                depth = chosen_layers[name]
+                if isinstance(depth, list):
+                    depth_value = int(round(float(np.mean(depth))))
+                else:
+                    depth_value = int(depth)
+                hierarchical.add(GraphSelfEnsemble(
+                    spec_name=name,
+                    num_members=config.ensemble_size,
+                    hidden=config.hidden,
+                    num_layers=max(depth_value, 1),
+                    dropout=config.train.dropout,
+                    base_seed=config.seed + 997 * split_index + 131 * model_index,
+                    layer_weights=layer_weights[name],
+                ))
+            hierarchical.fit(data, split_graph.labels,
+                             split_graph.mask_indices("train"),
+                             split_graph.mask_indices("val"),
+                             train_config=config.train,
+                             num_classes=graph.num_classes)
+            hierarchical.set_beta(beta)
+            self.hierarchical_ensembles.append(hierarchical)
+            split_probabilities.append(hierarchical.predict_proba(data))
+            if not budget.has_time_for_another(time.time() - train_start,
+                                               split_index + 1):
+                break
+        probabilities = np.mean(split_probabilities, axis=0)
+        train_time = time.time() - train_start
+
+        return PipelineResult(
+            probabilities=probabilities,
+            predictions=probabilities.argmax(axis=1),
+            pool=pool,
+            beta=np.asarray(beta),
+            chosen_layers=chosen_layers,
+            proxy_time=proxy_time,
+            search_time=search_time,
+            train_time=train_time,
+            total_time=time.time() - total_start,
+            proxy_ranking=proxy_ranking,
+            details=search_details,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience evaluation helpers
+    # ------------------------------------------------------------------
+    def evaluate(self, graph: Graph, result: Optional[PipelineResult] = None,
+                 labels: Optional[np.ndarray] = None) -> float:
+        """Accuracy on the graph's test mask using hidden labels when available."""
+        if result is None:
+            result = self.fit_predict(graph)
+        if labels is None:
+            labels = graph.metadata.get("hidden_labels", graph.labels)
+        test_index = graph.mask_indices("test")
+        return result.test_accuracy(np.asarray(labels), test_index)

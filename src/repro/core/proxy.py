@@ -1,0 +1,168 @@
+"""Proxy evaluation for GNN model selection (Section III-B).
+
+Evaluating every candidate accurately — full data, full hidden size, many
+bagging rounds — is too slow, so the proxy evaluator trains each candidate on
+
+* a **proxy dataset**: a class-stratified sub-graph containing ``D_proxy`` of
+  the nodes,
+* a **proxy model**: the same architecture at ``M_proxy`` of the hidden width,
+* with **proxy bagging**: only ``B_proxy`` random train/validation splits.
+
+The scores are used purely for *ranking* (Kendall-τ-correlated with the
+accurate ranking, Figure 3), so absolute accuracy loss is acceptable.
+:class:`ProxyEvaluator` also exposes :meth:`accurate_evaluation` so the
+Figure 3 analysis can compare the two protocols and measure the speed-up.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import ProxyConfig
+from repro.graph.graph import Graph
+from repro.graph.sampling import sample_proxy_subgraph
+from repro.graph.splits import random_split
+from repro.nn.data import GraphTensors
+from repro.nn.model_zoo import available_models, get_model_spec
+from repro.tasks.metrics import kendall_tau, mean_and_std
+from repro.tasks.trainer import NodeClassificationTrainer, TrainConfig
+
+
+@dataclass
+class CandidateScore:
+    """Evaluation outcome for one candidate architecture."""
+
+    name: str
+    mean_accuracy: float
+    std_accuracy: float
+    scores: List[float] = field(default_factory=list)
+    train_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "mean_accuracy": self.mean_accuracy,
+            "std_accuracy": self.std_accuracy,
+            "train_time": self.train_time,
+        }
+
+
+@dataclass
+class ProxyEvaluationReport:
+    """Ranked candidates plus bookkeeping used by Figure 3 and Table VI."""
+
+    scores: List[CandidateScore]
+    total_time: float
+    config: ProxyConfig
+
+    def ranking(self) -> List[str]:
+        """Candidate names sorted best-first."""
+        ordered = sorted(self.scores, key=lambda score: score.mean_accuracy, reverse=True)
+        return [score.name for score in ordered]
+
+    def top(self, count: int) -> List[str]:
+        return self.ranking()[:count]
+
+    def score_map(self) -> Dict[str, float]:
+        return {score.name: score.mean_accuracy for score in self.scores}
+
+    def kendall_tau_against(self, other: "ProxyEvaluationReport") -> float:
+        """Rank correlation between this report and another over shared candidates."""
+        own = self.score_map()
+        reference = other.score_map()
+        shared = sorted(set(own) & set(reference))
+        if len(shared) < 2:
+            raise ValueError("need at least two shared candidates to compare rankings")
+        return kendall_tau([own[name] for name in shared],
+                           [reference[name] for name in shared])
+
+
+class ProxyEvaluator:
+    """Rank candidate architectures with the proxy protocol (or the accurate one)."""
+
+    def __init__(self, config: Optional[ProxyConfig] = None,
+                 candidates: Optional[Sequence[str]] = None) -> None:
+        self.config = config or ProxyConfig()
+        self.candidates = list(candidates) if candidates is not None else available_models()
+
+    # ------------------------------------------------------------------
+    # Public protocols
+    # ------------------------------------------------------------------
+    def evaluate(self, graph: Graph, seed: Optional[int] = None) -> ProxyEvaluationReport:
+        """Proxy evaluation: sampled sub-graph, reduced hidden size, few bags."""
+        config = self.config
+        return self._run(
+            graph,
+            dataset_fraction=config.dataset_fraction,
+            hidden_fraction=config.hidden_fraction,
+            bagging_rounds=config.bagging_rounds,
+            seed=self.config.seed if seed is None else seed,
+        )
+
+    def accurate_evaluation(self, graph: Graph, bagging_rounds: int = 10,
+                            seed: Optional[int] = None) -> ProxyEvaluationReport:
+        """Accurate evaluation: full graph, full hidden size, many bags."""
+        return self._run(
+            graph,
+            dataset_fraction=1.0,
+            hidden_fraction=1.0,
+            bagging_rounds=bagging_rounds,
+            seed=self.config.seed if seed is None else seed,
+        )
+
+    def evaluate_with(self, graph: Graph, dataset_fraction: float, hidden_fraction: float,
+                      bagging_rounds: int, seed: int = 0) -> ProxyEvaluationReport:
+        """Fully parameterised evaluation (used by the Figure 3 sweeps)."""
+        return self._run(graph, dataset_fraction=dataset_fraction,
+                         hidden_fraction=hidden_fraction,
+                         bagging_rounds=bagging_rounds, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Implementation
+    # ------------------------------------------------------------------
+    def _run(self, graph: Graph, dataset_fraction: float, hidden_fraction: float,
+             bagging_rounds: int, seed: int) -> ProxyEvaluationReport:
+        start = time.time()
+        config = self.config
+        proxy_graph = sample_proxy_subgraph(graph, dataset_fraction, seed=seed)
+        data = GraphTensors.from_graph(proxy_graph)
+
+        train_config = TrainConfig(
+            lr=config.lr,
+            max_epochs=config.max_epochs,
+            patience=config.patience,
+            seed=seed,
+        )
+        trainer = NodeClassificationTrainer(train_config)
+
+        scores: List[CandidateScore] = []
+        for candidate in self.candidates:
+            spec = get_model_spec(candidate)
+            candidate_start = time.time()
+            bag_scores: List[float] = []
+            for bag in range(max(bagging_rounds, 1)):
+                split = random_split(proxy_graph, val_fraction=config.val_fraction,
+                                     seed=seed + 97 * bag)
+                model = spec.build(
+                    in_features=data.num_features,
+                    num_classes=graph.num_classes,
+                    hidden_fraction=hidden_fraction,
+                    seed=seed + bag,
+                )
+                result = trainer.train(model, data, split.labels,
+                                       split.mask_indices("train"), split.mask_indices("val"))
+                bag_scores.append(result.best_val_accuracy)
+            mean, std = mean_and_std(bag_scores)
+            scores.append(CandidateScore(
+                name=candidate,
+                mean_accuracy=mean,
+                std_accuracy=std,
+                scores=bag_scores,
+                train_time=time.time() - candidate_start,
+            ))
+        return ProxyEvaluationReport(scores=scores, total_time=time.time() - start,
+                                     config=config)

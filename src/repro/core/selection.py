@@ -1,0 +1,47 @@
+"""Selection of the top-performing pool ``P_GNN`` from a proxy-evaluation report."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.proxy import ProxyEvaluationReport
+
+
+def select_top_models(report: ProxyEvaluationReport, pool_size: int,
+                      exclude: Optional[Sequence[str]] = None,
+                      diversity_families: bool = False) -> List[str]:
+    """Return the names of the ``pool_size`` best candidates.
+
+    ``exclude`` removes candidates (e.g. the feature-only MLP baseline when a
+    dataset has informative structure).  When ``diversity_families`` is set,
+    at most one candidate per aggregator family is picked before filling the
+    remaining slots by raw score — a pragmatic variant the winning solution
+    uses to avoid an all-GCN pool on easy datasets.
+    """
+    if pool_size < 1:
+        raise ValueError("pool_size must be at least 1")
+    excluded = {name.lower() for name in (exclude or [])}
+    ranked = [name for name in report.ranking() if name.lower() not in excluded]
+    if not ranked:
+        raise ValueError("no candidates left after exclusion")
+    if not diversity_families:
+        return ranked[:pool_size]
+
+    from repro.nn.model_zoo import get_model_spec
+
+    chosen: List[str] = []
+    seen_families = set()
+    for name in ranked:
+        family = get_model_spec(name).family
+        if family in seen_families:
+            continue
+        chosen.append(name)
+        seen_families.add(family)
+        if len(chosen) == pool_size:
+            return chosen
+    for name in ranked:
+        if name not in chosen:
+            chosen.append(name)
+            if len(chosen) == pool_size:
+                break
+    return chosen[:pool_size]

@@ -1,0 +1,50 @@
+"""Dataset generators and loaders.
+
+The original evaluation uses five anonymised KDD Cup datasets, the Planetoid
+citation graphs, ogbn-arxiv and PROTEINS, none of which can be downloaded in
+an offline environment.  Each of them is replaced by a *synthetic analogue*
+generated from a degree-corrected stochastic block model with
+class-correlated node features, sized and parameterised to match the regime
+of the original dataset (see DESIGN.md for the substitution rationale).
+
+Use :func:`load_dataset` / :data:`DATASETS` for name-based access, or the
+individual ``make_*`` functions for full control over the generator
+parameters.
+"""
+
+from repro.datasets.generators import (
+    SBMConfig,
+    make_attributed_sbm,
+    make_feature_free_graph,
+    structural_features,
+)
+from repro.datasets.kddcup import (
+    KDDCUP_DATASET_NAMES,
+    kddcup_dataset_statistics,
+    make_kddcup_dataset,
+)
+from repro.datasets.citation import make_citation_dataset, CITATION_DATASET_NAMES
+from repro.datasets.arxiv import make_arxiv_dataset
+from repro.datasets.proteins import make_proteins_dataset, GraphClassificationDataset
+from repro.datasets.io import load_autograph_directory, save_autograph_directory
+from repro.datasets.registry import DATASETS, load_dataset, register_dataset
+
+__all__ = [
+    "SBMConfig",
+    "make_attributed_sbm",
+    "make_feature_free_graph",
+    "structural_features",
+    "make_kddcup_dataset",
+    "kddcup_dataset_statistics",
+    "KDDCUP_DATASET_NAMES",
+    "make_citation_dataset",
+    "CITATION_DATASET_NAMES",
+    "make_arxiv_dataset",
+    "make_proteins_dataset",
+    "GraphClassificationDataset",
+    "load_autograph_directory",
+    "save_autograph_directory",
+    "DATASETS",
+    "load_dataset",
+    "register_dataset",
+]

@@ -1,0 +1,151 @@
+"""Reader/writer for the AutoGraph challenge on-disk dataset format.
+
+Table X of the paper documents the format: a dataset directory contains
+
+* ``train_node_id.txt`` / ``test_node_id.txt`` — one integer node index per line,
+* ``edge.tsv`` — ``src  dst  weight`` rows,
+* ``feature.tsv`` — ``node_index  f0  f1 ...`` rows,
+* ``train_label.tsv`` — ``node_index  class`` rows for the training nodes,
+* ``config.yml`` — metadata with the time budget and the number of classes.
+
+The competition runner (``repro.automl.runner``) consumes this format so the
+repository can be pointed at a directory laid out exactly like the challenge
+and produce predictions without human intervention.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+_TRAIN_NODE_FILE = "train_node_id.txt"
+_TEST_NODE_FILE = "test_node_id.txt"
+_EDGE_FILE = "edge.tsv"
+_FEATURE_FILE = "feature.tsv"
+_LABEL_FILE = "train_label.tsv"
+_METADATA_FILE = "config.yml"
+
+
+def save_autograph_directory(graph: Graph, directory: str,
+                             time_budget: Optional[float] = None) -> None:
+    """Write ``graph`` to ``directory`` in the AutoGraph challenge layout.
+
+    Training nodes are those with a known label (``labels >= 0``); the rest
+    are written as test nodes with their labels omitted.
+    """
+    os.makedirs(directory, exist_ok=True)
+    labels = graph.labels
+    train_nodes = np.where(labels >= 0)[0]
+    test_nodes = np.where(labels < 0)[0]
+    if test_nodes.size == 0 and graph.test_mask is not None:
+        test_nodes = np.where(graph.test_mask)[0]
+        train_nodes = np.setdiff1d(train_nodes, test_nodes)
+
+    np.savetxt(os.path.join(directory, _TRAIN_NODE_FILE), train_nodes, fmt="%d")
+    np.savetxt(os.path.join(directory, _TEST_NODE_FILE), test_nodes, fmt="%d")
+
+    with open(os.path.join(directory, _EDGE_FILE), "w", encoding="utf-8") as handle:
+        for (src, dst), weight in zip(graph.edge_index.T, graph.edge_weight):
+            handle.write(f"{int(src)}\t{int(dst)}\t{float(weight)}\n")
+
+    with open(os.path.join(directory, _FEATURE_FILE), "w", encoding="utf-8") as handle:
+        for node in range(graph.num_nodes):
+            values = "\t".join(f"{value:.8g}" for value in graph.features[node])
+            handle.write(f"{node}\t{values}\n")
+
+    with open(os.path.join(directory, _LABEL_FILE), "w", encoding="utf-8") as handle:
+        for node in train_nodes:
+            handle.write(f"{int(node)}\t{int(labels[node])}\n")
+
+    budget = time_budget if time_budget is not None else graph.metadata.get("time_budget", 500.0)
+    with open(os.path.join(directory, _METADATA_FILE), "w", encoding="utf-8") as handle:
+        handle.write(f"time_budget: {float(budget)}\n")
+        handle.write(f"n_class: {int(graph.num_classes)}\n")
+        handle.write(f"directed: {bool(graph.directed)}\n")
+        handle.write(f"name: {graph.name}\n")
+
+
+def _read_metadata(path: str) -> Dict[str, object]:
+    metadata: Dict[str, object] = {}
+    if not os.path.exists(path):
+        return metadata
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or ":" not in line:
+                continue
+            key, value = line.split(":", 1)
+            value = value.strip()
+            if value.lower() in {"true", "false"}:
+                metadata[key.strip()] = value.lower() == "true"
+            else:
+                try:
+                    number = float(value)
+                    metadata[key.strip()] = int(number) if number.is_integer() else number
+                except ValueError:
+                    metadata[key.strip()] = value
+    return metadata
+
+
+def load_autograph_directory(directory: str) -> Graph:
+    """Load a dataset directory written in the AutoGraph challenge layout."""
+    train_nodes = np.loadtxt(os.path.join(directory, _TRAIN_NODE_FILE), dtype=np.int64, ndmin=1)
+    test_nodes = np.loadtxt(os.path.join(directory, _TEST_NODE_FILE), dtype=np.int64, ndmin=1)
+
+    edges, weights = [], []
+    with open(os.path.join(directory, _EDGE_FILE), "r", encoding="utf-8") as handle:
+        for line in handle:
+            parts = line.strip().split("\t")
+            if len(parts) < 2:
+                continue
+            src, dst = int(parts[0]), int(parts[1])
+            weight = float(parts[2]) if len(parts) > 2 else 1.0
+            edges.append((src, dst))
+            weights.append(weight)
+    edge_index = np.asarray(edges, dtype=np.int64).T if edges else np.zeros((2, 0), dtype=np.int64)
+    edge_weight = np.asarray(weights, dtype=np.float64)
+
+    feature_rows: Dict[int, np.ndarray] = {}
+    with open(os.path.join(directory, _FEATURE_FILE), "r", encoding="utf-8") as handle:
+        for line in handle:
+            parts = line.strip().split("\t")
+            if len(parts) < 2:
+                continue
+            feature_rows[int(parts[0])] = np.asarray([float(x) for x in parts[1:]])
+    num_nodes = max(max(feature_rows) + 1,
+                    int(train_nodes.max(initial=-1)) + 1,
+                    int(test_nodes.max(initial=-1)) + 1,
+                    int(edge_index.max(initial=-1)) + 1)
+    num_features = len(next(iter(feature_rows.values()))) if feature_rows else 1
+    features = np.zeros((num_nodes, num_features))
+    for node, row in feature_rows.items():
+        features[node] = row
+
+    labels = np.full(num_nodes, -1, dtype=np.int64)
+    with open(os.path.join(directory, _LABEL_FILE), "r", encoding="utf-8") as handle:
+        for line in handle:
+            parts = line.strip().split("\t")
+            if len(parts) == 2:
+                labels[int(parts[0])] = int(parts[1])
+
+    metadata = _read_metadata(os.path.join(directory, _METADATA_FILE))
+    num_classes = int(metadata.get("n_class", labels.max() + 1))
+    test_mask = np.zeros(num_nodes, dtype=bool)
+    test_mask[test_nodes] = True
+
+    return Graph(
+        edge_index=edge_index,
+        features=features,
+        labels=labels,
+        edge_weight=edge_weight,
+        directed=bool(metadata.get("directed", False)),
+        num_classes=num_classes,
+        test_mask=test_mask,
+        name=str(metadata.get("name", os.path.basename(os.path.normpath(directory)))),
+        metadata={"time_budget": float(metadata.get("time_budget", 500.0)),
+                  "source_directory": directory},
+    )

@@ -1,0 +1,133 @@
+"""Synthetic analogues of the five anonymised AutoGraph challenge datasets.
+
+Table I of the paper describes datasets A–E only through aggregate statistics
+(node/edge counts, classes, whether features and edge weights exist, whether
+the graph is directed).  The real data is proprietary, so each dataset is
+replaced by an attributed SBM whose *regime* matches those statistics:
+
+========  =======================  ==========================================
+Dataset   Paper statistics          Analogue regime
+========  =======================  ==========================================
+A         2,708 nodes, 5.3k edges,  small, sparse, homophilous, informative
+          7 classes                 features (citation-like)
+B         3,327 nodes, 4.6k edges,  small, very sparse, moderately informative
+          6 classes                 features
+C         10k nodes, 733k edges,    dense, many classes, structure carries a
+          41 classes                large part of the signal
+D         10k nodes, 5.8M edges,    very dense, directed, weighted edges
+          20 classes, directed,
+          edge weights
+E         7.5k nodes, 7.8k edges,   sparse, *no node features* (structural
+          3 classes, no features    features generated downstream)
+========  =======================  ==========================================
+
+Node and edge counts are scaled down by ``scale`` (default 0.4–0.1 depending
+on density) so the complete benchmark harness runs on a CPU in minutes; the
+paper statistics are kept in :data:`PAPER_STATISTICS` and printed next to the
+generated statistics by ``benchmarks/bench_table1_datasets.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.datasets.generators import SBMConfig, make_attributed_sbm, make_feature_free_graph
+from repro.graph.graph import Graph
+from repro.graph.splits import stratified_label_split
+
+KDDCUP_DATASET_NAMES: List[str] = ["A", "B", "C", "D", "E"]
+
+#: Statistics reported in Table I of the paper (training/test node counts,
+#: edge counts, class counts and flags), kept for side-by-side reporting.
+PAPER_STATISTICS: Dict[str, Dict[str, object]] = {
+    "A": {"node_feat": True, "edge_feat": False, "directed": False,
+          "nodes_train": 1088, "nodes_test": 1620, "edges": 5278, "classes": 7},
+    "B": {"node_feat": True, "edge_feat": False, "directed": False,
+          "nodes_train": 1334, "nodes_test": 1993, "edges": 4552, "classes": 6},
+    "C": {"node_feat": True, "edge_feat": False, "directed": False,
+          "nodes_train": 4026, "nodes_test": 5974, "edges": 733316, "classes": 41},
+    "D": {"node_feat": True, "edge_feat": True, "directed": True,
+          "nodes_train": 4009, "nodes_test": 5991, "edges": 5833962, "classes": 20},
+    "E": {"node_feat": False, "edge_feat": False, "directed": False,
+          "nodes_train": 3011, "nodes_test": 4510, "edges": 7804, "classes": 3},
+}
+
+#: Generator configurations for the analogues (node counts already scaled).
+_ANALOGUE_CONFIGS: Dict[str, Dict[str, object]] = {
+    "A": dict(num_nodes=1100, num_classes=7, num_features=48, average_degree=4.0,
+              homophily=0.82, feature_informativeness=0.32, feature_noise=1.2,
+              degree_heterogeneity=0.1),
+    "B": dict(num_nodes=1300, num_classes=6, num_features=48, average_degree=3.0,
+              homophily=0.73, feature_informativeness=0.26, feature_noise=1.3,
+              degree_heterogeneity=0.1),
+    "C": dict(num_nodes=1600, num_classes=20, num_features=32, average_degree=30.0,
+              homophily=0.68, feature_informativeness=0.22, feature_noise=1.2,
+              degree_heterogeneity=0.6),
+    "D": dict(num_nodes=1600, num_classes=10, num_features=32, average_degree=40.0,
+              homophily=0.72, feature_informativeness=0.3, feature_noise=1.2,
+              degree_heterogeneity=0.8, directed=True, weighted_edges=True),
+    "E": dict(num_nodes=1200, num_classes=3, num_features=32, average_degree=3.5,
+              homophily=0.88, feature_informativeness=0.0, degree_heterogeneity=0.2),
+}
+
+#: Fraction of labelled nodes, matching the ~40/60 train/test split of Table I.
+_TRAIN_FRACTION = 0.4
+
+
+def make_kddcup_dataset(name: str, scale: float = 1.0, seed: int = 0) -> Graph:
+    """Generate the synthetic analogue of challenge dataset ``name`` ("A".."E").
+
+    ``scale`` multiplies the number of nodes (useful to shrink the graphs even
+    further in unit tests).  The returned graph carries a ``test_mask`` over
+    the "unlabelled" nodes whose labels are hidden (set to ``-1``) exactly
+    like the challenge format, while the true labels are preserved in
+    ``graph.metadata["hidden_labels"]`` for evaluation.
+    """
+    name = name.upper()
+    if name not in _ANALOGUE_CONFIGS:
+        raise KeyError(f"unknown KDD Cup dataset {name!r}; choose from {KDDCUP_DATASET_NAMES}")
+    params = dict(_ANALOGUE_CONFIGS[name])
+    params["num_nodes"] = max(int(params["num_nodes"] * scale), 10 * int(params["num_classes"]))
+    config = SBMConfig(seed=seed, name=f"kddcup-{name}", **params)
+
+    if name == "E":
+        graph = make_feature_free_graph(config, feature_dimension=int(params["num_features"]))
+    else:
+        graph = make_attributed_sbm(config)
+
+    rng = np.random.default_rng(seed + 1000)
+    train_nodes, test_nodes = stratified_label_split(graph.labels, 1.0 - _TRAIN_FRACTION, rng)
+    hidden_labels = graph.labels.copy()
+    graph.labels = graph.labels.copy()
+    graph.labels[test_nodes] = -1
+    test_mask = np.zeros(graph.num_nodes, dtype=bool)
+    test_mask[test_nodes] = True
+    graph.test_mask = test_mask
+    graph.metadata.update({
+        "hidden_labels": hidden_labels,
+        "paper_statistics": PAPER_STATISTICS[name],
+        "time_budget": _time_budget(name),
+    })
+    return graph
+
+
+def _time_budget(name: str) -> float:
+    """Per-dataset time budgets (seconds) in the spirit of the challenge metadata."""
+    budgets = {"A": 100.0, "B": 100.0, "C": 200.0, "D": 200.0, "E": 100.0}
+    return budgets[name]
+
+
+def kddcup_dataset_statistics(scale: float = 1.0, seed: int = 0) -> List[Dict[str, object]]:
+    """Generated-vs-paper statistics for every dataset (Table I reproduction)."""
+    rows = []
+    for name in KDDCUP_DATASET_NAMES:
+        graph = make_kddcup_dataset(name, scale=scale, seed=seed)
+        generated = graph.summary()
+        rows.append({
+            "dataset": name,
+            "paper": PAPER_STATISTICS[name],
+            "generated": generated,
+        })
+    return rows

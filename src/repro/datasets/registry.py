@@ -1,0 +1,55 @@
+"""Name-based dataset registry.
+
+``load_dataset("kddcup-A")`` or ``load_dataset("cora")`` return ready-to-use
+graphs; new datasets (e.g. loaded from an AutoGraph directory) can be added
+with :func:`register_dataset` so the benchmark harness can iterate over them
+uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.datasets.arxiv import make_arxiv_dataset
+from repro.datasets.citation import CITATION_DATASET_NAMES, make_citation_dataset
+from repro.datasets.kddcup import KDDCUP_DATASET_NAMES, make_kddcup_dataset
+from repro.graph.graph import Graph
+
+DatasetFactory = Callable[..., Graph]
+
+DATASETS: Dict[str, DatasetFactory] = {}
+
+
+def register_dataset(name: str, factory: DatasetFactory, overwrite: bool = False) -> None:
+    """Register ``factory`` under ``name`` (raises on duplicates unless ``overwrite``)."""
+    key = name.lower()
+    if key in DATASETS and not overwrite:
+        raise KeyError(f"dataset {name!r} is already registered")
+    DATASETS[key] = factory
+
+
+def load_dataset(name: str, **kwargs) -> Graph:
+    """Instantiate a registered dataset by name (case insensitive)."""
+    key = name.lower()
+    if key not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}")
+    return DATASETS[key](**kwargs)
+
+
+def _register_builtin() -> None:
+    for dataset_name in KDDCUP_DATASET_NAMES:
+        register_dataset(
+            f"kddcup-{dataset_name}",
+            lambda name=dataset_name, **kwargs: make_kddcup_dataset(name, **kwargs),
+            overwrite=True,
+        )
+    for dataset_name in CITATION_DATASET_NAMES:
+        register_dataset(
+            dataset_name,
+            lambda name=dataset_name, **kwargs: make_citation_dataset(name, **kwargs),
+            overwrite=True,
+        )
+    register_dataset("arxiv", make_arxiv_dataset, overwrite=True)
+
+
+_register_builtin()

@@ -1,0 +1,47 @@
+"""Graph data structures and graph-level utilities.
+
+This package is the substrate underneath every GNN in the repository:
+
+* :class:`~repro.graph.graph.Graph` — an attributed graph with features,
+  labels and train/val/test masks (the unit every model consumes).
+* :mod:`~repro.graph.normalize` — adjacency construction and normalisation
+  (symmetric / random-walk, optional self-loops, edge weights).
+* :mod:`~repro.graph.splits` — train/validation splitting utilities, including
+  the fixed "planetoid" protocol and the random re-splits used for bagging.
+* :mod:`~repro.graph.sampling` — sub-graph sampling for the proxy dataset and
+  negative-edge sampling for link prediction.
+* :mod:`~repro.graph.batching` — block-diagonal batching of many small graphs
+  for graph classification.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.normalize import (
+    add_self_loops,
+    build_adjacency,
+    normalized_adjacency,
+    to_undirected,
+)
+from repro.graph.sampling import negative_edge_sampling, sample_proxy_subgraph
+from repro.graph.splits import (
+    planetoid_split,
+    random_split,
+    repeated_random_splits,
+    stratified_label_split,
+)
+from repro.graph.batching import GraphBatch, collate_graphs
+
+__all__ = [
+    "Graph",
+    "build_adjacency",
+    "normalized_adjacency",
+    "add_self_loops",
+    "to_undirected",
+    "sample_proxy_subgraph",
+    "negative_edge_sampling",
+    "random_split",
+    "planetoid_split",
+    "repeated_random_splits",
+    "stratified_label_split",
+    "GraphBatch",
+    "collate_graphs",
+]

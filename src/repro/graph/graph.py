@@ -1,0 +1,235 @@
+"""The :class:`Graph` container used by every model and experiment.
+
+A ``Graph`` stores the node features, an edge list (with optional weights),
+integer node labels (``-1`` for unlabeled nodes) and boolean train / val /
+test masks.  It deliberately mirrors the information content of the AutoGraph
+challenge format (Table X of the paper): node indices, weighted directed
+edges, a dense feature table, labels for the training nodes only and the
+number of classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph import normalize as _norm
+
+
+@dataclass
+class Graph:
+    """An attributed graph for node-level tasks.
+
+    Parameters
+    ----------
+    edge_index:
+        Integer array of shape ``(2, num_edges)`` with source and destination
+        node indices.
+    features:
+        Float array of shape ``(num_nodes, num_features)``.  Datasets without
+        node features (e.g. dataset E of the challenge) use structural
+        features generated downstream; the array is never ``None``.
+    labels:
+        Integer array of shape ``(num_nodes,)`` with ``-1`` marking nodes whose
+        label is unknown (the test part of the challenge datasets).
+    edge_weight:
+        Optional float array of shape ``(num_edges,)``; defaults to all ones.
+    directed:
+        Whether the edge list should be interpreted as directed.  Undirected
+        graphs are stored with both edge directions present.
+    """
+
+    edge_index: np.ndarray
+    features: np.ndarray
+    labels: np.ndarray
+    edge_weight: Optional[np.ndarray] = None
+    directed: bool = False
+    num_classes: Optional[int] = None
+    train_mask: Optional[np.ndarray] = None
+    val_mask: Optional[np.ndarray] = None
+    test_mask: Optional[np.ndarray] = None
+    name: str = "graph"
+    metadata: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.edge_index = np.asarray(self.edge_index, dtype=np.int64)
+        if self.edge_index.ndim != 2 or self.edge_index.shape[0] != 2:
+            raise ValueError("edge_index must have shape (2, num_edges)")
+        self.features = np.asarray(self.features, dtype=np.float64)
+        if self.features.ndim != 2:
+            raise ValueError("features must have shape (num_nodes, num_features)")
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.labels.shape[0] != self.features.shape[0]:
+            raise ValueError("labels and features must agree on the number of nodes")
+        if self.edge_weight is None:
+            self.edge_weight = np.ones(self.edge_index.shape[1], dtype=np.float64)
+        else:
+            self.edge_weight = np.asarray(self.edge_weight, dtype=np.float64)
+            if self.edge_weight.shape[0] != self.edge_index.shape[1]:
+                raise ValueError("edge_weight must have one entry per edge")
+        if self.edge_index.size and self.edge_index.max() >= self.num_nodes:
+            raise ValueError("edge_index references a node id beyond num_nodes")
+        if self.num_classes is None:
+            known = self.labels[self.labels >= 0]
+            self.num_classes = int(known.max()) + 1 if known.size else 0
+        for mask_name in ("train_mask", "val_mask", "test_mask"):
+            mask = getattr(self, mask_name)
+            if mask is not None:
+                mask = np.asarray(mask, dtype=bool)
+                if mask.shape[0] != self.num_nodes:
+                    raise ValueError(f"{mask_name} must have one entry per node")
+                setattr(self, mask_name, mask)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_index.shape[1])
+
+    @property
+    def num_features(self) -> int:
+        return int(self.features.shape[1])
+
+    @property
+    def average_degree(self) -> float:
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_edges / self.num_nodes
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree + in-degree per node (undirected graphs count each edge once per direction stored)."""
+        deg = np.bincount(self.edge_index[1], minlength=self.num_nodes).astype(np.float64)
+        return deg
+
+    def labeled_nodes(self) -> np.ndarray:
+        return np.where(self.labels >= 0)[0]
+
+    # ------------------------------------------------------------------
+    # Masks
+    # ------------------------------------------------------------------
+    def with_masks(self, train_mask: np.ndarray, val_mask: np.ndarray,
+                   test_mask: Optional[np.ndarray] = None) -> "Graph":
+        """Return a shallow copy with new train/val/test masks."""
+        return replace(
+            self,
+            train_mask=np.asarray(train_mask, dtype=bool),
+            val_mask=np.asarray(val_mask, dtype=bool),
+            test_mask=self.test_mask if test_mask is None else np.asarray(test_mask, dtype=bool),
+        )
+
+    def mask_indices(self, which: str) -> np.ndarray:
+        mask = getattr(self, f"{which}_mask")
+        if mask is None:
+            raise ValueError(f"graph {self.name!r} has no {which} mask")
+        return np.where(mask)[0]
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def adjacency(self, normalization: str = "sym", self_loops: bool = True,
+                  make_undirected: Optional[bool] = None) -> sp.csr_matrix:
+        """Return a (normalised) sparse adjacency matrix.
+
+        ``normalization`` is one of ``"sym"`` (D^-1/2 A D^-1/2), ``"rw"``
+        (D^-1 A) or ``"none"``.
+        """
+        if make_undirected is None:
+            make_undirected = not self.directed
+        adj = _norm.build_adjacency(
+            self.edge_index, self.num_nodes, edge_weight=self.edge_weight,
+            make_undirected=make_undirected,
+        )
+        return _norm.normalized_adjacency(adj, normalization=normalization, self_loops=self_loops)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: np.ndarray, name: Optional[str] = None) -> "Graph":
+        """Induced sub-graph over ``nodes`` (node ids are re-indexed)."""
+        nodes = np.asarray(sorted(set(int(n) for n in np.asarray(nodes))), dtype=np.int64)
+        lookup = -np.ones(self.num_nodes, dtype=np.int64)
+        lookup[nodes] = np.arange(nodes.shape[0])
+        src, dst = self.edge_index
+        keep = (lookup[src] >= 0) & (lookup[dst] >= 0)
+        new_edges = np.vstack([lookup[src[keep]], lookup[dst[keep]]])
+        sub = Graph(
+            edge_index=new_edges,
+            features=self.features[nodes],
+            labels=self.labels[nodes],
+            edge_weight=self.edge_weight[keep],
+            directed=self.directed,
+            num_classes=self.num_classes,
+            train_mask=None if self.train_mask is None else self.train_mask[nodes],
+            val_mask=None if self.val_mask is None else self.val_mask[nodes],
+            test_mask=None if self.test_mask is None else self.test_mask[nodes],
+            name=name or f"{self.name}-sub",
+            metadata=dict(self.metadata, parent_nodes=nodes),
+        )
+        return sub
+
+    def copy(self) -> "Graph":
+        return Graph(
+            edge_index=self.edge_index.copy(),
+            features=self.features.copy(),
+            labels=self.labels.copy(),
+            edge_weight=self.edge_weight.copy(),
+            directed=self.directed,
+            num_classes=self.num_classes,
+            train_mask=None if self.train_mask is None else self.train_mask.copy(),
+            val_mask=None if self.val_mask is None else self.val_mask.copy(),
+            test_mask=None if self.test_mask is None else self.test_mask.copy(),
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def with_features(self, features: np.ndarray) -> "Graph":
+        """Return a copy of the graph with a replacement feature matrix."""
+        graph = self.copy()
+        graph.features = np.asarray(features, dtype=np.float64)
+        if graph.features.shape[0] != graph.labels.shape[0]:
+            raise ValueError("replacement features must keep the number of nodes")
+        return graph
+
+    # ------------------------------------------------------------------
+    # Interop / summaries
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a ``networkx`` graph (used by generators and tests)."""
+        import networkx as nx
+
+        graph_cls = nx.DiGraph if self.directed else nx.Graph
+        g = graph_cls()
+        g.add_nodes_from(range(self.num_nodes))
+        src, dst = self.edge_index
+        g.add_weighted_edges_from(zip(src.tolist(), dst.tolist(), self.edge_weight.tolist()))
+        return g
+
+    def summary(self) -> Dict[str, object]:
+        """Statistics in the format of Table I of the paper."""
+        n_train = int(self.train_mask.sum()) if self.train_mask is not None else len(self.labeled_nodes())
+        n_test = int(self.test_mask.sum()) if self.test_mask is not None else int((self.labels < 0).sum())
+        has_edge_feat = bool(self.metadata.get("has_edge_features", not np.allclose(self.edge_weight, 1.0)))
+        return {
+            "name": self.name,
+            "node_feat": bool(self.metadata.get("has_node_features", True)),
+            "edge_feat": has_edge_feat,
+            "directed": self.directed,
+            "nodes_train": n_train,
+            "nodes_test": n_test,
+            "edges": self.num_edges,
+            "classes": self.num_classes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"Graph(name={self.name!r}, nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"features={self.num_features}, classes={self.num_classes}, directed={self.directed})"
+        )

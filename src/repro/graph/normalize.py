@@ -1,0 +1,122 @@
+"""Adjacency construction and normalisation.
+
+All GNN aggregators in the model zoo consume a pre-normalised sparse
+propagation matrix.  The functions here build that matrix from an edge list,
+optionally symmetrise it, add self-loops and apply the symmetric
+(``D^-1/2 (A+I) D^-1/2``) or random-walk (``D^-1 (A+I)``) normalisation that
+the respective original papers prescribe.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def build_adjacency(edge_index: np.ndarray, num_nodes: int,
+                    edge_weight: Optional[np.ndarray] = None,
+                    make_undirected: bool = True) -> sp.csr_matrix:
+    """Build a CSR adjacency matrix from an edge list.
+
+    Duplicate edges are summed; when ``make_undirected`` is set the matrix is
+    symmetrised by taking the elementwise maximum of ``A`` and ``A^T`` so that
+    symmetrising an already-undirected edge list is a no-op.
+    """
+    edge_index = np.asarray(edge_index, dtype=np.int64)
+    if edge_weight is None:
+        edge_weight = np.ones(edge_index.shape[1], dtype=np.float64)
+    adj = sp.coo_matrix(
+        (np.asarray(edge_weight, dtype=np.float64), (edge_index[0], edge_index[1])),
+        shape=(num_nodes, num_nodes),
+    ).tocsr()
+    adj.sum_duplicates()
+    if make_undirected:
+        adj = adj.maximum(adj.T)
+    return adj
+
+
+def to_undirected(edge_index: np.ndarray, edge_weight: Optional[np.ndarray] = None
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Return an edge list containing both directions of every edge exactly once."""
+    edge_index = np.asarray(edge_index, dtype=np.int64)
+    if edge_weight is None:
+        edge_weight = np.ones(edge_index.shape[1], dtype=np.float64)
+    src = np.concatenate([edge_index[0], edge_index[1]])
+    dst = np.concatenate([edge_index[1], edge_index[0]])
+    weight = np.concatenate([edge_weight, edge_weight])
+    # Deduplicate (src, dst) pairs, keeping the maximum weight.
+    order = np.lexsort((dst, src))
+    src, dst, weight = src[order], dst[order], weight[order]
+    keep = np.ones(src.shape[0], dtype=bool)
+    keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+    # For duplicates, propagate the max weight into the kept entry.
+    result_src, result_dst, result_weight = [], [], []
+    i = 0
+    while i < src.shape[0]:
+        j = i
+        w = weight[i]
+        while j + 1 < src.shape[0] and src[j + 1] == src[i] and dst[j + 1] == dst[i]:
+            j += 1
+            w = max(w, weight[j])
+        result_src.append(src[i])
+        result_dst.append(dst[i])
+        result_weight.append(w)
+        i = j + 1
+    return (
+        np.vstack([np.asarray(result_src, dtype=np.int64), np.asarray(result_dst, dtype=np.int64)]),
+        np.asarray(result_weight, dtype=np.float64),
+    )
+
+
+def add_self_loops(adj: sp.csr_matrix, fill_value: float = 1.0) -> sp.csr_matrix:
+    """Return ``A + fill_value * I`` with any existing diagonal replaced."""
+    adj = adj.tolil(copy=True)
+    adj.setdiag(fill_value)
+    return adj.tocsr()
+
+
+def normalized_adjacency(adj: sp.csr_matrix, normalization: str = "sym",
+                         self_loops: bool = True) -> sp.csr_matrix:
+    """Normalise an adjacency matrix.
+
+    Parameters
+    ----------
+    normalization:
+        ``"sym"`` for ``D^-1/2 A D^-1/2`` (GCN), ``"rw"`` for ``D^-1 A``
+        (random walk / mean aggregation) or ``"none"`` to keep the raw matrix.
+    self_loops:
+        Whether to add self loops before normalising (the "renormalisation
+        trick" of Kipf & Welling).
+    """
+    if normalization not in {"sym", "rw", "none"}:
+        raise ValueError(f"unknown normalization {normalization!r}")
+    if self_loops:
+        adj = add_self_loops(adj)
+    if normalization == "none":
+        return adj.tocsr()
+    degree = np.asarray(adj.sum(axis=1)).reshape(-1)
+    degree = np.maximum(degree, 1e-12)
+    if normalization == "sym":
+        inv_sqrt = sp.diags(1.0 / np.sqrt(degree))
+        return (inv_sqrt @ adj @ inv_sqrt).tocsr()
+    inv = sp.diags(1.0 / degree)
+    return (inv @ adj).tocsr()
+
+
+def laplacian(adj: sp.csr_matrix, normalized: bool = True) -> sp.csr_matrix:
+    """Graph Laplacian ``L = I - A_norm`` (or ``D - A`` when unnormalised)."""
+    n = adj.shape[0]
+    if normalized:
+        norm = normalized_adjacency(adj, normalization="sym", self_loops=False)
+        return (sp.identity(n, format="csr") - norm).tocsr()
+    degree = sp.diags(np.asarray(adj.sum(axis=1)).reshape(-1))
+    return (degree - adj).tocsr()
+
+
+def scaled_laplacian(adj: sp.csr_matrix) -> sp.csr_matrix:
+    """Chebyshev-scaled Laplacian ``2L/lambda_max - I`` with ``lambda_max ~= 2``."""
+    n = adj.shape[0]
+    lap = laplacian(adj, normalized=True)
+    return (lap - sp.identity(n, format="csr")).tocsr()

@@ -1,0 +1,149 @@
+"""Sub-graph and negative-edge sampling.
+
+:func:`sample_proxy_subgraph` implements the *proxy dataset* of Section
+III-B: a class-stratified node sample (ratio ``D_proxy``) whose induced
+sub-graph is used to rank candidate models quickly.
+
+:func:`negative_edge_sampling` supports the edge-prediction experiments
+(Table VIII): it draws node pairs that are not connected in the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def sample_proxy_subgraph(graph: Graph, ratio: float, seed: int = 0,
+                          keep_test_nodes: bool = False) -> Graph:
+    """Sample a class-stratified induced sub-graph containing ``ratio`` of the nodes.
+
+    Labelled nodes are sampled per class so every class stays represented;
+    unlabelled nodes are sampled uniformly.  ``ratio=1`` returns a copy of the
+    full graph.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError("ratio must lie in (0, 1]")
+    if ratio == 1.0:
+        return graph.copy()
+    rng = np.random.default_rng(seed)
+    labels = graph.labels
+    chosen = []
+    labelled = np.where(labels >= 0)[0]
+    for cls in np.unique(labels[labelled]):
+        members = labelled[labels[labelled] == cls]
+        members = rng.permutation(members)
+        n_keep = max(2, int(round(ratio * members.shape[0])))
+        chosen.extend(members[:n_keep].tolist())
+    unlabelled = np.where(labels < 0)[0]
+    if unlabelled.size and keep_test_nodes:
+        chosen.extend(unlabelled.tolist())
+    elif unlabelled.size:
+        n_keep = int(round(ratio * unlabelled.shape[0]))
+        chosen.extend(rng.permutation(unlabelled)[:n_keep].tolist())
+    sub = graph.subgraph(np.asarray(chosen, dtype=np.int64), name=f"{graph.name}-proxy{ratio:.2f}")
+    sub.metadata["proxy_ratio"] = ratio
+    return sub
+
+
+def _edge_set(edge_index: np.ndarray, num_nodes: int) -> set:
+    src, dst = edge_index
+    return set((int(s) * num_nodes + int(d)) for s, d in zip(src, dst))
+
+
+def negative_edge_sampling(graph: Graph, num_samples: int, seed: int = 0,
+                           exclude: Optional[np.ndarray] = None) -> np.ndarray:
+    """Sample ``num_samples`` node pairs that are not edges of the graph.
+
+    Returns an array of shape ``(2, num_samples)``.  ``exclude`` may hold
+    additional edges (e.g. held-out positive test edges) that must not be
+    produced as negatives.
+    """
+    rng = np.random.default_rng(seed)
+    n = graph.num_nodes
+    existing = _edge_set(graph.edge_index, n)
+    if not graph.directed:
+        existing |= _edge_set(graph.edge_index[::-1], n)
+    if exclude is not None and exclude.size:
+        existing |= _edge_set(exclude, n)
+        existing |= _edge_set(exclude[::-1], n)
+
+    negatives_src: list = []
+    negatives_dst: list = []
+    max_attempts = 100 * max(num_samples, 1)
+    attempts = 0
+    while len(negatives_src) < num_samples and attempts < max_attempts:
+        batch = max(num_samples - len(negatives_src), 1)
+        src = rng.integers(0, n, size=batch)
+        dst = rng.integers(0, n, size=batch)
+        for s, d in zip(src, dst):
+            attempts += 1
+            if s == d:
+                continue
+            key = int(s) * n + int(d)
+            if key in existing:
+                continue
+            existing.add(key)
+            existing.add(int(d) * n + int(s))
+            negatives_src.append(int(s))
+            negatives_dst.append(int(d))
+            if len(negatives_src) >= num_samples:
+                break
+    if len(negatives_src) < num_samples:
+        raise RuntimeError("could not sample enough negative edges (graph too dense)")
+    return np.vstack([np.asarray(negatives_src, dtype=np.int64),
+                      np.asarray(negatives_dst, dtype=np.int64)])
+
+
+def split_edges(graph: Graph, val_fraction: float = 0.05, test_fraction: float = 0.10,
+                seed: int = 0) -> Tuple[Graph, dict]:
+    """Split edges into message-passing/train, validation and test sets.
+
+    Used by the edge-prediction task: the returned graph only contains the
+    training edges (so the encoder never sees the held-out ones) and the dict
+    carries positive and negative edges for each evaluation split.
+    """
+    rng = np.random.default_rng(seed)
+    num_edges = graph.num_edges
+    if graph.directed:
+        unique_mask = np.ones(num_edges, dtype=bool)
+    else:
+        # Keep one direction of each undirected edge for splitting purposes.
+        unique_mask = graph.edge_index[0] <= graph.edge_index[1]
+    candidate = np.where(unique_mask)[0]
+    candidate = rng.permutation(candidate)
+    n_val = int(round(val_fraction * candidate.size))
+    n_test = int(round(test_fraction * candidate.size))
+    val_edges = graph.edge_index[:, candidate[:n_val]]
+    test_edges = graph.edge_index[:, candidate[n_val:n_val + n_test]]
+    train_edge_ids = candidate[n_val + n_test:]
+
+    train_edges = graph.edge_index[:, train_edge_ids]
+    train_weights = graph.edge_weight[train_edge_ids]
+    if not graph.directed:
+        train_edges = np.hstack([train_edges, train_edges[::-1]])
+        train_weights = np.concatenate([train_weights, train_weights])
+
+    train_graph = Graph(
+        edge_index=train_edges,
+        features=graph.features.copy(),
+        labels=graph.labels.copy(),
+        edge_weight=train_weights,
+        directed=graph.directed,
+        num_classes=graph.num_classes,
+        name=f"{graph.name}-edgesplit",
+        metadata=dict(graph.metadata),
+    )
+    held_out = np.hstack([val_edges, test_edges])
+    neg_val = negative_edge_sampling(graph, val_edges.shape[1], seed=seed + 1, exclude=held_out)
+    neg_test = negative_edge_sampling(graph, test_edges.shape[1], seed=seed + 2, exclude=held_out)
+    splits = {
+        "val_pos": val_edges,
+        "val_neg": neg_val,
+        "test_pos": test_edges,
+        "test_neg": neg_test,
+    }
+    return train_graph, splits

@@ -1,0 +1,119 @@
+"""Train/validation/test splitting utilities.
+
+Two protocols from the paper are provided:
+
+* :func:`planetoid_split` — the fixed public split used for Cora / Citeseer /
+  Pubmed (20 labelled nodes per class for training, 500 validation nodes,
+  1000 test nodes).
+* :func:`random_split` / :func:`repeated_random_splits` — random
+  training/validation splits of the labelled nodes, the source of the
+  "split variance" the paper addresses with bagging (Section IV-D1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def stratified_label_split(labels: np.ndarray, holdout_fraction: float,
+                           rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+    """Split labelled node ids into (kept, holdout) with per-class stratification."""
+    labels = np.asarray(labels)
+    labelled = np.where(labels >= 0)[0]
+    keep, holdout = [], []
+    for cls in np.unique(labels[labelled]):
+        members = labelled[labels[labelled] == cls]
+        members = rng.permutation(members)
+        n_holdout = max(1, int(round(holdout_fraction * members.shape[0])))
+        n_holdout = min(n_holdout, members.shape[0] - 1) if members.shape[0] > 1 else n_holdout
+        holdout.extend(members[:n_holdout].tolist())
+        keep.extend(members[n_holdout:].tolist())
+    return np.asarray(sorted(keep), dtype=np.int64), np.asarray(sorted(holdout), dtype=np.int64)
+
+
+def random_split(graph: Graph, val_fraction: float = 0.2,
+                 seed: int = 0, labelled_pool: Optional[np.ndarray] = None) -> Graph:
+    """Return a copy of ``graph`` with random stratified train/val masks.
+
+    Only nodes with a known label participate; the test mask is left
+    untouched (for challenge datasets it marks the unlabeled nodes).
+    """
+    rng = np.random.default_rng(seed)
+    labels = graph.labels.copy()
+    if labelled_pool is not None:
+        mask = np.zeros(graph.num_nodes, dtype=bool)
+        mask[labelled_pool] = True
+        labels = np.where(mask, labels, -1)
+    train_idx, val_idx = stratified_label_split(labels, val_fraction, rng)
+    train_mask = np.zeros(graph.num_nodes, dtype=bool)
+    val_mask = np.zeros(graph.num_nodes, dtype=bool)
+    train_mask[train_idx] = True
+    val_mask[val_idx] = True
+    return graph.with_masks(train_mask, val_mask)
+
+
+def repeated_random_splits(graph: Graph, num_splits: int, val_fraction: float = 0.2,
+                           seed: int = 0) -> List[Graph]:
+    """Independent random splits used for bagging over data splits."""
+    return [random_split(graph, val_fraction=val_fraction, seed=seed + i) for i in range(num_splits)]
+
+
+def planetoid_split(graph: Graph, train_per_class: int = 20, num_val: int = 500,
+                    num_test: int = 1000, seed: int = 0) -> Graph:
+    """The standard fixed split protocol of Yang et al. (2016).
+
+    ``train_per_class`` nodes per class are used for training, the next
+    ``num_val`` labelled nodes for validation and the following ``num_test``
+    for testing.  A seed is accepted so synthetic datasets can freeze a
+    deterministic "public" split once at generation time.
+    """
+    rng = np.random.default_rng(seed)
+    labels = graph.labels
+    labelled = np.where(labels >= 0)[0]
+    if labelled.size < train_per_class * graph.num_classes + num_val + num_test:
+        # Scale the protocol down proportionally for small synthetic graphs.
+        available = labelled.size - train_per_class * graph.num_classes
+        available = max(available, 2)
+        num_val = min(num_val, available // 2)
+        num_test = min(num_test, available - num_val)
+
+    train_idx: List[int] = []
+    for cls in range(graph.num_classes):
+        members = labelled[labels[labelled] == cls]
+        members = rng.permutation(members)
+        train_idx.extend(members[:train_per_class].tolist())
+    train_idx_arr = np.asarray(sorted(train_idx), dtype=np.int64)
+
+    remaining = np.setdiff1d(labelled, train_idx_arr)
+    remaining = rng.permutation(remaining)
+    val_idx = np.asarray(sorted(remaining[:num_val]), dtype=np.int64)
+    test_idx = np.asarray(sorted(remaining[num_val:num_val + num_test]), dtype=np.int64)
+
+    train_mask = np.zeros(graph.num_nodes, dtype=bool)
+    val_mask = np.zeros(graph.num_nodes, dtype=bool)
+    test_mask = np.zeros(graph.num_nodes, dtype=bool)
+    train_mask[train_idx_arr] = True
+    val_mask[val_idx] = True
+    test_mask[test_idx] = True
+    return graph.with_masks(train_mask, val_mask, test_mask)
+
+
+def holdout_test_split(graph: Graph, test_fraction: float = 0.2, seed: int = 0) -> Graph:
+    """Carve a held-out test set out of the labelled nodes.
+
+    The paper cannot access challenge test labels, so it evaluates candidate
+    models on a test set split off from the training nodes; this helper
+    reproduces that protocol.
+    """
+    rng = np.random.default_rng(seed)
+    keep, holdout = stratified_label_split(graph.labels, test_fraction, rng)
+    test_mask = np.zeros(graph.num_nodes, dtype=bool)
+    test_mask[holdout] = True
+    graph = graph.copy()
+    graph.test_mask = test_mask
+    graph.metadata["labelled_pool"] = keep
+    return graph

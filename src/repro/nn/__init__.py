@@ -1,0 +1,41 @@
+"""Graph neural network layers and the candidate model zoo.
+
+Layout
+------
+``repro.nn.data``
+    :class:`GraphTensors` — the pre-processed, autograd-ready view of a
+    :class:`~repro.graph.Graph` (feature tensor plus normalised adjacencies)
+    consumed by every layer and model.
+``repro.nn.layers``
+    Message-passing layers grouped by aggregator family (convolutional,
+    attention, sampling/spatial, deep/residual), mirroring the families the
+    paper enumerates in Section IV-B1.
+``repro.nn.models``
+    Full node-classification models built from those layers.  Every model
+    subclasses :class:`~repro.nn.models.base.GNNModel`, which exposes the
+    per-layer hidden states needed by graph self-ensemble (Eqn 2).
+``repro.nn.model_zoo``
+    The registry of >20 candidate architectures ranked by proxy evaluation.
+"""
+
+from repro.nn.data import GraphTensors
+from repro.nn.models.base import GNNModel
+from repro.nn.model_zoo import (
+    MODEL_ZOO,
+    ModelSpec,
+    available_models,
+    build_model,
+    get_model_spec,
+    register_model,
+)
+
+__all__ = [
+    "GraphTensors",
+    "GNNModel",
+    "MODEL_ZOO",
+    "ModelSpec",
+    "available_models",
+    "build_model",
+    "get_model_spec",
+    "register_model",
+]

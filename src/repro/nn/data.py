@@ -1,0 +1,119 @@
+"""Pre-processed graph views consumed by the neural network layers.
+
+Building the normalised adjacency matrices is the most expensive part of a
+forward pass to repeat, so :class:`GraphTensors` computes the commonly used
+propagation operators once per graph (symmetric-normalised, random-walk
+normalised, and the raw weighted adjacency) together with the edge list in
+destination-sorted order for the scatter-based attention layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.sparse import SparseTensor
+from repro.autograd.tensor import Tensor
+from repro.graph.batching import GraphBatch
+from repro.graph.graph import Graph
+from repro.graph import normalize as _norm
+
+
+@dataclass
+class GraphTensors:
+    """Autograd-ready tensors for one graph (or one block-diagonal batch)."""
+
+    features: Tensor
+    adj_sym: SparseTensor
+    adj_rw: SparseTensor
+    adj_raw: SparseTensor
+    edge_index: np.ndarray
+    edge_weight: np.ndarray
+    num_nodes: int
+    num_features: int
+    graph_id: Optional[np.ndarray] = None
+    num_graphs: int = 1
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "GraphTensors":
+        adj = _norm.build_adjacency(graph.edge_index, graph.num_nodes,
+                                    edge_weight=graph.edge_weight,
+                                    make_undirected=not graph.directed)
+        return cls._from_adjacency(adj, graph.features, graph.edge_index, graph.edge_weight)
+
+    @classmethod
+    def from_batch(cls, batch: GraphBatch) -> "GraphTensors":
+        adj = _norm.build_adjacency(batch.edge_index, batch.num_nodes,
+                                    edge_weight=batch.edge_weight,
+                                    make_undirected=not batch.directed)
+        tensors = cls._from_adjacency(adj, batch.features, batch.edge_index, batch.edge_weight)
+        tensors.graph_id = batch.graph_id
+        tensors.num_graphs = batch.num_graphs
+        return tensors
+
+    @classmethod
+    def _from_adjacency(cls, adj: sp.csr_matrix, features: np.ndarray,
+                        edge_index: np.ndarray, edge_weight: np.ndarray) -> "GraphTensors":
+        sym = _norm.normalized_adjacency(adj, normalization="sym", self_loops=True)
+        rw = _norm.normalized_adjacency(adj, normalization="rw", self_loops=True)
+        raw = _norm.normalized_adjacency(adj, normalization="none", self_loops=False)
+        # Attention layers operate on the symmetrised edge list with self loops.
+        sym_structure = _norm.add_self_loops(adj).tocoo()
+        undirected_edges = np.vstack([sym_structure.row, sym_structure.col])
+        undirected_weights = sym_structure.data
+        return cls(
+            features=Tensor(np.asarray(features, dtype=np.float64)),
+            adj_sym=SparseTensor(sym),
+            adj_rw=SparseTensor(rw),
+            adj_raw=SparseTensor(raw),
+            edge_index=undirected_edges.astype(np.int64),
+            edge_weight=np.asarray(undirected_weights, dtype=np.float64),
+            num_nodes=int(features.shape[0]),
+            num_features=int(features.shape[1]),
+        )
+
+    # ------------------------------------------------------------------
+    # Cached derived operators
+    # ------------------------------------------------------------------
+    def propagation(self, kind: str) -> SparseTensor:
+        """Return the requested propagation operator ("sym", "rw" or "raw")."""
+        if kind == "sym":
+            return self.adj_sym
+        if kind == "rw":
+            return self.adj_rw
+        if kind == "raw":
+            return self.adj_raw
+        raise ValueError(f"unknown propagation operator {kind!r}")
+
+    def powered_features(self, kind: str, power: int) -> Tensor:
+        """Return ``A^power X`` with caching (used by SGC/SIGN-style models)."""
+        key = f"powered:{kind}:{power}"
+        if key not in self.extras:
+            operator = self.propagation(kind)
+            current = self.features.data
+            for _ in range(power):
+                current = operator.matrix @ current
+            self.extras[key] = Tensor(current)
+        return self.extras[key]  # type: ignore[return-value]
+
+    def with_features(self, features: Tensor) -> "GraphTensors":
+        """A copy of this view with substituted node features (same structure)."""
+        return GraphTensors(
+            features=features,
+            adj_sym=self.adj_sym,
+            adj_rw=self.adj_rw,
+            adj_raw=self.adj_raw,
+            edge_index=self.edge_index,
+            edge_weight=self.edge_weight,
+            num_nodes=self.num_nodes,
+            num_features=int(features.shape[1]),
+            graph_id=self.graph_id,
+            num_graphs=self.num_graphs,
+        )

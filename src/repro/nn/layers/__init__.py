@@ -1,0 +1,31 @@
+"""Message-passing layers grouped by aggregator family."""
+
+from repro.nn.layers.convolutional import ARMAConv, ChebConv, GCNConv, SGConv, TAGConv
+from repro.nn.layers.spatial import GatedGraphConv, GINConv, GraphConv, SAGEConv
+from repro.nn.layers.attention import AGNNConv, GATConv
+from repro.nn.layers.deep import (
+    APPNPPropagation,
+    DAGNNPropagation,
+    GCNIIConv,
+    JumpingKnowledge,
+    MixHopConv,
+)
+
+__all__ = [
+    "GCNConv",
+    "SGConv",
+    "TAGConv",
+    "ChebConv",
+    "ARMAConv",
+    "SAGEConv",
+    "GINConv",
+    "GraphConv",
+    "GatedGraphConv",
+    "GATConv",
+    "AGNNConv",
+    "GCNIIConv",
+    "APPNPPropagation",
+    "DAGNNPropagation",
+    "JumpingKnowledge",
+    "MixHopConv",
+]

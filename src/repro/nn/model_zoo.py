@@ -1,0 +1,180 @@
+"""The candidate model zoo ranked by proxy evaluation.
+
+Section IV-B1 of the paper evaluates "more than 20 types of GNN models with
+diverse designs of aggregators including convolutional (spectral and
+spatial), attention, skip connection, gate updater and dynamic updater".
+This registry reproduces that pool: every entry is a :class:`ModelSpec` that
+knows how to build its model for a given dataset, which aggregator *family*
+it belongs to and which hyper-parameters the AutoML layer may grid-search.
+
+Proxy models (Section III-B) are built through the same specs with a reduced
+``hidden_fraction`` so the hidden size shrinks uniformly across candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.nn.models.base import GNNModel
+from repro.nn.models.decoupled import APPNP, DAGNN, SGC, SIGN, MixHop
+from repro.nn.models.deep import DNA, GCNII, JKNet
+from repro.nn.models.regularized import GRAND, GraphMix, MLPNode
+from repro.nn.models.standard import (
+    ARMA,
+    GAT,
+    GCN,
+    GIN,
+    ChebNet,
+    GatedGNN,
+    GraphConvNet,
+    GraphSAGE,
+    TAGCN,
+)
+
+ModelFactory = Callable[..., GNNModel]
+
+
+@dataclass
+class ModelSpec:
+    """A named, buildable candidate architecture."""
+
+    name: str
+    factory: ModelFactory
+    family: str
+    default_hidden: int = 64
+    default_layers: int = 2
+    default_dropout: float = 0.5
+    extra_kwargs: Dict[str, object] = field(default_factory=dict)
+    description: str = ""
+
+    def build(self, in_features: int, num_classes: int, hidden: Optional[int] = None,
+              num_layers: Optional[int] = None, dropout: Optional[float] = None,
+              seed: int = 0, hidden_fraction: float = 1.0, **overrides) -> GNNModel:
+        """Instantiate the model for a dataset.
+
+        ``hidden_fraction`` implements the *proxy model* of Section III-B: a
+        value of 0.5 builds the same architecture at half the hidden width.
+        """
+        hidden = hidden if hidden is not None else self.default_hidden
+        hidden = max(8, int(round(hidden * hidden_fraction)))
+        # Keep the width divisible by common head counts so GAT variants work.
+        hidden -= hidden % 4
+        hidden = max(hidden, 8)
+        kwargs = dict(self.extra_kwargs)
+        kwargs.update(overrides)
+        model = self.factory(
+            in_features=in_features,
+            num_classes=num_classes,
+            hidden=hidden,
+            num_layers=num_layers if num_layers is not None else self.default_layers,
+            dropout=dropout if dropout is not None else self.default_dropout,
+            seed=seed,
+            **kwargs,
+        )
+        model.model_name = self.name
+        return model
+
+
+MODEL_ZOO: Dict[str, ModelSpec] = {}
+
+
+def register_model(spec: ModelSpec, overwrite: bool = False) -> None:
+    """Add a candidate to the zoo (e.g. a novel NAS-discovered architecture)."""
+    key = spec.name.lower()
+    if key in MODEL_ZOO and not overwrite:
+        raise KeyError(f"model {spec.name!r} is already registered")
+    MODEL_ZOO[key] = spec
+
+
+def get_model_spec(name: str) -> ModelSpec:
+    key = name.lower()
+    if key not in MODEL_ZOO:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_ZOO)}")
+    return MODEL_ZOO[key]
+
+
+def available_models(family: Optional[str] = None) -> List[str]:
+    """Names of all registered candidates, optionally filtered by aggregator family."""
+    names = []
+    for key, spec in MODEL_ZOO.items():
+        if family is None or spec.family == family:
+            names.append(spec.name)
+    return sorted(names)
+
+
+def build_model(name: str, in_features: int, num_classes: int, **kwargs) -> GNNModel:
+    """Convenience wrapper: ``get_model_spec(name).build(...)``."""
+    return get_model_spec(name).build(in_features, num_classes, **kwargs)
+
+
+def _register_builtin() -> None:
+    specs = [
+        # Convolutional aggregators (spectral-based).
+        ModelSpec("gcn", GCN, "convolutional-spectral",
+                  description="2-layer GCN (Kipf & Welling)"),
+        ModelSpec("gcn-3", GCN, "convolutional-spectral", default_layers=3,
+                  description="3-layer GCN"),
+        ModelSpec("chebnet", ChebNet, "convolutional-spectral",
+                  description="Chebyshev spectral filters of order 3"),
+        ModelSpec("sgc", SGC, "convolutional-spectral", default_dropout=0.3,
+                  description="Simplified graph convolution, 2 hops"),
+        ModelSpec("sgc-3", SGC, "convolutional-spectral", default_layers=3, default_dropout=0.3,
+                  description="Simplified graph convolution, 3 hops"),
+        ModelSpec("tagcn", TAGCN, "convolutional-spectral",
+                  description="Topology-adaptive GCN, 3-hop filters"),
+        ModelSpec("arma", ARMA, "convolutional-spectral",
+                  description="ARMA rational spectral filters"),
+        ModelSpec("sign", SIGN, "convolutional-spectral", default_layers=3,
+                  description="SIGN: precomputed propagation, inception-style"),
+        # Convolutional aggregators (spatial-based).
+        ModelSpec("graphsage-mean", GraphSAGE, "convolutional-spatial",
+                  extra_kwargs={"aggregator": "mean"},
+                  description="GraphSAGE with mean aggregation"),
+        ModelSpec("graphsage-pool", GraphSAGE, "convolutional-spatial",
+                  extra_kwargs={"aggregator": "pool"},
+                  description="GraphSAGE with max-pool aggregation"),
+        ModelSpec("gin", GIN, "convolutional-spatial",
+                  description="Graph isomorphism network"),
+        ModelSpec("graphconv", GraphConvNet, "convolutional-spatial",
+                  description="Weisfeiler-Leman GraphConv (edge-weight aware)"),
+        ModelSpec("mixhop", MixHop, "convolutional-spatial",
+                  description="MixHop: mixed adjacency powers per layer"),
+        # Attention aggregators.
+        ModelSpec("gat", GAT, "attention", extra_kwargs={"heads": 4},
+                  description="Graph attention network, 4 heads"),
+        ModelSpec("gat-2h", GAT, "attention", extra_kwargs={"heads": 2},
+                  description="Graph attention network, 2 heads"),
+        # Skip connections / deep models.
+        ModelSpec("gcnii", GCNII, "skip-connection", default_layers=4,
+                  description="GCNII with initial residual + identity mapping"),
+        ModelSpec("jknet-max", JKNet, "skip-connection", default_layers=3,
+                  extra_kwargs={"mode": "max"},
+                  description="Jumping knowledge network (max aggregation)"),
+        ModelSpec("jknet-mean", JKNet, "skip-connection", default_layers=3,
+                  extra_kwargs={"mode": "mean"},
+                  description="Jumping knowledge network (mean aggregation)"),
+        ModelSpec("dna", DNA, "dynamic", default_layers=3,
+                  description="Dynamic neighbourhood aggregation (attention over depth)"),
+        # Decoupled propagation.
+        ModelSpec("appnp", APPNP, "decoupled",
+                  description="Predict-then-propagate with personalised PageRank"),
+        ModelSpec("dagnn", DAGNN, "decoupled",
+                  description="Deep adaptive GNN with gated depth selection"),
+        # Gate updater.
+        ModelSpec("gatedgnn", GatedGNN, "gate",
+                  description="Gated graph network with GRU-style updates"),
+        # Regularisation-centric models.
+        ModelSpec("grand", GRAND, "regularized", default_layers=3,
+                  description="GRAND: random propagation + MLP"),
+        ModelSpec("graphmix", GraphMix, "regularized",
+                  description="GraphMix-style joint GCN + MLP"),
+        # Graph-agnostic baseline.
+        ModelSpec("mlp", MLPNode, "baseline",
+                  description="Feature-only MLP baseline"),
+    ]
+    for spec in specs:
+        register_model(spec, overwrite=True)
+
+
+_register_builtin()

@@ -1,0 +1,42 @@
+"""Full node-classification models built on the message-passing layers."""
+
+from repro.nn.models.base import GNNModel, StackedConvModel
+from repro.nn.models.standard import (
+    ARMA,
+    GAT,
+    GCN,
+    GIN,
+    ChebNet,
+    GatedGNN,
+    GraphConvNet,
+    GraphSAGE,
+    TAGCN,
+)
+from repro.nn.models.decoupled import APPNP, DAGNN, SGC, SIGN, MixHop
+from repro.nn.models.deep import DNA, GCNII, JKNet
+from repro.nn.models.regularized import GRAND, MLPNode, GraphMix
+
+__all__ = [
+    "GNNModel",
+    "StackedConvModel",
+    "GCN",
+    "GAT",
+    "GraphSAGE",
+    "GIN",
+    "TAGCN",
+    "ChebNet",
+    "ARMA",
+    "GraphConvNet",
+    "GatedGNN",
+    "SGC",
+    "APPNP",
+    "DAGNN",
+    "SIGN",
+    "MixHop",
+    "GCNII",
+    "JKNet",
+    "DNA",
+    "GRAND",
+    "GraphMix",
+    "MLPNode",
+]

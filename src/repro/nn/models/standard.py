@@ -1,0 +1,139 @@
+"""The classic stacked-convolution candidate models.
+
+Each class wires one convolution family into :class:`StackedConvModel`; the
+model zoo exposes several depth / aggregator / head-count variants of these
+as separate candidates, mirroring how the paper grid-searches model variants
+(e.g. GraphSAGE-mean vs GraphSAGE-pool) during proxy evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers.attention import GATConv
+from repro.nn.layers.convolutional import ARMAConv, ChebConv, GCNConv, TAGConv
+from repro.nn.layers.spatial import GatedGraphConv, GINConv, GraphConv, SAGEConv
+from repro.nn.models.base import StackedConvModel
+
+
+class GCN(StackedConvModel):
+    """Graph Convolutional Network (Kipf & Welling, 2017)."""
+
+    def __init__(self, in_features: int, num_classes: int, hidden: int = 64,
+                 num_layers: int = 2, dropout: float = 0.5, seed: int = 0, **kwargs) -> None:
+        super().__init__(
+            conv_factory=lambda i, o, rng: GCNConv(i, o, rng=rng),
+            in_features=in_features, num_classes=num_classes, hidden=hidden,
+            num_layers=num_layers, dropout=dropout, seed=seed, name="GCN", **kwargs,
+        )
+
+
+class GraphSAGE(StackedConvModel):
+    """GraphSAGE (Hamilton et al., 2017) with a mean or pool aggregator."""
+
+    def __init__(self, in_features: int, num_classes: int, hidden: int = 64,
+                 num_layers: int = 2, dropout: float = 0.5, aggregator: str = "mean",
+                 seed: int = 0, **kwargs) -> None:
+        super().__init__(
+            conv_factory=lambda i, o, rng: SAGEConv(i, o, aggregator=aggregator, rng=rng),
+            in_features=in_features, num_classes=num_classes, hidden=hidden,
+            num_layers=num_layers, dropout=dropout, seed=seed,
+            name=f"GraphSAGE-{aggregator}", **kwargs,
+        )
+        self.aggregator = aggregator
+
+
+class GAT(StackedConvModel):
+    """Graph Attention Network (Velickovic et al., 2018)."""
+
+    def __init__(self, in_features: int, num_classes: int, hidden: int = 64,
+                 num_layers: int = 2, dropout: float = 0.5, heads: int = 4,
+                 seed: int = 0, **kwargs) -> None:
+        super().__init__(
+            conv_factory=lambda i, o, rng: GATConv(i, o, heads=heads, attention_dropout=dropout / 2,
+                                                   rng=rng),
+            in_features=in_features, num_classes=num_classes, hidden=hidden,
+            num_layers=num_layers, dropout=dropout, activation="elu", seed=seed,
+            name=f"GAT-{heads}h", **kwargs,
+        )
+        self.heads = heads
+
+
+class GIN(StackedConvModel):
+    """Graph Isomorphism Network (Xu et al., 2019)."""
+
+    def __init__(self, in_features: int, num_classes: int, hidden: int = 64,
+                 num_layers: int = 2, dropout: float = 0.5, seed: int = 0, **kwargs) -> None:
+        super().__init__(
+            conv_factory=lambda i, o, rng: GINConv(i, o, rng=rng),
+            in_features=in_features, num_classes=num_classes, hidden=hidden,
+            num_layers=num_layers, dropout=dropout, seed=seed, name="GIN", **kwargs,
+        )
+
+
+class TAGCN(StackedConvModel):
+    """Topology Adaptive GCN (Du et al., 2017)."""
+
+    def __init__(self, in_features: int, num_classes: int, hidden: int = 64,
+                 num_layers: int = 2, dropout: float = 0.5, hops: int = 3,
+                 seed: int = 0, **kwargs) -> None:
+        super().__init__(
+            conv_factory=lambda i, o, rng: TAGConv(i, o, hops=hops, rng=rng),
+            in_features=in_features, num_classes=num_classes, hidden=hidden,
+            num_layers=num_layers, dropout=dropout, seed=seed, name=f"TAGCN-{hops}hop", **kwargs,
+        )
+        self.hops = hops
+
+
+class ChebNet(StackedConvModel):
+    """Chebyshev spectral CNN (Defferrard et al., 2016)."""
+
+    def __init__(self, in_features: int, num_classes: int, hidden: int = 64,
+                 num_layers: int = 2, dropout: float = 0.5, order: int = 3,
+                 seed: int = 0, **kwargs) -> None:
+        super().__init__(
+            conv_factory=lambda i, o, rng: ChebConv(i, o, order=order, rng=rng),
+            in_features=in_features, num_classes=num_classes, hidden=hidden,
+            num_layers=num_layers, dropout=dropout, seed=seed, name=f"ChebNet-K{order}", **kwargs,
+        )
+        self.order = order
+
+
+class ARMA(StackedConvModel):
+    """ARMA spectral filters (Bianchi et al., 2019)."""
+
+    def __init__(self, in_features: int, num_classes: int, hidden: int = 64,
+                 num_layers: int = 2, dropout: float = 0.5, num_iterations: int = 2,
+                 seed: int = 0, **kwargs) -> None:
+        super().__init__(
+            conv_factory=lambda i, o, rng: ARMAConv(i, o, num_iterations=num_iterations, rng=rng),
+            in_features=in_features, num_classes=num_classes, hidden=hidden,
+            num_layers=num_layers, dropout=dropout, seed=seed, name="ARMA", **kwargs,
+        )
+
+
+class GraphConvNet(StackedConvModel):
+    """Higher-order WL convolution (Morris et al., 2019) — edge-weight aware."""
+
+    def __init__(self, in_features: int, num_classes: int, hidden: int = 64,
+                 num_layers: int = 2, dropout: float = 0.5, seed: int = 0, **kwargs) -> None:
+        super().__init__(
+            conv_factory=lambda i, o, rng: GraphConv(i, o, rng=rng),
+            in_features=in_features, num_classes=num_classes, hidden=hidden,
+            num_layers=num_layers, dropout=dropout, seed=seed, name="GraphConv", **kwargs,
+        )
+
+
+class GatedGNN(StackedConvModel):
+    """Gated graph network with GRU-style state updates (Li et al., 2016)."""
+
+    def __init__(self, in_features: int, num_classes: int, hidden: int = 64,
+                 num_layers: int = 2, dropout: float = 0.5, num_steps: int = 2,
+                 seed: int = 0, **kwargs) -> None:
+        super().__init__(
+            conv_factory=lambda i, o, rng: GatedGraphConv(i, o, num_steps=num_steps, rng=rng),
+            in_features=in_features, num_classes=num_classes, hidden=hidden,
+            num_layers=num_layers, dropout=dropout, seed=seed, name="GatedGNN", **kwargs,
+        )

@@ -1,0 +1,29 @@
+"""Task-level building blocks: metrics, trainers and the three evaluation tasks
+(node classification, edge prediction, graph classification) used in the paper."""
+
+from repro.tasks.metrics import (
+    accuracy,
+    auc_score,
+    average_rank_score,
+    kendall_tau,
+    mean_and_std,
+)
+from repro.tasks.trainer import TrainConfig, TrainResult, NodeClassificationTrainer, grid_search
+from repro.tasks.edge_prediction import EdgePredictionTask, EdgePredictor
+from repro.tasks.graph_classification import GraphClassificationTask, GraphLevelModel
+
+__all__ = [
+    "accuracy",
+    "auc_score",
+    "kendall_tau",
+    "average_rank_score",
+    "mean_and_std",
+    "TrainConfig",
+    "TrainResult",
+    "NodeClassificationTrainer",
+    "grid_search",
+    "EdgePredictionTask",
+    "EdgePredictor",
+    "GraphClassificationTask",
+    "GraphLevelModel",
+]

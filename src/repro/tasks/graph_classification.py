@@ -1,0 +1,175 @@
+"""Graph classification task — the Table IX (PROTEINS) experiments.
+
+A :class:`GraphLevelModel` wraps a node-level candidate from the zoo, pools
+its per-layer node states into graph embeddings (mean + max readout over the
+``graph_id`` of a block-diagonal :class:`~repro.graph.batching.GraphBatch`)
+and classifies the pooled vector.  The per-layer structure is preserved so
+graph self-ensemble and the hierarchical ensemble apply unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd import optim
+from repro.autograd.module import Module
+from repro.autograd.modules import Linear
+from repro.autograd.tensor import Tensor, no_grad
+from repro.datasets.proteins import GraphClassificationDataset
+from repro.graph.batching import collate_graphs
+from repro.nn.data import GraphTensors
+from repro.nn.models.base import GNNModel, LayerWeights
+from repro.tasks.metrics import accuracy
+
+
+class GraphLevelModel(Module):
+    """Node-level GNN backbone + readout + graph-level classifier."""
+
+    def __init__(self, backbone: GNNModel, num_classes: int, readout: str = "meanmax") -> None:
+        super().__init__()
+        if readout not in {"mean", "max", "meanmax"}:
+            raise ValueError("readout must be 'mean', 'max' or 'meanmax'")
+        self.backbone = backbone
+        self.readout = readout
+        readout_dim = backbone.hidden * (2 if readout == "meanmax" else 1)
+        self.classifier = Linear(readout_dim, num_classes, rng=backbone.rng)
+        self.num_layers = backbone.num_layers
+
+    def _pool(self, node_states: Tensor, graph_id: np.ndarray, num_graphs: int) -> Tensor:
+        mean_pool = F.scatter_mean(node_states, graph_id, num_graphs)
+        if self.readout == "mean":
+            return mean_pool
+        max_pool = F.scatter_max(node_states, graph_id, num_graphs)
+        if self.readout == "max":
+            return max_pool
+        return F.concat([mean_pool, max_pool], axis=-1)
+
+    def encode(self, data: GraphTensors) -> List[Tensor]:
+        """Per-layer graph embeddings (one pooled state per backbone layer)."""
+        if data.graph_id is None:
+            raise ValueError("GraphLevelModel requires GraphTensors.from_batch input")
+        node_states = self.backbone.encode(data)
+        return [self._pool(state, data.graph_id, data.num_graphs) for state in node_states]
+
+    def combine_states(self, states: List[Tensor], layer_weights: LayerWeights) -> Tensor:
+        return self.backbone.combine_states(states, layer_weights)
+
+    def forward(self, data: GraphTensors, layer_weights: LayerWeights = None) -> Tensor:
+        states = self.encode(data)
+        combined = self.combine_states(states, layer_weights)
+        return self.classifier(combined)
+
+    def predict_proba(self, data: GraphTensors, layer_weights: LayerWeights = None) -> np.ndarray:
+        was_training = self.training
+        self.train(False)
+        with no_grad():
+            probabilities = F.softmax(self.forward(data, layer_weights), axis=-1).data
+        self.train(was_training)
+        return probabilities
+
+    # Delegated so ensemble code can treat graph-level and node-level models alike.
+    @property
+    def hidden(self) -> int:
+        return self.backbone.hidden
+
+    @property
+    def model_name(self) -> str:
+        return f"graph-{self.backbone.model_name}"
+
+    def train(self, mode: bool = True):
+        self.training = mode
+        self.backbone.train(mode)
+        return self
+
+
+@dataclass
+class GraphTrainConfig:
+    lr: float = 0.01
+    weight_decay: float = 5e-4
+    max_epochs: int = 120
+    patience: int = 20
+    seed: int = 0
+
+
+class GraphClassificationTask:
+    """Train / evaluate graph-level models on a :class:`GraphClassificationDataset`."""
+
+    def __init__(self, dataset: GraphClassificationDataset) -> None:
+        self.dataset = dataset
+        self._batches: Dict[str, GraphTensors] = {}
+        self._labels: Dict[str, np.ndarray] = {}
+        for split, index in (("train", dataset.train_index),
+                             ("val", dataset.val_index),
+                             ("test", dataset.test_index)):
+            graphs, labels = dataset.subset(index)
+            batch = collate_graphs(graphs, labels)
+            self._batches[split] = GraphTensors.from_batch(batch)
+            self._labels[split] = labels
+
+    @property
+    def num_features(self) -> int:
+        return self._batches["train"].num_features
+
+    @property
+    def num_classes(self) -> int:
+        return self.dataset.num_classes
+
+    def batch(self, split: str) -> GraphTensors:
+        return self._batches[split]
+
+    def labels(self, split: str) -> np.ndarray:
+        return self._labels[split]
+
+    def train(self, model: GraphLevelModel, config: Optional[GraphTrainConfig] = None,
+              layer_weights: LayerWeights = None) -> Dict[str, float]:
+        """Full-batch training with early stopping on validation accuracy."""
+        config = config or GraphTrainConfig()
+        optimizer = optim.Adam(model.parameters(), lr=config.lr,
+                               weight_decay=config.weight_decay)
+        train_batch = self._batches["train"]
+        train_labels = self._labels["train"]
+
+        best_val = -np.inf
+        best_test = 0.0
+        best_state = model.state_dict()
+        epochs_without_improvement = 0
+        start = time.time()
+        for epoch in range(config.max_epochs):
+            model.train()
+            optimizer.zero_grad()
+            logits = model(train_batch, layer_weights=layer_weights)
+            loss = F.cross_entropy(logits, train_labels)
+            loss.backward()
+            optimizer.step()
+
+            val_accuracy = self.evaluate(model, "val", layer_weights=layer_weights)
+            if val_accuracy > best_val:
+                best_val = val_accuracy
+                best_test = self.evaluate(model, "test", layer_weights=layer_weights)
+                best_state = model.state_dict()
+                epochs_without_improvement = 0
+            else:
+                epochs_without_improvement += 1
+                if epochs_without_improvement >= config.patience:
+                    break
+        model.load_state_dict(best_state)
+        return {"val_accuracy": float(best_val), "test_accuracy": float(best_test),
+                "train_time": time.time() - start}
+
+    def evaluate(self, model: GraphLevelModel, split: str,
+                 layer_weights: LayerWeights = None) -> float:
+        was_training = model.training
+        model.train(False)
+        with no_grad():
+            logits = model(self._batches[split], layer_weights=layer_weights).data
+        model.train(was_training)
+        return accuracy(logits, self._labels[split])
+
+    def predict_proba(self, model: GraphLevelModel, split: str,
+                      layer_weights: LayerWeights = None) -> np.ndarray:
+        return model.predict_proba(self._batches[split], layer_weights=layer_weights)

@@ -1,0 +1,136 @@
+"""Evaluation metrics used across the paper's experiments.
+
+* :func:`accuracy` — node / graph classification accuracy (Tables II–V, IX).
+* :func:`auc_score` — ROC-AUC for edge prediction (Table VIII).
+* :func:`kendall_tau` — Kendall rank correlation between proxy and accurate
+  model rankings (Figure 3).
+* :func:`average_rank_score` — the challenge leaderboard metric: the average,
+  over datasets, of a solution's rank among all competitors (Table VII;
+  lower is better).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of correct predictions.
+
+    ``predictions`` may be class indices or a ``(n, num_classes)`` score
+    matrix, in which case the argmax is taken.
+    """
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    if predictions.shape[0] != targets.shape[0]:
+        raise ValueError("predictions and targets must have the same length")
+    if targets.size == 0:
+        return 0.0
+    return float((predictions == targets).mean())
+
+
+def auc_score(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Ties receive half credit, matching ``sklearn.metrics.roc_auc_score``.
+    """
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels).reshape(-1)
+    positives = scores[labels == 1]
+    negatives = scores[labels == 0]
+    if positives.size == 0 or negatives.size == 0:
+        raise ValueError("AUC requires at least one positive and one negative example")
+    order = np.argsort(np.concatenate([negatives, positives]), kind="mergesort")
+    ranks = np.empty(order.size, dtype=np.float64)
+    sorted_scores = np.concatenate([negatives, positives])[order]
+    # Average ranks over ties.
+    ranks[order] = _average_ranks(sorted_scores)
+    positive_ranks = ranks[negatives.size:]
+    u_statistic = positive_ranks.sum() - positives.size * (positives.size + 1) / 2.0
+    return float(u_statistic / (positives.size * negatives.size))
+
+
+def _average_ranks(sorted_values: np.ndarray) -> np.ndarray:
+    """1-based ranks for an ascending-sorted array, averaging over ties."""
+    n = sorted_values.size
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        if j > i:
+            ranks[i:j + 1] = ranks[i:j + 1].mean()
+        i = j + 1
+    return ranks
+
+
+def kendall_tau(scores_a: Sequence[float], scores_b: Sequence[float]) -> float:
+    """Kendall rank correlation coefficient (tau-a) between two score lists.
+
+    Used to quantify how well the proxy evaluation preserves the ranking of
+    candidate models relative to the accurate evaluation (Figure 3).
+    """
+    a = np.asarray(list(scores_a), dtype=np.float64)
+    b = np.asarray(list(scores_b), dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("score lists must have the same length")
+    n = a.shape[0]
+    if n < 2:
+        raise ValueError("kendall tau needs at least two items")
+    concordant = 0
+    discordant = 0
+    for i in range(n - 1):
+        sign_a = np.sign(a[i + 1:] - a[i])
+        sign_b = np.sign(b[i + 1:] - b[i])
+        product = sign_a * sign_b
+        concordant += int((product > 0).sum())
+        discordant += int((product < 0).sum())
+    total_pairs = n * (n - 1) / 2
+    return float((concordant - discordant) / total_pairs)
+
+
+def average_rank_score(scores_per_dataset: Dict[str, Dict[str, float]],
+                       higher_is_better: bool = True) -> Dict[str, float]:
+    """Challenge leaderboard metric: average rank of each team across datasets.
+
+    ``scores_per_dataset`` maps dataset name -> {team name -> score}.  For
+    every dataset the teams are ranked (1 = best); the returned dict maps each
+    team to the mean of its ranks, which is the "Average Rank Score" of
+    Table VII (lower is better).
+    """
+    teams = None
+    for dataset_scores in scores_per_dataset.values():
+        names = set(dataset_scores)
+        teams = names if teams is None else teams & names
+    if not teams:
+        raise ValueError("no team appears in every dataset")
+    ranks: Dict[str, List[float]] = {team: [] for team in teams}
+    for dataset_scores in scores_per_dataset.values():
+        items = [(team, dataset_scores[team]) for team in teams]
+        items.sort(key=lambda pair: pair[1], reverse=higher_is_better)
+        position = 1
+        index = 0
+        while index < len(items):
+            tied = [items[index]]
+            while (index + len(tied) < len(items)
+                   and items[index + len(tied)][1] == items[index][1]):
+                tied.append(items[index + len(tied)])
+            tied_rank = position + (len(tied) - 1) / 2.0
+            for team, _ in tied:
+                ranks[team].append(tied_rank)
+            position += len(tied)
+            index += len(tied)
+    return {team: float(np.mean(team_ranks)) for team, team_ranks in ranks.items()}
+
+
+def mean_and_std(values: Iterable[float]) -> Tuple[float, float]:
+    """Mean and (population) standard deviation, the format of every results table."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return 0.0, 0.0
+    return float(array.mean()), float(array.std())

@@ -1,0 +1,67 @@
+"""Shared fixtures: small synthetic graphs and pre-built tensor views.
+
+Everything is session-scoped and tiny (a few hundred nodes) so the complete
+suite runs on a CPU in a couple of minutes while still exercising every code
+path of the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_citation_dataset, make_kddcup_dataset, make_proteins_dataset
+from repro.datasets.generators import SBMConfig, make_attributed_sbm
+from repro.graph import Graph
+from repro.nn import GraphTensors
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> Graph:
+    """A deterministic ~120-node attributed SBM with 3 classes."""
+    config = SBMConfig(num_nodes=120, num_classes=3, num_features=16, average_degree=4.0,
+                       homophily=0.85, feature_informativeness=0.5, seed=7, name="tiny")
+    return make_attributed_sbm(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_split_graph(tiny_graph: Graph) -> Graph:
+    """The tiny graph with random train/val masks and a held-out test mask."""
+    from repro.graph.splits import holdout_test_split, random_split
+
+    graph = holdout_test_split(tiny_graph, test_fraction=0.2, seed=3)
+    graph = random_split(graph, val_fraction=0.25, seed=3,
+                         labelled_pool=graph.metadata["labelled_pool"])
+    return graph
+
+
+@pytest.fixture(scope="session")
+def tiny_data(tiny_split_graph: Graph) -> GraphTensors:
+    return GraphTensors.from_graph(tiny_split_graph)
+
+
+@pytest.fixture(scope="session")
+def cora_like() -> Graph:
+    """A scaled-down citation analogue with the fixed planetoid-style split."""
+    return make_citation_dataset("cora", scale=0.35, seed=1)
+
+
+@pytest.fixture(scope="session")
+def cora_data(cora_like: Graph) -> GraphTensors:
+    return GraphTensors.from_graph(cora_like)
+
+
+@pytest.fixture(scope="session")
+def kddcup_a_small() -> Graph:
+    """A scaled-down challenge dataset A analogue (hidden test labels)."""
+    return make_kddcup_dataset("A", scale=0.3, seed=2)
+
+
+@pytest.fixture(scope="session")
+def proteins_small():
+    return make_proteins_dataset(num_graphs=40, seed=4)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

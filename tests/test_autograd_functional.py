@@ -1,0 +1,234 @@
+"""Tests for the stateless functional operations (softmax, losses, scatter ops)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, functional as F, gradcheck
+
+
+def make(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestActivations:
+    def test_activation_lookup(self):
+        assert F.activation("relu") is F.relu
+        assert F.activation("identity")(Tensor([1.0])).data[0] == 1.0
+        with pytest.raises(KeyError):
+            F.activation("does-not-exist")
+
+    @pytest.mark.parametrize("fn", [F.relu, F.elu, F.leaky_relu, F.sigmoid, F.tanh])
+    def test_gradients(self, fn):
+        x = Tensor(np.array([-2.0, -0.5, 0.3, 1.7]), requires_grad=True)
+        assert gradcheck(lambda x: fn(x).sum(), [x])
+
+    def test_elu_negative_branch_value(self):
+        x = Tensor(np.array([-1.0]))
+        assert F.elu(x).data[0] == pytest.approx(np.exp(-1.0) - 1.0)
+
+    def test_leaky_relu_slope(self):
+        x = Tensor(np.array([-2.0, 2.0]))
+        out = F.leaky_relu(x, negative_slope=0.1)
+        assert np.allclose(out.data, [-0.2, 2.0])
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self):
+        x = make((5, 7))
+        assert np.allclose(F.softmax(x, axis=-1).data.sum(axis=-1), 1.0)
+
+    def test_log_softmax_consistent_with_softmax(self):
+        x = make((4, 3))
+        assert np.allclose(np.exp(F.log_softmax(x).data), F.softmax(x).data)
+
+    def test_softmax_gradcheck(self):
+        x = make((3, 4))
+        w = np.random.default_rng(1).normal(size=(3, 4))
+        assert gradcheck(lambda x: (F.softmax(x, axis=-1) * Tensor(w)).sum(), [x])
+
+    def test_log_softmax_gradcheck(self):
+        x = make((3, 4))
+        w = np.random.default_rng(1).normal(size=(3, 4))
+        assert gradcheck(lambda x: (F.log_softmax(x, axis=-1) * Tensor(w)).sum(), [x])
+
+    def test_softmax_is_shift_invariant(self):
+        x = make((2, 5))
+        shifted = Tensor(x.data + 100.0)
+        assert np.allclose(F.softmax(x).data, F.softmax(shifted).data)
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=2, max_value=6),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_simplex_property(self, rows, cols, seed):
+        x = Tensor(np.random.default_rng(seed).normal(scale=5.0, size=(rows, cols)))
+        probabilities = F.softmax(x, axis=-1).data
+        assert np.all(probabilities >= 0)
+        assert np.allclose(probabilities.sum(axis=-1), 1.0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = make((10, 10))
+        assert F.dropout(x, 0.5, training=False) is x
+
+    def test_zero_probability_is_identity(self):
+        x = make((10, 10))
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            F.dropout(make((2, 2)), 1.0)
+
+    def test_expected_scale_preserved(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.log(np.array([[0.7, 0.2, 0.1], [0.1, 0.8, 0.1]])))
+        target = np.array([0, 1])
+        expected = -(np.log(0.7) + np.log(0.8)) / 2
+        assert F.cross_entropy(logits, target).item() == pytest.approx(expected)
+
+    def test_cross_entropy_gradcheck(self):
+        logits = make((5, 4))
+        target = np.array([0, 1, 2, 3, 1])
+        assert gradcheck(lambda x: F.cross_entropy(x, target), [logits])
+
+    def test_nll_loss_reductions(self):
+        log_probs = F.log_softmax(make((4, 3)), axis=-1)
+        target = np.array([0, 1, 2, 0])
+        none = F.nll_loss(log_probs, target, reduction="none")
+        assert none.shape == (4,)
+        assert F.nll_loss(log_probs, target, reduction="sum").item() == pytest.approx(
+            none.data.sum())
+        with pytest.raises(ValueError):
+            F.nll_loss(log_probs, target, reduction="bogus")
+
+    def test_soft_cross_entropy(self):
+        logits = make((3, 4))
+        soft = np.full((3, 4), 0.25)
+        value = F.soft_cross_entropy(F.log_softmax(logits), soft).item()
+        assert value > 0
+
+    def test_mse_loss(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        assert F.mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+        assert gradcheck(lambda p: F.mse_loss(p, np.array([0.5, -0.5])), [pred])
+
+    def test_bce_with_logits_matches_reference(self):
+        logits = Tensor(np.array([0.0, 2.0, -3.0]))
+        target = np.array([1.0, 0.0, 1.0])
+        expected = -(np.log(0.5) + np.log(1 - 1 / (1 + np.exp(-2.0)))
+                     + np.log(1 / (1 + np.exp(3.0)))) / 3
+        assert F.binary_cross_entropy_with_logits(logits, target).item() == pytest.approx(expected)
+
+    def test_bce_with_logits_gradcheck(self):
+        logits = make((6,))
+        target = np.array([1.0, 0, 1, 0, 1, 0])
+        assert gradcheck(lambda x: F.binary_cross_entropy_with_logits(x, target), [logits])
+
+
+class TestShapeCombinators:
+    def test_concat_shapes_and_grad(self):
+        a, b = make((3, 2), 1), make((3, 4), 2)
+        out = F.concat([a, b], axis=-1)
+        assert out.shape == (3, 6)
+        assert gradcheck(lambda a, b: (F.concat([a, b], axis=-1) ** 2).sum(), [a, b])
+
+    def test_stack_shapes_and_grad(self):
+        a, b = make((3, 2), 1), make((3, 2), 2)
+        assert F.stack([a, b], axis=0).shape == (2, 3, 2)
+        assert F.stack([a, b], axis=1).shape == (3, 2, 2)
+        assert gradcheck(lambda a, b: (F.stack([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_weighted_sum_matches_manual(self):
+        a, b = Tensor(np.ones((2, 2))), Tensor(np.full((2, 2), 3.0))
+        weights = Tensor(np.array([0.25, 0.75]))
+        out = F.weighted_sum([a, b], weights)
+        assert np.allclose(out.data, 0.25 * 1 + 0.75 * 3)
+
+    def test_weighted_sum_gradcheck_through_weights(self):
+        a, b = make((2, 3), 1), make((2, 3), 2)
+        w = Tensor(np.array([0.3, 0.7]), requires_grad=True)
+        assert gradcheck(lambda a, b, w: (F.weighted_sum([a, b], w) ** 2).sum(), [a, b, w])
+
+    def test_l2_penalty(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([[2.0]]), requires_grad=True)
+        assert F.l2_penalty([a, b]).item() == pytest.approx(1 + 4 + 4)
+
+
+class TestScatterOps:
+    def test_index_select_forward_backward(self):
+        x = make((5, 3))
+        idx = np.array([4, 0, 0, 2])
+        assert np.allclose(F.index_select(x, idx).data, x.data[idx])
+        assert gradcheck(lambda x: (F.index_select(x, idx) ** 2).sum(), [x])
+
+    def test_scatter_add_forward(self):
+        src = Tensor(np.arange(8, dtype=float).reshape(4, 2))
+        idx = np.array([0, 0, 1, 2])
+        out = F.scatter_add(src, idx, 3)
+        assert np.allclose(out.data, [[2, 4], [4, 5], [6, 7]])
+
+    def test_scatter_add_gradcheck(self):
+        src = make((6, 2))
+        idx = np.array([0, 1, 1, 2, 2, 2])
+        w = np.random.default_rng(3).normal(size=(3, 2))
+        assert gradcheck(lambda s: (F.scatter_add(s, idx, 3) * Tensor(w)).sum(), [src])
+
+    def test_scatter_mean_matches_manual(self):
+        src = Tensor(np.array([[2.0], [4.0], [6.0]]))
+        idx = np.array([0, 0, 1])
+        out = F.scatter_mean(src, idx, 2)
+        assert np.allclose(out.data, [[3.0], [6.0]])
+
+    def test_scatter_max_forward_and_empty_bucket(self):
+        src = Tensor(np.array([[1.0], [5.0], [3.0]]))
+        idx = np.array([0, 0, 2])
+        out = F.scatter_max(src, idx, 3)
+        assert np.allclose(out.data, [[5.0], [0.0], [3.0]])
+
+    def test_scatter_max_gradcheck(self):
+        src = Tensor(np.array([[1.0, 2.0], [5.0, -1.0], [3.0, 7.0], [0.5, 0.2]]),
+                     requires_grad=True)
+        idx = np.array([0, 0, 1, 1])
+        w = np.random.default_rng(3).normal(size=(2, 2))
+        assert gradcheck(lambda s: (F.scatter_max(s, idx, 2) * Tensor(w)).sum(), [src])
+
+    def test_segment_softmax_groups_sum_to_one(self):
+        scores = make((10,))
+        idx = np.array([0, 0, 0, 1, 1, 2, 2, 2, 2, 3])
+        out = F.segment_softmax(scores, idx, 4).data
+        for group in range(4):
+            assert out[idx == group].sum() == pytest.approx(1.0)
+
+    def test_segment_softmax_gradcheck(self):
+        scores = make((6,))
+        idx = np.array([0, 0, 1, 1, 1, 2])
+        w = np.random.default_rng(5).normal(size=6)
+        assert gradcheck(lambda s: (F.segment_softmax(s, idx, 3) * Tensor(w)).sum(), [scores])
+
+    def test_segment_softmax_multihead(self):
+        scores = make((6, 2))
+        idx = np.array([0, 0, 1, 1, 1, 2])
+        out = F.segment_softmax(scores, idx, 3).data
+        assert out.shape == (6, 2)
+        for group in range(3):
+            assert np.allclose(out[idx == group].sum(axis=0), 1.0)
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=25, deadline=None)
+    def test_scatter_add_conserves_mass(self, num_rows, num_buckets, seed):
+        rng = np.random.default_rng(seed)
+        src = Tensor(rng.normal(size=(num_rows, 3)))
+        idx = rng.integers(0, num_buckets, size=num_rows)
+        out = F.scatter_add(src, idx, num_buckets)
+        assert np.allclose(out.data.sum(axis=0), src.data.sum(axis=0))

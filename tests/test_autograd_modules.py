@@ -1,0 +1,236 @@
+"""Tests for Module/Parameter plumbing, dense layers, optimisers and sparse ops."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import (
+    BatchNorm,
+    Dropout,
+    ELU,
+    Identity,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    SparseTensor,
+    Tensor,
+    functional as F,
+    gradcheck,
+    init,
+    optim,
+)
+from repro.autograd.modules import MLP
+from repro.autograd.sparse import spmm
+
+
+class TestModuleRegistration:
+    def test_parameters_discovered_recursively(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.linear = Linear(3, 4)
+                self.weight = Parameter(np.zeros((2, 2)))
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "weight" in names
+        assert "linear.weight" in names and "linear.bias" in names
+        assert net.num_parameters() == 4 + 3 * 4 + 4
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2), Dropout(0.5))
+        seq.eval()
+        assert all(not module.training for module in seq.modules())
+        seq.train()
+        assert all(module.training for module in seq.modules())
+
+    def test_zero_grad(self):
+        linear = Linear(2, 2)
+        out = linear(Tensor(np.ones((3, 2)))).sum()
+        out.backward()
+        assert linear.weight.grad is not None
+        linear.zero_grad()
+        assert linear.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a, b = Linear(3, 2), Linear(3, 2)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_mismatch_raises(self):
+        a, b = Linear(3, 2), Linear(4, 2)
+        with pytest.raises((KeyError, ValueError)):
+            b.load_state_dict(a.state_dict())
+
+    def test_module_list(self):
+        layers = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(layers) == 2
+        assert layers[0] is not layers[1]
+        assert len(list(iter(layers))) == 2
+        assert len(dict(ModuleListHolder(layers).named_parameters())) == 4
+
+
+class ModuleListHolder(Module):
+    def __init__(self, layers):
+        super().__init__()
+        self.layers = layers
+
+
+class TestDenseLayers:
+    def test_linear_shapes_and_grad(self):
+        linear = Linear(4, 3)
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 4)), requires_grad=True)
+        assert linear(x).shape == (5, 3)
+        assert gradcheck(lambda x: (linear(x) ** 2).sum(), [x])
+
+    def test_linear_no_bias(self):
+        linear = Linear(4, 3, bias=False)
+        assert linear.bias is None
+        assert len(linear.parameters()) == 1
+
+    def test_linear_reset_parameters_changes_weights(self):
+        linear = Linear(4, 3)
+        before = linear.weight.data.copy()
+        linear.reset_parameters(rng=np.random.default_rng(42))
+        assert not np.allclose(before, linear.weight.data)
+
+    def test_dropout_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+    def test_activation_modules(self):
+        x = Tensor(np.array([[-1.0, 1.0]]))
+        assert np.allclose(ReLU()(x).data, [[0.0, 1.0]])
+        assert Identity()(x) is x
+        assert ELU()(x).data[0, 0] == pytest.approx(np.exp(-1) - 1)
+
+    def test_layernorm_output_statistics(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(10, 6)) * 3 + 2)
+        out = LayerNorm(6)(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_batchnorm_train_and_eval(self):
+        bn = BatchNorm(4)
+        x = Tensor(np.random.default_rng(0).normal(size=(50, 4)) + 5)
+        out = bn(x).data
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        bn.eval()
+        out_eval = bn(x).data
+        assert out_eval.shape == (50, 4)
+
+    def test_mlp_depths(self):
+        assert MLP(4, 8, 3, num_layers=1)(Tensor(np.ones((2, 4)))).shape == (2, 3)
+        assert MLP(4, 8, 3, num_layers=3)(Tensor(np.ones((2, 4)))).shape == (2, 3)
+        with pytest.raises(ValueError):
+            MLP(4, 8, 3, num_layers=0)
+
+
+class TestInitializers:
+    def test_shapes(self):
+        for name, fn in init.INITIALIZERS.items():
+            array = fn((6, 4)) if name not in {"uniform", "normal"} else fn((6, 4))
+            assert array.shape == (6, 4), name
+
+    def test_glorot_scale(self):
+        w = init.glorot_uniform((200, 100), rng=np.random.default_rng(0))
+        limit = np.sqrt(6 / 300)
+        assert np.abs(w).max() <= limit + 1e-12
+
+    def test_seeded_reproducibility(self):
+        a = init.glorot_uniform((5, 5), rng=np.random.default_rng(3))
+        b = init.glorot_uniform((5, 5), rng=np.random.default_rng(3))
+        assert np.allclose(a, b)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([1.0, -2.0, 3.0])
+        parameter = Parameter(np.zeros(3))
+
+        def loss_fn():
+            diff = parameter - Tensor(target)
+            return (diff * diff).sum()
+
+        return parameter, target, loss_fn
+
+    def test_sgd_converges(self):
+        parameter, target, loss_fn = self._quadratic_problem()
+        optimizer = optim.SGD([parameter], lr=0.1, momentum=0.5)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        assert np.allclose(parameter.data, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        parameter, target, loss_fn = self._quadratic_problem()
+        optimizer = optim.Adam([parameter], lr=0.1, weight_decay=0.0)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        assert np.allclose(parameter.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        parameter, target, loss_fn = self._quadratic_problem()
+        optimizer = optim.Adam([parameter], lr=0.1, weight_decay=1.0)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        assert np.all(np.abs(parameter.data) < np.abs(target))
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            optim.Adam([], lr=0.1)
+
+    def test_step_lr_schedule(self):
+        parameter = Parameter(np.zeros(1))
+        optimizer = optim.SGD([parameter], lr=1.0)
+        scheduler = optim.StepLR(optimizer, step_size=2, gamma=0.5)
+        for _ in range(4):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.25)
+        constant = optim.ConstantLR(optimizer)
+        constant.step()
+        assert constant.lr == optimizer.lr
+
+    def test_step_skips_parameters_without_grad(self):
+        a, b = Parameter(np.ones(2)), Parameter(np.ones(2))
+        optimizer = optim.Adam([a, b], lr=0.1)
+        (a.sum()).backward()
+        optimizer.step()
+        assert not np.allclose(a.data, 1.0)
+        assert np.allclose(b.data, 1.0)
+
+
+class TestSparse:
+    def test_sparse_tensor_from_dense_and_scipy(self):
+        dense = np.eye(3)
+        assert SparseTensor(dense).nnz == 3
+        assert SparseTensor(sp.csr_matrix(dense)).shape == (3, 3)
+        assert np.allclose(SparseTensor(dense).to_dense(), dense)
+
+    def test_transpose(self):
+        matrix = sp.random(4, 3, density=0.5, random_state=0)
+        assert SparseTensor(matrix).T.shape == (3, 4)
+
+    def test_spmm_matches_dense_product(self):
+        matrix = sp.random(5, 5, density=0.4, random_state=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 3)))
+        assert np.allclose(spmm(SparseTensor(matrix), x).data, matrix @ x.data)
+
+    def test_spmm_gradcheck(self):
+        matrix = SparseTensor(sp.random(6, 6, density=0.5, random_state=1))
+        x = Tensor(np.random.default_rng(0).normal(size=(6, 2)), requires_grad=True)
+        assert gradcheck(lambda x: (spmm(matrix, x) ** 2).sum(), [x])
+
+    def test_matmul_operator(self):
+        matrix = SparseTensor(np.eye(3))
+        x = Tensor(np.arange(6, dtype=float).reshape(3, 2))
+        assert np.allclose((matrix @ x).data, x.data)

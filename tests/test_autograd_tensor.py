@@ -1,0 +1,202 @@
+"""Unit and gradient-check tests for the core Tensor type."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, no_grad
+from repro.autograd.tensor import _unbroadcast
+
+
+def make(shape, seed=0, requires_grad=True):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestBasics:
+    def test_tensor_wraps_array_as_float64(self):
+        t = Tensor([[1, 2], [3, 4]])
+        assert t.dtype == np.float64
+        assert t.shape == (2, 2)
+        assert t.size == 4
+        assert len(t) == 2
+
+    def test_requires_grad_flag(self):
+        assert Tensor(1.0).requires_grad is False
+        assert Tensor(1.0, requires_grad=True).requires_grad is True
+
+    def test_item_and_numpy(self):
+        t = Tensor(3.5)
+        assert t.item() == pytest.approx(3.5)
+        assert isinstance(t.numpy(), np.ndarray)
+
+    def test_detach_stops_gradients(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert d.requires_grad is False
+        assert np.shares_memory(d.data, t.data)
+
+    def test_backward_requires_scalar_without_grad_argument(self):
+        t = make((3, 3))
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        t = Tensor([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            t.sum().backward()
+
+    def test_no_grad_context_disables_recording(self):
+        t = make((2, 2))
+        with no_grad():
+            out = (t * t).sum()
+        assert out.requires_grad is False
+
+    def test_zero_grad(self):
+        t = make((2,))
+        (t * t).sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_gradient_accumulates_across_backwards(self):
+        t = make((2,))
+        (t.sum()).backward()
+        (t.sum()).backward()
+        assert np.allclose(t.grad, 2.0)
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        a, b = make((3, 4), 1), make((3, 4), 2)
+        assert gradcheck(lambda a, b: (a + b).sum(), [a, b])
+
+    def test_add_broadcast(self):
+        a, b = make((3, 4), 1), make((4,), 2)
+        assert gradcheck(lambda a, b: (a + b).sum(), [a, b])
+
+    def test_sub_and_rsub(self):
+        a = make((3,), 1)
+        assert gradcheck(lambda a: (5.0 - a).sum(), [a])
+        assert gradcheck(lambda a: (a - 2.0).sum(), [a])
+
+    def test_mul_broadcast(self):
+        a, b = make((2, 3), 1), make((1, 3), 2)
+        assert gradcheck(lambda a, b: (a * b).sum(), [a, b])
+
+    def test_div(self):
+        a, b = make((3,), 1), Tensor(np.array([1.5, 2.0, 3.0]), requires_grad=True)
+        assert gradcheck(lambda a, b: (a / b).sum(), [a, b])
+
+    def test_rdiv(self):
+        b = Tensor(np.array([1.5, 2.0, 3.0]), requires_grad=True)
+        assert gradcheck(lambda b: (6.0 / b).sum(), [b])
+
+    def test_neg_and_pow(self):
+        a = Tensor(np.array([0.5, 1.5, 2.5]), requires_grad=True)
+        assert gradcheck(lambda a: (-a).sum(), [a])
+        assert gradcheck(lambda a: (a ** 3).sum(), [a])
+        assert gradcheck(lambda a: (a ** -0.5).sum(), [a])
+
+    def test_pow_requires_scalar_exponent(self):
+        with pytest.raises(TypeError):
+            make((2,)) ** make((2,))
+
+    def test_matmul_2d(self):
+        a, b = make((3, 4), 1), make((4, 2), 2)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_batched_with_2d_weight(self):
+        a, b = make((2, 3, 4), 1), make((4, 2), 2)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_vector(self):
+        a, v = make((3, 4), 1), make((4,), 2)
+        assert gradcheck(lambda a, v: (a @ v).sum(), [a, v])
+
+
+class TestShapeOps:
+    def test_transpose(self):
+        a = make((2, 3))
+        assert gradcheck(lambda a: (a.T * a.T).sum(), [a])
+        assert a.T.shape == (3, 2)
+
+    def test_transpose_with_axes(self):
+        a = make((2, 3, 4))
+        out = a.transpose(2, 0, 1)
+        assert out.shape == (4, 2, 3)
+        assert gradcheck(lambda a: (a.transpose(2, 0, 1) ** 2).sum(), [a])
+
+    def test_reshape(self):
+        a = make((2, 6))
+        assert a.reshape(3, 4).shape == (3, 4)
+        assert a.reshape((4, 3)).shape == (4, 3)
+        assert gradcheck(lambda a: (a.reshape(3, 4) ** 2).sum(), [a])
+
+    def test_getitem_slice_and_fancy_index(self):
+        a = make((5, 3))
+        assert gradcheck(lambda a: a[1:4].sum(), [a])
+        idx = np.array([0, 2, 2, 4])
+        assert gradcheck(lambda a: a[idx].sum(), [a])
+
+    def test_getitem_pair_index(self):
+        a = make((4, 4))
+        rows = np.arange(4)
+        cols = np.array([1, 0, 3, 2])
+        assert gradcheck(lambda a: a[rows, cols].sum(), [a])
+
+
+class TestReductionsAndElementwise:
+    def test_sum_axis_keepdims(self):
+        a = make((3, 4))
+        assert a.sum(axis=0).shape == (4,)
+        assert a.sum(axis=1, keepdims=True).shape == (3, 1)
+        assert gradcheck(lambda a: (a.sum(axis=0) ** 2).sum(), [a])
+
+    def test_mean_matches_numpy(self):
+        a = make((3, 4))
+        assert np.allclose(a.mean().data, a.data.mean())
+        assert np.allclose(a.mean(axis=1).data, a.data.mean(axis=1))
+        assert gradcheck(lambda a: (a.mean(axis=1) ** 2).sum(), [a])
+
+    def test_max_gradient_splits_ties(self):
+        a = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        out = a.max(axis=1)
+        out.backward(np.ones_like(out.data))
+        assert np.allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+    def test_max_gradcheck_no_ties(self):
+        a = Tensor(np.array([[1.0, 2.0, 3.0], [6.0, 5.0, 4.0]]), requires_grad=True)
+        assert gradcheck(lambda a: a.max(axis=1).sum(), [a])
+
+    def test_exp_log(self):
+        a = Tensor(np.array([0.5, 1.0, 2.0]), requires_grad=True)
+        assert gradcheck(lambda a: a.exp().sum(), [a])
+        assert gradcheck(lambda a: a.log().sum(), [a])
+
+    def test_relu_tanh_sigmoid_abs(self):
+        a = Tensor(np.array([-1.5, -0.2, 0.3, 2.0]), requires_grad=True)
+        assert gradcheck(lambda a: a.relu().sum(), [a])
+        assert gradcheck(lambda a: a.tanh().sum(), [a])
+        assert gradcheck(lambda a: a.sigmoid().sum(), [a])
+        assert gradcheck(lambda a: a.abs().sum(), [a])
+
+    def test_relu_zeroes_negative_values(self):
+        a = Tensor(np.array([-1.0, 2.0]))
+        assert np.allclose(a.relu().data, [0.0, 2.0])
+
+
+class TestUnbroadcast:
+    def test_unbroadcast_identity(self):
+        grad = np.ones((3, 4))
+        assert _unbroadcast(grad, (3, 4)).shape == (3, 4)
+
+    def test_unbroadcast_leading_dims(self):
+        grad = np.ones((5, 3, 4))
+        assert _unbroadcast(grad, (3, 4)).shape == (3, 4)
+        assert np.allclose(_unbroadcast(grad, (3, 4)), 5.0)
+
+    def test_unbroadcast_size_one_axes(self):
+        grad = np.ones((3, 4))
+        reduced = _unbroadcast(grad, (3, 1))
+        assert reduced.shape == (3, 1)
+        assert np.allclose(reduced, 4.0)

@@ -1,0 +1,218 @@
+"""Tests for proxy evaluation, model selection, GSE and the hierarchical ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphSelfEnsemble,
+    HierarchicalEnsemble,
+    ProxyEvaluator,
+    select_top_models,
+)
+from repro.core.config import ProxyConfig
+from repro.core.gse import one_hot_alpha, uniform_alpha
+from repro.core.hierarchical import normalize_weights
+from repro.tasks.trainer import TrainConfig
+
+FAST_TRAIN = TrainConfig(lr=0.05, max_epochs=25, patience=8)
+FAST_PROXY = ProxyConfig(dataset_fraction=0.5, bagging_rounds=2, hidden_fraction=0.5,
+                         max_epochs=20, patience=6)
+SMALL_CANDIDATES = ["gcn", "sgc", "mlp"]
+
+
+@pytest.fixture(scope="module")
+def proxy_report(tiny_split_graph):
+    evaluator = ProxyEvaluator(FAST_PROXY, candidates=SMALL_CANDIDATES)
+    return evaluator.evaluate(tiny_split_graph, seed=0)
+
+
+class TestProxyEvaluation:
+    def test_report_covers_all_candidates(self, proxy_report):
+        assert {score.name for score in proxy_report.scores} == set(SMALL_CANDIDATES)
+        assert proxy_report.total_time > 0
+
+    def test_ranking_sorted_by_accuracy(self, proxy_report):
+        ranking = proxy_report.ranking()
+        scores = proxy_report.score_map()
+        assert all(scores[ranking[i]] >= scores[ranking[i + 1]]
+                   for i in range(len(ranking) - 1))
+
+    def test_graph_models_beat_mlp(self, proxy_report):
+        ranking = proxy_report.ranking()
+        assert ranking[-1] == "mlp"
+
+    def test_top_selection(self, proxy_report):
+        assert proxy_report.top(2) == proxy_report.ranking()[:2]
+
+    def test_bag_scores_recorded(self, proxy_report):
+        for score in proxy_report.scores:
+            assert len(score.scores) == FAST_PROXY.bagging_rounds
+            assert score.as_dict()["name"] == score.name
+
+    def test_kendall_tau_against_itself(self, proxy_report):
+        assert proxy_report.kendall_tau_against(proxy_report) == pytest.approx(1.0)
+
+    def test_proxy_faster_than_accurate(self, tiny_split_graph):
+        evaluator = ProxyEvaluator(FAST_PROXY, candidates=["gcn", "sgc"])
+        proxy = evaluator.evaluate_with(tiny_split_graph, dataset_fraction=0.4,
+                                        hidden_fraction=0.5, bagging_rounds=1, seed=0)
+        accurate = evaluator.evaluate_with(tiny_split_graph, dataset_fraction=1.0,
+                                           hidden_fraction=1.0, bagging_rounds=3, seed=0)
+        assert proxy.total_time < accurate.total_time
+
+    def test_select_top_models(self, proxy_report):
+        pool = select_top_models(proxy_report, 2)
+        assert len(pool) == 2
+        assert "mlp" not in pool
+
+    def test_select_with_exclusion(self, proxy_report):
+        pool = select_top_models(proxy_report, 2, exclude=[proxy_report.ranking()[0]])
+        assert proxy_report.ranking()[0] not in pool
+
+    def test_select_diverse_families(self, proxy_report):
+        pool = select_top_models(proxy_report, 3, diversity_families=True)
+        assert len(pool) == 3
+
+    def test_select_validation_errors(self, proxy_report):
+        with pytest.raises(ValueError):
+            select_top_models(proxy_report, 0)
+        with pytest.raises(ValueError):
+            select_top_models(proxy_report, 2, exclude=SMALL_CANDIDATES)
+
+
+class TestAlphaHelpers:
+    def test_one_hot_alpha(self):
+        assert np.allclose(one_hot_alpha(4, 2), [0, 1, 0, 0])
+        with pytest.raises(ValueError):
+            one_hot_alpha(3, 4)
+        with pytest.raises(ValueError):
+            one_hot_alpha(3, 0)
+
+    def test_uniform_alpha(self):
+        assert np.allclose(uniform_alpha(4).sum(), 1.0)
+
+
+class TestGraphSelfEnsemble:
+    @pytest.fixture(scope="class")
+    def fitted_gse(self, tiny_split_graph, tiny_data):
+        gse = GraphSelfEnsemble(spec_name="gcn", num_members=2, hidden=16, num_layers=2,
+                                dropout=0.1, base_seed=0,
+                                layer_weights=[one_hot_alpha(2, 2)])
+        gse.fit(tiny_data, tiny_split_graph.labels,
+                tiny_split_graph.mask_indices("train"),
+                tiny_split_graph.mask_indices("val"),
+                train_config=FAST_TRAIN, num_classes=tiny_split_graph.num_classes)
+        return gse
+
+    def test_members_have_different_initialisations(self, fitted_gse):
+        weights = [member.head.weight.data for member in fitted_gse.members]
+        assert not np.allclose(weights[0], weights[1])
+
+    def test_predict_proba_simplex(self, fitted_gse, tiny_data):
+        probabilities = fitted_gse.predict_proba(tiny_data)
+        assert probabilities.shape[0] == tiny_data.num_nodes
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_validation_accuracy_recorded(self, fitted_gse):
+        assert 0 < fitted_gse.validation_accuracy <= 1
+        assert len(fitted_gse.member_val_scores) == 2
+
+    def test_evaluate_on_test_mask(self, fitted_gse, tiny_split_graph, tiny_data):
+        acc = fitted_gse.evaluate(tiny_data, tiny_split_graph.labels,
+                                  tiny_split_graph.mask_indices("test"))
+        assert acc > 1.0 / tiny_split_graph.num_classes
+
+    def test_predict_requires_fit(self, tiny_data):
+        with pytest.raises(RuntimeError):
+            GraphSelfEnsemble(spec_name="gcn").predict_proba(tiny_data)
+
+    def test_describe(self, fitted_gse):
+        description = fitted_gse.describe()
+        assert description["model"] == "gcn"
+        assert description["members"] == 2
+
+    def test_alpha_adapted_to_model_depth(self, tiny_split_graph, tiny_data):
+        # APPNP chooses its own internal layer count; a mismatching alpha must
+        # be translated rather than raising.
+        gse = GraphSelfEnsemble(spec_name="appnp", num_members=1, hidden=16, num_layers=3,
+                                layer_weights=[one_hot_alpha(3, 3)], base_seed=0)
+        gse.fit(tiny_data, tiny_split_graph.labels,
+                tiny_split_graph.mask_indices("train"), tiny_split_graph.mask_indices("val"),
+                train_config=TrainConfig(lr=0.05, max_epochs=10),
+                num_classes=tiny_split_graph.num_classes)
+        assert gse.predict_proba(tiny_data).shape[0] == tiny_data.num_nodes
+
+    def test_gse_reduces_initialisation_variance(self, tiny_split_graph, tiny_data):
+        """Single-model predictions vary more across seeds than GSE predictions (Fig. 4)."""
+        labels = tiny_split_graph.labels
+        train_idx = tiny_split_graph.mask_indices("train")
+        val_idx = tiny_split_graph.mask_indices("val")
+        test_idx = tiny_split_graph.mask_indices("test")
+
+        single_scores, gse_scores = [], []
+        for seed in range(3):
+            single = GraphSelfEnsemble(spec_name="gcn", num_members=1, hidden=16,
+                                       num_layers=2, base_seed=seed * 17)
+            single.fit(tiny_data, labels, train_idx, val_idx, train_config=FAST_TRAIN,
+                       num_classes=tiny_split_graph.num_classes)
+            single_scores.append(single.evaluate(tiny_data, labels, test_idx))
+            gse = GraphSelfEnsemble(spec_name="gcn", num_members=3, hidden=16,
+                                    num_layers=2, base_seed=seed * 17)
+            gse.fit(tiny_data, labels, train_idx, val_idx, train_config=FAST_TRAIN,
+                    num_classes=tiny_split_graph.num_classes)
+            gse_scores.append(gse.evaluate(tiny_data, labels, test_idx))
+        assert np.mean(gse_scores) >= np.mean(single_scores) - 0.05
+
+
+class TestHierarchicalEnsemble:
+    @pytest.fixture(scope="class")
+    def fitted_hier(self, tiny_split_graph, tiny_data):
+        hier = HierarchicalEnsemble()
+        hier.add(GraphSelfEnsemble(spec_name="gcn", num_members=2, hidden=16, num_layers=2,
+                                   base_seed=0))
+        hier.add(GraphSelfEnsemble(spec_name="sgc", num_members=2, hidden=16, num_layers=2,
+                                   base_seed=5))
+        hier.fit(tiny_data, tiny_split_graph.labels,
+                 tiny_split_graph.mask_indices("train"), tiny_split_graph.mask_indices("val"),
+                 train_config=FAST_TRAIN, num_classes=tiny_split_graph.num_classes)
+        return hier
+
+    def test_default_beta_uniform(self, fitted_hier):
+        assert np.allclose(fitted_hier.effective_beta(), 0.5)
+
+    def test_set_beta_normalises(self, fitted_hier):
+        fitted_hier.set_beta([3.0, 1.0])
+        assert np.allclose(fitted_hier.effective_beta(), [0.75, 0.25])
+        fitted_hier.beta = None
+
+    def test_set_beta_wrong_length(self, fitted_hier):
+        with pytest.raises(ValueError):
+            fitted_hier.set_beta([1.0])
+
+    def test_predictions_are_simplex(self, fitted_hier, tiny_data):
+        probabilities = fitted_hier.predict_proba(tiny_data)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_ensemble_at_least_as_good_as_worst_member(self, fitted_hier, tiny_split_graph,
+                                                        tiny_data):
+        labels = tiny_split_graph.labels
+        test_idx = tiny_split_graph.mask_indices("test")
+        member_scores = [gse.evaluate(tiny_data, labels, test_idx)
+                         for gse in fitted_hier.ensembles]
+        assert fitted_hier.evaluate(tiny_data, labels, test_idx) >= min(member_scores) - 0.05
+
+    def test_empty_ensemble_raises(self, tiny_data):
+        with pytest.raises(RuntimeError):
+            HierarchicalEnsemble().predict_proba(tiny_data)
+
+    def test_describe_and_validation_accuracies(self, fitted_hier):
+        description = fitted_hier.describe()
+        assert len(description["pool"]) == 2
+        assert len(fitted_hier.validation_accuracies()) == 2
+
+    def test_normalize_weights_helper(self):
+        assert np.allclose(normalize_weights([2.0, 2.0]), [0.5, 0.5])
+        assert np.allclose(normalize_weights([0.0, 0.0]), [0.5, 0.5])
+        assert np.allclose(normalize_weights([-1.0, 1.0]), [0.0, 1.0])
+        with pytest.raises(ValueError):
+            normalize_weights([])

@@ -1,0 +1,154 @@
+"""Tests for the adaptive and gradient configuration-search algorithms (Eqn 8, Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AdaptiveSearch, GradientSearch, adaptive_beta
+from repro.core.config import AdaptiveConfig
+from repro.nn import GraphTensors
+from repro.tasks.trainer import TrainConfig
+
+FAST_TRAIN = TrainConfig(lr=0.05, max_epochs=15, patience=5)
+
+
+class TestAdaptiveBeta:
+    def test_is_probability_distribution(self):
+        beta = adaptive_beta([0.8, 0.6, 0.9], num_edges=500, num_nodes=100)
+        assert beta.shape == (3,)
+        assert np.all(beta > 0)
+        assert beta.sum() == pytest.approx(1.0)
+
+    def test_better_models_get_more_weight(self):
+        beta = adaptive_beta([0.9, 0.5, 0.7], num_edges=500, num_nodes=100)
+        assert beta[0] > beta[2] > beta[1]
+
+    def test_equal_accuracies_give_uniform_weights(self):
+        beta = adaptive_beta([0.8, 0.8, 0.8], num_edges=500, num_nodes=100)
+        assert np.allclose(beta, 1.0 / 3)
+
+    def test_sparser_graph_sharper_distribution(self):
+        accuracies = [0.9, 0.6]
+        sparse = adaptive_beta(accuracies, num_edges=150, num_nodes=100)
+        dense = adaptive_beta(accuracies, num_edges=100_000, num_nodes=100)
+        assert sparse[0] >= dense[0]
+
+    def test_lambda_controls_temperature(self):
+        accuracies = [0.9, 0.6]
+        sharp = adaptive_beta(accuracies, 500, 100, AdaptiveConfig(lam=0.5))
+        flat = adaptive_beta(accuracies, 500, 100, AdaptiveConfig(lam=500.0))
+        assert sharp[0] > flat[0]
+
+    def test_empty_accuracies_raise(self):
+        with pytest.raises(ValueError):
+            adaptive_beta([], 10, 10)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1.0), min_size=2, max_size=6),
+           st.integers(min_value=10, max_value=100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_simplex_property(self, accuracies, num_edges):
+        beta = adaptive_beta(accuracies, num_edges=num_edges, num_nodes=100)
+        assert beta.sum() == pytest.approx(1.0)
+        assert np.all(beta >= 0)
+        # Order preserved: the best accuracy never gets less weight than the worst.
+        assert beta[int(np.argmax(accuracies))] >= beta[int(np.argmin(accuracies))] - 1e-12
+
+
+class TestAdaptiveSearch:
+    @pytest.fixture(scope="class")
+    def search_result(self, tiny_split_graph, tiny_data):
+        search = AdaptiveSearch(pool=["gcn", "sgc"], ensemble_size=2, max_layers=2,
+                                hidden=16, train_config=FAST_TRAIN, seed=0)
+        result = search.search(tiny_split_graph, tiny_data, tiny_split_graph.labels,
+                               tiny_split_graph.mask_indices("train"),
+                               tiny_split_graph.mask_indices("val"),
+                               num_classes=tiny_split_graph.num_classes,
+                               hidden_fraction=0.5)
+        return search, result
+
+    def test_depth_chosen_for_every_model(self, search_result):
+        _, result = search_result
+        assert set(result.chosen_layers) == {"gcn", "sgc"}
+        assert all(1 <= depth <= 2 for depth in result.chosen_layers.values())
+
+    def test_layer_scores_cover_grid(self, search_result):
+        _, result = search_result
+        for scores in result.layer_scores.values():
+            assert len(scores) == 2
+
+    def test_beta_is_simplex(self, search_result):
+        _, result = search_result
+        assert result.beta.sum() == pytest.approx(1.0)
+
+    def test_chosen_depth_maximises_score(self, search_result):
+        _, result = search_result
+        for name, scores in result.layer_scores.items():
+            assert result.chosen_layers[name] == int(np.argmax(scores)) + 1
+
+    def test_build_ensemble_matches_search(self, search_result):
+        search, result = search_result
+        hierarchical = search.build_ensemble(result)
+        assert len(hierarchical.ensembles) == 2
+        assert np.allclose(hierarchical.effective_beta(), result.beta)
+        for gse, name in zip(hierarchical.ensembles, search.pool):
+            assert gse.num_layers == result.chosen_layers[name]
+            assert gse.num_members == 2
+
+
+class TestGradientSearch:
+    @pytest.fixture(scope="class")
+    def gradient_result(self, tiny_split_graph, tiny_data):
+        search = GradientSearch(pool=["gcn", "sgc"], ensemble_size=2, max_layers=3,
+                                hidden=16, hidden_fraction=0.5, lr=0.05,
+                                architecture_lr=5e-3, epochs=12, patience=12, seed=0)
+        result = search.search(tiny_data, tiny_split_graph.labels,
+                               tiny_split_graph.mask_indices("train"),
+                               tiny_split_graph.mask_indices("val"),
+                               num_classes=tiny_split_graph.num_classes)
+        return search, result
+
+    def test_result_structure(self, gradient_result):
+        _, result = gradient_result
+        assert set(result.chosen_layers) == {"gcn", "sgc"}
+        for depths in result.chosen_layers.values():
+            assert len(depths) == 2
+            assert all(1 <= depth <= 3 for depth in depths)
+        assert result.beta.shape == (2,)
+        assert result.beta.sum() == pytest.approx(1.0)
+        assert result.search_time > 0
+
+    def test_alpha_softmax_distributions(self, gradient_result):
+        _, result = gradient_result
+        for softs in result.alpha_softmax.values():
+            for soft in softs:
+                assert soft.sum() == pytest.approx(1.0)
+                assert soft.shape == (3,)
+
+    def test_architecture_parameters_updated(self, gradient_result):
+        search, _ = gradient_result
+        # After training the relaxed α/β should have moved away from their zero init.
+        moved = any(np.any(alpha.data != 0) for alphas in search.alpha_parameters
+                    for alpha in alphas)
+        assert moved or np.any(search.beta_parameter.data != 0)
+
+    def test_history_tracks_validation(self, gradient_result):
+        _, result = gradient_result
+        assert result.history
+        assert {"epoch", "train_loss", "val_accuracy"}.issubset(result.history[0])
+
+    def test_layer_weights_one_hot(self, gradient_result):
+        _, result = gradient_result
+        vectors = result.layer_weights("gcn")
+        assert len(vectors) == 2
+        for vector in vectors:
+            assert vector.sum() == pytest.approx(1.0)
+            assert np.count_nonzero(vector) == 1
+
+    def test_parameter_bytes_positive(self, gradient_result):
+        search, _ = gradient_result
+        assert search.parameter_bytes() > 0
+
+    def test_joint_model_count(self, gradient_result):
+        search, _ = gradient_result
+        assert len(search.models) == 2
+        assert all(len(replicas) == 2 for replicas in search.models)

@@ -1,0 +1,253 @@
+"""Tests for the synthetic dataset generators, registry and AutoGraph I/O."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import (
+    CITATION_DATASET_NAMES,
+    DATASETS,
+    KDDCUP_DATASET_NAMES,
+    SBMConfig,
+    kddcup_dataset_statistics,
+    load_autograph_directory,
+    load_dataset,
+    make_arxiv_dataset,
+    make_attributed_sbm,
+    make_citation_dataset,
+    make_feature_free_graph,
+    make_kddcup_dataset,
+    make_proteins_dataset,
+    register_dataset,
+    save_autograph_directory,
+    structural_features,
+)
+from repro.datasets.kddcup import PAPER_STATISTICS
+
+
+class TestSBMGenerator:
+    def test_basic_shape(self):
+        graph = make_attributed_sbm(num_nodes=200, num_classes=4, num_features=8, seed=0)
+        assert graph.num_nodes == 200
+        assert graph.num_features == 8
+        assert graph.num_classes == 4
+        assert graph.num_edges > 0
+
+    def test_determinism(self):
+        a = make_attributed_sbm(num_nodes=150, seed=3)
+        b = make_attributed_sbm(num_nodes=150, seed=3)
+        assert np.array_equal(a.edge_index, b.edge_index)
+        assert np.allclose(a.features, b.features)
+
+    def test_different_seeds_differ(self):
+        a = make_attributed_sbm(num_nodes=150, seed=3)
+        b = make_attributed_sbm(num_nodes=150, seed=4)
+        assert not np.array_equal(a.edge_index, b.edge_index)
+
+    def test_homophily_controls_intra_class_fraction(self):
+        high = make_attributed_sbm(num_nodes=400, num_classes=4, homophily=0.9, seed=0)
+        low = make_attributed_sbm(num_nodes=400, num_classes=4, homophily=0.3, seed=0)
+
+        def intra_fraction(graph):
+            src, dst = graph.edge_index
+            return float((graph.labels[src] == graph.labels[dst]).mean())
+
+        assert intra_fraction(high) > 0.75
+        assert intra_fraction(high) > intra_fraction(low) + 0.3
+
+    def test_no_isolated_nodes(self):
+        graph = make_attributed_sbm(num_nodes=300, average_degree=2.0, seed=1)
+        degrees = np.bincount(graph.edge_index.flatten(), minlength=graph.num_nodes)
+        assert degrees.min() > 0
+
+    def test_no_self_loops(self):
+        graph = make_attributed_sbm(num_nodes=200, seed=2)
+        assert np.all(graph.edge_index[0] != graph.edge_index[1])
+
+    def test_undirected_edges_come_in_pairs(self):
+        graph = make_attributed_sbm(num_nodes=150, directed=False, seed=0)
+        pairs = set(map(tuple, graph.edge_index.T.tolist()))
+        assert all((dst, src) in pairs for src, dst in pairs)
+
+    def test_directed_and_weighted(self):
+        graph = make_attributed_sbm(num_nodes=150, directed=True, weighted_edges=True, seed=0)
+        assert graph.directed
+        assert graph.edge_weight.max() > 1.0
+
+    def test_class_imbalance(self):
+        graph = make_attributed_sbm(num_nodes=600, num_classes=4, class_imbalance=1.0, seed=0)
+        counts = np.bincount(graph.labels, minlength=4)
+        assert counts.max() > 2 * counts.min()
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            make_attributed_sbm(num_nodes=2, num_classes=5)
+        with pytest.raises(ValueError):
+            make_attributed_sbm(homophily=1.5)
+        with pytest.raises(ValueError):
+            make_attributed_sbm(average_degree=-1.0)
+
+    def test_every_class_has_two_members(self):
+        graph = make_attributed_sbm(num_nodes=40, num_classes=8, seed=0)
+        assert np.bincount(graph.labels, minlength=8).min() >= 2
+
+    @given(st.integers(min_value=60, max_value=200), st.integers(min_value=2, max_value=5),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_generator_invariants_property(self, num_nodes, num_classes, seed):
+        graph = make_attributed_sbm(num_nodes=num_nodes, num_classes=num_classes,
+                                    num_features=6, seed=seed)
+        assert graph.num_nodes == num_nodes
+        assert graph.edge_index.max() < num_nodes
+        assert set(np.unique(graph.labels)).issubset(set(range(num_classes)))
+
+    def test_structural_features_standardised(self):
+        graph = make_attributed_sbm(num_nodes=200, seed=0)
+        feats = structural_features(graph, dimension=16, seed=0)
+        assert feats.shape == (200, 16)
+        assert np.allclose(feats.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_feature_free_graph(self):
+        graph = make_feature_free_graph(SBMConfig(num_nodes=150, seed=0), feature_dimension=12)
+        assert graph.num_features <= 12
+        assert graph.metadata["has_node_features"] is False
+
+
+class TestKDDCupDatasets:
+    @pytest.mark.parametrize("name", KDDCUP_DATASET_NAMES)
+    def test_each_dataset_builds(self, name):
+        graph = make_kddcup_dataset(name, scale=0.2, seed=0)
+        assert graph.num_nodes > 0
+        assert graph.test_mask is not None
+        assert "hidden_labels" in graph.metadata
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_kddcup_dataset("Z")
+
+    def test_test_labels_hidden_but_recoverable(self, kddcup_a_small):
+        graph = kddcup_a_small
+        test_index = graph.mask_indices("test")
+        assert np.all(graph.labels[test_index] == -1)
+        hidden = graph.metadata["hidden_labels"]
+        assert np.all(hidden[test_index] >= 0)
+
+    def test_dataset_d_is_directed_and_weighted(self):
+        graph = make_kddcup_dataset("D", scale=0.15, seed=0)
+        assert graph.directed
+        assert graph.edge_weight.max() > 1.0
+
+    def test_dataset_e_has_structural_features(self):
+        graph = make_kddcup_dataset("E", scale=0.2, seed=0)
+        assert graph.metadata["has_node_features"] is False
+
+    def test_statistics_report_covers_all_datasets(self):
+        rows = kddcup_dataset_statistics(scale=0.15, seed=0)
+        assert [row["dataset"] for row in rows] == KDDCUP_DATASET_NAMES
+        for row in rows:
+            assert row["paper"] == PAPER_STATISTICS[row["dataset"]]
+            # The dense datasets C and D are scaled down (fewer classes); the
+            # sparse ones keep the paper's class count exactly.
+            assert row["generated"]["classes"] <= row["paper"]["classes"]
+
+    def test_class_count_matches_paper(self):
+        for name in ("A", "B", "E"):
+            graph = make_kddcup_dataset(name, scale=0.2)
+            assert graph.num_classes == PAPER_STATISTICS[name]["classes"]
+
+
+class TestCitationAndArxiv:
+    @pytest.mark.parametrize("name", CITATION_DATASET_NAMES)
+    def test_citation_datasets_have_fixed_split(self, name):
+        graph = make_citation_dataset(name, scale=0.3, seed=0)
+        assert graph.train_mask is not None
+        assert graph.train_mask.sum() == 20 * graph.num_classes
+        assert graph.metadata["split_protocol"] == "planetoid-fixed"
+
+    def test_citation_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_citation_dataset("nonexistent")
+
+    def test_arxiv_scalability_role(self):
+        arxiv = make_arxiv_dataset(scale=0.1, seed=0)
+        cora = make_citation_dataset("cora", scale=0.3, seed=0)
+        assert arxiv.num_nodes > cora.num_nodes
+        assert arxiv.directed
+        total = (arxiv.train_mask.sum() + arxiv.val_mask.sum() + arxiv.test_mask.sum())
+        assert total == arxiv.num_nodes
+
+
+class TestProteins:
+    def test_dataset_composition(self, proteins_small):
+        assert len(proteins_small) == 40
+        assert proteins_small.num_classes == 2
+        assert set(proteins_small.labels) == {0, 1}
+        total = (len(proteins_small.train_index) + len(proteins_small.val_index)
+                 + len(proteins_small.test_index))
+        assert total == 40
+
+    def test_subset(self, proteins_small):
+        graphs, labels = proteins_small.subset([0, 1, 2])
+        assert len(graphs) == 3 and labels.shape == (3,)
+
+    def test_class_structure_differs(self):
+        dataset = make_proteins_dataset(num_graphs=60, seed=0)
+        sizes = {0: [], 1: []}
+        for graph, label in zip(dataset.graphs, dataset.labels):
+            sizes[int(label)].append(graph.num_nodes)
+        assert np.mean(sizes[1]) > np.mean(sizes[0])
+
+
+class TestRegistry:
+    def test_builtin_datasets_registered(self):
+        for name in ("kddcup-a", "cora", "arxiv"):
+            assert name in DATASETS
+
+    def test_load_dataset_by_name(self):
+        graph = load_dataset("kddcup-B", scale=0.15, seed=1)
+        assert graph.name == "kddcup-B"
+
+    def test_load_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("not-a-dataset")
+
+    def test_register_duplicate_raises(self):
+        with pytest.raises(KeyError):
+            register_dataset("cora", lambda **kwargs: None)
+
+    def test_register_custom(self):
+        register_dataset("custom-test-dataset",
+                         lambda **kwargs: make_attributed_sbm(num_nodes=50, **kwargs),
+                         overwrite=True)
+        graph = load_dataset("custom-test-dataset", seed=1)
+        assert graph.num_nodes == 50
+
+
+class TestAutoGraphIO:
+    def test_roundtrip(self, tmp_path, kddcup_a_small):
+        directory = os.path.join(tmp_path, "dataset_a")
+        save_autograph_directory(kddcup_a_small, directory, time_budget=123.0)
+        loaded = load_autograph_directory(directory)
+        assert loaded.num_nodes == kddcup_a_small.num_nodes
+        assert loaded.num_edges == kddcup_a_small.num_edges
+        assert loaded.num_classes == kddcup_a_small.num_classes
+        assert np.array_equal(loaded.labels, kddcup_a_small.labels)
+        assert np.allclose(loaded.features, kddcup_a_small.features, atol=1e-6)
+        assert loaded.metadata["time_budget"] == pytest.approx(123.0)
+        assert np.array_equal(np.where(loaded.test_mask)[0],
+                              np.where(kddcup_a_small.test_mask)[0])
+
+    def test_directory_contains_expected_files(self, tmp_path, tiny_graph):
+        directory = os.path.join(tmp_path, "tiny")
+        save_autograph_directory(tiny_graph, directory)
+        expected = {"train_node_id.txt", "test_node_id.txt", "edge.tsv", "feature.tsv",
+                    "train_label.tsv", "config.yml"}
+        assert expected.issubset(set(os.listdir(directory)))
+
+    def test_directed_flag_preserved(self, tmp_path):
+        graph = make_kddcup_dataset("D", scale=0.15, seed=0)
+        directory = os.path.join(tmp_path, "dataset_d")
+        save_autograph_directory(graph, directory)
+        assert load_autograph_directory(directory).directed is True

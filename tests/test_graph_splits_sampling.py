@@ -1,0 +1,167 @@
+"""Tests for splitting protocols, proxy sub-sampling and edge sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.sampling import negative_edge_sampling, sample_proxy_subgraph, split_edges
+from repro.graph.splits import (
+    holdout_test_split,
+    planetoid_split,
+    random_split,
+    repeated_random_splits,
+    stratified_label_split,
+)
+
+
+class TestStratifiedSplit:
+    def test_disjoint_and_covering(self, tiny_graph):
+        rng = np.random.default_rng(0)
+        keep, holdout = stratified_label_split(tiny_graph.labels, 0.3, rng)
+        assert len(set(keep) & set(holdout)) == 0
+        assert len(keep) + len(holdout) == tiny_graph.num_nodes
+
+    def test_every_class_in_both_parts(self, tiny_graph):
+        rng = np.random.default_rng(1)
+        keep, holdout = stratified_label_split(tiny_graph.labels, 0.3, rng)
+        for part in (keep, holdout):
+            assert set(tiny_graph.labels[part]) == set(range(tiny_graph.num_classes))
+
+    def test_ignores_unlabelled_nodes(self):
+        labels = np.array([0, 1, -1, 0, 1, -1])
+        keep, holdout = stratified_label_split(labels, 0.5, np.random.default_rng(0))
+        assert 2 not in set(keep) | set(holdout)
+        assert 5 not in set(keep) | set(holdout)
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.floats(min_value=0.1, max_value=0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_disjoint(self, seed, fraction):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 4, size=60)
+        keep, holdout = stratified_label_split(labels, fraction, rng)
+        assert len(set(keep) & set(holdout)) == 0
+        assert set(keep) | set(holdout) == set(range(60))
+
+
+class TestRandomSplit:
+    def test_masks_disjoint(self, tiny_graph):
+        graph = random_split(tiny_graph, val_fraction=0.25, seed=0)
+        assert not np.any(graph.train_mask & graph.val_mask)
+        assert graph.train_mask.sum() + graph.val_mask.sum() == tiny_graph.num_nodes
+
+    def test_different_seeds_differ(self, tiny_graph):
+        a = random_split(tiny_graph, seed=0)
+        b = random_split(tiny_graph, seed=1)
+        assert not np.array_equal(a.train_mask, b.train_mask)
+
+    def test_same_seed_reproducible(self, tiny_graph):
+        a = random_split(tiny_graph, seed=5)
+        b = random_split(tiny_graph, seed=5)
+        assert np.array_equal(a.train_mask, b.train_mask)
+
+    def test_labelled_pool_restricts_masks(self, tiny_graph):
+        pool = np.arange(40)
+        graph = random_split(tiny_graph, seed=0, labelled_pool=pool)
+        used = np.where(graph.train_mask | graph.val_mask)[0]
+        assert set(used).issubset(set(pool))
+
+    def test_repeated_random_splits(self, tiny_graph):
+        splits = repeated_random_splits(tiny_graph, num_splits=3, seed=0)
+        assert len(splits) == 3
+        masks = [tuple(split.train_mask) for split in splits]
+        assert len(set(masks)) == 3
+
+
+class TestPlanetoidSplit:
+    def test_counts(self, tiny_graph):
+        graph = planetoid_split(tiny_graph, train_per_class=5, num_val=20, num_test=30, seed=0)
+        assert graph.train_mask.sum() == 5 * tiny_graph.num_classes
+        assert graph.val_mask.sum() == 20
+        assert graph.test_mask.sum() == 30
+
+    def test_masks_disjoint(self, tiny_graph):
+        graph = planetoid_split(tiny_graph, train_per_class=5, num_val=20, num_test=30, seed=0)
+        overlap = (graph.train_mask.astype(int) + graph.val_mask.astype(int)
+                   + graph.test_mask.astype(int))
+        assert overlap.max() == 1
+
+    def test_scales_down_for_small_graphs(self, tiny_graph):
+        graph = planetoid_split(tiny_graph, train_per_class=5, num_val=500, num_test=1000, seed=0)
+        assert graph.val_mask.sum() + graph.test_mask.sum() <= tiny_graph.num_nodes
+
+    def test_train_per_class_balanced(self, tiny_graph):
+        graph = planetoid_split(tiny_graph, train_per_class=5, num_val=20, num_test=20, seed=0)
+        train_labels = tiny_graph.labels[graph.mask_indices("train")]
+        counts = np.bincount(train_labels, minlength=tiny_graph.num_classes)
+        assert np.all(counts == 5)
+
+
+class TestHoldoutSplit:
+    def test_holdout_creates_test_mask_and_pool(self, tiny_graph):
+        graph = holdout_test_split(tiny_graph, test_fraction=0.25, seed=0)
+        assert graph.test_mask is not None
+        pool = graph.metadata["labelled_pool"]
+        assert len(set(pool) & set(graph.mask_indices("test"))) == 0
+
+
+class TestProxySampling:
+    def test_ratio_controls_size(self, tiny_graph):
+        sub = sample_proxy_subgraph(tiny_graph, 0.3, seed=0)
+        assert sub.num_nodes < tiny_graph.num_nodes
+        assert sub.num_nodes >= 0.2 * tiny_graph.num_nodes
+
+    def test_full_ratio_returns_copy(self, tiny_graph):
+        sub = sample_proxy_subgraph(tiny_graph, 1.0)
+        assert sub.num_nodes == tiny_graph.num_nodes
+        assert sub is not tiny_graph
+
+    def test_invalid_ratio(self, tiny_graph):
+        with pytest.raises(ValueError):
+            sample_proxy_subgraph(tiny_graph, 0.0)
+        with pytest.raises(ValueError):
+            sample_proxy_subgraph(tiny_graph, 1.5)
+
+    def test_every_class_survives(self, tiny_graph):
+        sub = sample_proxy_subgraph(tiny_graph, 0.2, seed=1)
+        assert set(sub.labels[sub.labels >= 0]) == set(range(tiny_graph.num_classes))
+
+    def test_metadata_records_ratio(self, tiny_graph):
+        sub = sample_proxy_subgraph(tiny_graph, 0.4, seed=0)
+        assert sub.metadata["proxy_ratio"] == pytest.approx(0.4)
+
+
+class TestEdgeSampling:
+    def test_negative_edges_are_not_edges(self, tiny_graph):
+        negatives = negative_edge_sampling(tiny_graph, 60, seed=0)
+        assert negatives.shape == (2, 60)
+        existing = set(map(tuple, tiny_graph.edge_index.T.tolist()))
+        for src, dst in negatives.T:
+            assert (src, dst) not in existing
+            assert (dst, src) not in existing
+            assert src != dst
+
+    def test_negative_edges_respect_exclusion(self, tiny_graph):
+        exclude = np.array([[0, 1], [1, 2]])
+        negatives = negative_edge_sampling(tiny_graph, 30, seed=1, exclude=exclude)
+        pairs = set(map(tuple, negatives.T.tolist()))
+        assert (0, 1) not in pairs and (1, 0) not in pairs
+
+    def test_dense_graph_raises(self):
+        from repro.graph import Graph
+
+        full = np.array([[i for i in range(4) for j in range(4) if i != j],
+                         [j for i in range(4) for j in range(4) if i != j]])
+        graph = Graph(edge_index=full, features=np.ones((4, 2)), labels=np.zeros(4))
+        with pytest.raises(RuntimeError):
+            negative_edge_sampling(graph, 10, seed=0)
+
+    def test_split_edges_partitions(self, tiny_graph):
+        train_graph, splits = split_edges(tiny_graph, val_fraction=0.1, test_fraction=0.2, seed=0)
+        assert train_graph.num_edges < tiny_graph.num_edges
+        assert splits["val_pos"].shape[0] == 2
+        assert splits["test_pos"].shape[1] == splits["test_neg"].shape[1]
+        # Held-out positives must not appear in the training message-passing graph.
+        train_pairs = set(map(tuple, train_graph.edge_index.T.tolist()))
+        for src, dst in splits["test_pos"].T:
+            assert (src, dst) not in train_pairs and (dst, src) not in train_pairs

@@ -1,0 +1,205 @@
+"""Tests for the Graph container, adjacency normalisation and batching."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Graph, GraphBatch, collate_graphs
+from repro.graph.normalize import (
+    add_self_loops,
+    build_adjacency,
+    laplacian,
+    normalized_adjacency,
+    scaled_laplacian,
+    to_undirected,
+)
+
+
+def small_graph(directed=False):
+    edge_index = np.array([[0, 1, 2, 3], [1, 2, 3, 0]])
+    features = np.arange(8, dtype=float).reshape(4, 2)
+    labels = np.array([0, 1, 0, 1])
+    return Graph(edge_index=edge_index, features=features, labels=labels, directed=directed,
+                 name="square")
+
+
+class TestGraphContainer:
+    def test_basic_properties(self):
+        graph = small_graph()
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 4
+        assert graph.num_features == 2
+        assert graph.num_classes == 2
+        assert graph.average_degree == pytest.approx(1.0)
+        assert np.allclose(graph.edge_weight, 1.0)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            Graph(edge_index=np.zeros((3, 2)), features=np.zeros((2, 2)), labels=np.zeros(2))
+        with pytest.raises(ValueError):
+            Graph(edge_index=np.array([[0], [5]]), features=np.zeros((2, 2)),
+                  labels=np.zeros(2))
+        with pytest.raises(ValueError):
+            Graph(edge_index=np.array([[0], [1]]), features=np.zeros((2, 2)),
+                  labels=np.zeros(3))
+        with pytest.raises(ValueError):
+            Graph(edge_index=np.array([[0], [1]]), features=np.zeros((2, 2)),
+                  labels=np.zeros(2), edge_weight=np.ones(3))
+
+    def test_labels_define_num_classes_with_unknowns(self):
+        graph = Graph(edge_index=np.array([[0], [1]]), features=np.zeros((3, 1)),
+                      labels=np.array([2, -1, 0]))
+        assert graph.num_classes == 3
+        assert list(graph.labeled_nodes()) == [0, 2]
+
+    def test_masks_and_mask_indices(self):
+        graph = small_graph()
+        graph = graph.with_masks(np.array([1, 0, 0, 0], bool), np.array([0, 1, 0, 0], bool),
+                                 np.array([0, 0, 1, 1], bool))
+        assert list(graph.mask_indices("train")) == [0]
+        assert list(graph.mask_indices("val")) == [1]
+        assert list(graph.mask_indices("test")) == [2, 3]
+        with pytest.raises(ValueError):
+            small_graph().mask_indices("train")
+
+    def test_degrees(self):
+        graph = small_graph()
+        assert graph.degrees().sum() == graph.num_edges
+
+    def test_subgraph_reindexes_nodes(self):
+        graph = small_graph()
+        sub = graph.subgraph(np.array([1, 2, 3]))
+        assert sub.num_nodes == 3
+        assert sub.edge_index.max() < 3
+        # Edges 1->2 and 2->3 survive; 0->1 and 3->0 are dropped.
+        assert sub.num_edges == 2
+        assert np.allclose(sub.features, graph.features[[1, 2, 3]])
+
+    def test_copy_is_independent(self):
+        graph = small_graph()
+        clone = graph.copy()
+        clone.features[0, 0] = 99.0
+        assert graph.features[0, 0] != 99.0
+
+    def test_with_features_validation(self):
+        graph = small_graph()
+        replaced = graph.with_features(np.ones((4, 7)))
+        assert replaced.num_features == 7
+        with pytest.raises(ValueError):
+            graph.with_features(np.ones((3, 2)))
+
+    def test_to_networkx(self):
+        graph = small_graph()
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 4
+        directed = small_graph(directed=True).to_networkx()
+        assert directed.is_directed()
+
+    def test_summary_matches_table_format(self):
+        graph = small_graph()
+        summary = graph.summary()
+        assert set(summary) >= {"name", "node_feat", "edge_feat", "directed",
+                                "nodes_train", "nodes_test", "edges", "classes"}
+
+    def test_adjacency_shapes(self):
+        graph = small_graph()
+        adj = graph.adjacency()
+        assert adj.shape == (4, 4)
+        assert (adj.diagonal() > 0).all()  # self loops added
+
+
+class TestNormalization:
+    def test_build_adjacency_symmetrises(self):
+        edge_index = np.array([[0, 1], [1, 2]])
+        adj = build_adjacency(edge_index, 3, make_undirected=True)
+        assert (adj != adj.T).nnz == 0
+
+    def test_build_adjacency_directed(self):
+        edge_index = np.array([[0], [1]])
+        adj = build_adjacency(edge_index, 2, make_undirected=False)
+        assert adj[0, 1] == 1 and adj[1, 0] == 0
+
+    def test_add_self_loops(self):
+        adj = sp.csr_matrix(np.zeros((3, 3)))
+        with_loops = add_self_loops(adj)
+        assert np.allclose(with_loops.diagonal(), 1.0)
+
+    def test_row_normalisation_rows_sum_to_one(self):
+        adj = build_adjacency(np.array([[0, 1, 2], [1, 2, 0]]), 3)
+        rw = normalized_adjacency(adj, normalization="rw", self_loops=True)
+        assert np.allclose(np.asarray(rw.sum(axis=1)).ravel(), 1.0)
+
+    def test_sym_normalisation_is_symmetric(self):
+        adj = build_adjacency(np.array([[0, 1, 2], [1, 2, 0]]), 3)
+        sym = normalized_adjacency(adj, normalization="sym", self_loops=True)
+        assert np.allclose(sym.toarray(), sym.toarray().T)
+
+    def test_none_normalisation_keeps_values(self):
+        adj = build_adjacency(np.array([[0], [1]]), 2)
+        raw = normalized_adjacency(adj, normalization="none", self_loops=False)
+        assert np.allclose(raw.toarray(), adj.toarray())
+
+    def test_unknown_normalisation_raises(self):
+        adj = sp.identity(3, format="csr")
+        with pytest.raises(ValueError):
+            normalized_adjacency(adj, normalization="bogus")
+
+    def test_laplacian_spectrum_bounds(self):
+        adj = build_adjacency(np.array([[0, 1, 2, 3], [1, 2, 3, 0]]), 4)
+        lap = laplacian(adj).toarray()
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert eigenvalues.min() >= -1e-8
+        assert eigenvalues.max() <= 2.0 + 1e-8
+        assert scaled_laplacian(adj).shape == (4, 4)
+
+    def test_to_undirected_deduplicates(self):
+        edge_index = np.array([[0, 1, 0], [1, 0, 1]])
+        weights = np.array([1.0, 5.0, 2.0])
+        undirected, new_weights = to_undirected(edge_index, weights)
+        assert undirected.shape[1] == 2  # (0,1) and (1,0)
+        assert new_weights.max() == 5.0
+
+    @given(st.integers(min_value=2, max_value=20), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_rw_rows_sum_to_one_property(self, num_nodes, seed):
+        rng = np.random.default_rng(seed)
+        num_edges = max(1, num_nodes)
+        edge_index = rng.integers(0, num_nodes, size=(2, num_edges))
+        adj = build_adjacency(edge_index, num_nodes)
+        rw = normalized_adjacency(adj, normalization="rw", self_loops=True)
+        assert np.allclose(np.asarray(rw.sum(axis=1)).ravel(), 1.0)
+
+
+class TestBatching:
+    def _graphs(self):
+        graphs = []
+        for size in (3, 4, 5):
+            edge_index = np.array([[i for i in range(size - 1)],
+                                   [i + 1 for i in range(size - 1)]])
+            graphs.append(Graph(edge_index=edge_index,
+                                features=np.ones((size, 2)) * size,
+                                labels=np.full(size, -1)))
+        return graphs
+
+    def test_collate_offsets_and_ids(self):
+        graphs = self._graphs()
+        batch = collate_graphs(graphs, [0, 1, 0])
+        assert batch.num_nodes == 12
+        assert batch.num_graphs == 3
+        assert batch.edge_index.max() < 12
+        assert np.array_equal(np.bincount(batch.graph_id), [3, 4, 5])
+        assert batch.adjacency().shape == (12, 12)
+
+    def test_collate_length_mismatch(self):
+        with pytest.raises(ValueError):
+            collate_graphs(self._graphs(), [0, 1])
+
+    def test_block_diagonal_structure(self):
+        graphs = self._graphs()
+        batch = collate_graphs(graphs, [0, 1, 0])
+        adj = batch.adjacency(self_loops=False).toarray()
+        # No edges may cross graph boundaries.
+        assert adj[:3, 3:].sum() == 0
+        assert adj[3:7, 7:].sum() == 0

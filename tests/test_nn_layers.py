@@ -1,0 +1,163 @@
+"""Shape and gradient-flow tests for every message-passing layer."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.nn import GraphTensors
+from repro.nn.layers import (
+    AGNNConv,
+    APPNPPropagation,
+    ARMAConv,
+    ChebConv,
+    DAGNNPropagation,
+    GATConv,
+    GCNConv,
+    GCNIIConv,
+    GINConv,
+    GatedGraphConv,
+    GraphConv,
+    JumpingKnowledge,
+    MixHopConv,
+    SAGEConv,
+    SGConv,
+    TAGConv,
+)
+
+
+@pytest.fixture(scope="module")
+def data(tiny_graph):
+    return GraphTensors.from_graph(tiny_graph)
+
+
+def features(data, dim=None):
+    if dim is None:
+        return data.features
+    rng = np.random.default_rng(0)
+    return Tensor(rng.normal(size=(data.num_nodes, dim)))
+
+
+def assert_layer_output(layer, data, in_dim=None, out_dim=8, extra=()):
+    x = features(data, in_dim)
+    out = layer(x, data, *extra) if extra else layer(x, data)
+    assert out.shape == (data.num_nodes, out_dim)
+    loss = (out * out).sum()
+    loss.backward()
+    grads = [p.grad for p in layer.parameters()]
+    assert grads and all(g is not None for g in grads)
+    assert all(np.isfinite(g).all() for g in grads)
+    return out
+
+
+class TestConvolutionalLayers:
+    def test_gcn_conv(self, data):
+        assert_layer_output(GCNConv(data.num_features, 8), data)
+
+    def test_gcn_conv_rw_propagation(self, data):
+        assert_layer_output(GCNConv(data.num_features, 8, propagation="rw"), data)
+
+    def test_sg_conv(self, data):
+        assert_layer_output(SGConv(data.num_features, 8, hops=3), data)
+
+    def test_tag_conv(self, data):
+        assert_layer_output(TAGConv(data.num_features, 8, hops=2), data)
+
+    def test_cheb_conv_orders(self, data):
+        assert_layer_output(ChebConv(data.num_features, 8, order=1), data)
+        assert_layer_output(ChebConv(data.num_features, 8, order=3), data)
+        with pytest.raises(ValueError):
+            ChebConv(4, 4, order=0)
+
+    def test_arma_conv(self, data):
+        assert_layer_output(ARMAConv(data.num_features, 8, num_iterations=2), data)
+
+
+class TestSpatialLayers:
+    def test_sage_mean(self, data):
+        assert_layer_output(SAGEConv(data.num_features, 8, aggregator="mean"), data)
+
+    def test_sage_pool(self, data):
+        assert_layer_output(SAGEConv(data.num_features, 8, aggregator="pool"), data)
+
+    def test_sage_invalid_aggregator(self):
+        with pytest.raises(ValueError):
+            SAGEConv(4, 4, aggregator="median")
+
+    def test_gin_conv(self, data):
+        assert_layer_output(GINConv(data.num_features, 8), data)
+
+    def test_gin_without_trainable_eps(self, data):
+        layer = GINConv(data.num_features, 8, train_eps=False)
+        assert layer.eps is None
+        assert_layer_output(layer, data)
+
+    def test_graph_conv(self, data):
+        assert_layer_output(GraphConv(data.num_features, 8), data)
+
+    def test_gated_graph_conv(self, data):
+        assert_layer_output(GatedGraphConv(data.num_features, 8, num_steps=2), data)
+
+
+class TestAttentionLayers:
+    def test_gat_conv_concat_heads(self, data):
+        assert_layer_output(GATConv(data.num_features, 8, heads=4), data)
+
+    def test_gat_conv_average_heads(self, data):
+        layer = GATConv(data.num_features, 8, heads=2, concat_heads=False)
+        x = features(data)
+        out = layer(x, data)
+        assert out.shape == (data.num_nodes, 8)
+
+    def test_gat_head_divisibility(self):
+        with pytest.raises(ValueError):
+            GATConv(4, 10, heads=3)
+
+    def test_gat_attention_dropout_only_in_training(self, data):
+        layer = GATConv(data.num_features, 8, heads=2, attention_dropout=0.5,
+                        rng=np.random.default_rng(0))
+        layer.eval()
+        a = layer(features(data), data).data
+        b = layer(features(data), data).data
+        assert np.allclose(a, b)
+
+    def test_agnn_conv_preserves_dimension(self, data):
+        layer = AGNNConv()
+        x = features(data, 8)
+        out = layer(x, data)
+        assert out.shape == (data.num_nodes, 8)
+
+
+class TestDeepLayers:
+    def test_gcnii_conv(self, data):
+        layer = GCNIIConv(8, alpha=0.1, beta=0.5)
+        x = features(data, 8)
+        initial = features(data, 8)
+        out = layer(x, initial, data)
+        assert out.shape == (data.num_nodes, 8)
+
+    def test_appnp_propagation_and_steps(self, data):
+        propagation = APPNPPropagation(num_iterations=4, teleport=0.2)
+        x = features(data, 8)
+        out = propagation(x, data)
+        steps = propagation.propagate_steps(x, data)
+        assert out.shape == (data.num_nodes, 8)
+        assert len(steps) == 4
+        assert np.allclose(steps[-1].data, out.data)
+
+    def test_dagnn_propagation(self, data):
+        layer = DAGNNPropagation(8, hops=3)
+        out = layer(features(data, 8), data)
+        assert out.shape == (data.num_nodes, 8)
+
+    def test_jumping_knowledge_modes(self, data):
+        states = [features(data, 8), features(data, 8)]
+        assert JumpingKnowledge("cat")(states).shape == (data.num_nodes, 16)
+        assert JumpingKnowledge("max")(states).shape == (data.num_nodes, 8)
+        assert JumpingKnowledge("mean")(states).shape == (data.num_nodes, 8)
+        with pytest.raises(ValueError):
+            JumpingKnowledge("sum")
+
+    def test_mixhop_conv_output_width(self, data):
+        layer = MixHopConv(data.num_features, 10, powers=(0, 1, 2))
+        out = layer(features(data), data)
+        assert out.shape == (data.num_nodes, 10)

@@ -1,0 +1,150 @@
+"""Tests for the full models, the GSE layer-weight contract and the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.nn import GraphTensors, MODEL_ZOO, ModelSpec, available_models, build_model, get_model_spec, register_model
+from repro.nn.models import GCN, MLPNode
+from repro.nn.models.base import GNNModel
+
+
+@pytest.fixture(scope="module")
+def data(tiny_split_graph):
+    return GraphTensors.from_graph(tiny_split_graph)
+
+
+class TestModelContract:
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_every_zoo_model_forward_and_encode(self, name, data, tiny_split_graph):
+        model = build_model(name, data.num_features, tiny_split_graph.num_classes,
+                            hidden=16, seed=0)
+        states = model.encode(data)
+        assert len(states) == model.num_layers
+        for state in states:
+            assert state.shape == (data.num_nodes, model.hidden)
+        logits = model(data)
+        assert logits.shape == (data.num_nodes, tiny_split_graph.num_classes)
+        assert np.isfinite(logits.data).all()
+
+    @pytest.mark.parametrize("name", ["gcn", "gat", "appnp", "gcnii"])
+    def test_gradients_reach_every_parameter(self, name, data, tiny_split_graph):
+        model = build_model(name, data.num_features, tiny_split_graph.num_classes,
+                            hidden=16, seed=0)
+        model.train()
+        labels = np.where(tiny_split_graph.labels >= 0, tiny_split_graph.labels, 0)
+        loss = F.cross_entropy(model(data), labels)
+        loss.backward()
+        for parameter_name, parameter in model.named_parameters():
+            assert parameter.grad is not None, parameter_name
+
+    def test_layer_weights_one_hot_matches_single_layer(self, data, tiny_split_graph):
+        model = GCN(data.num_features, tiny_split_graph.num_classes, hidden=16,
+                    num_layers=3, dropout=0.0, seed=0)
+        model.eval()
+        states = model.encode(data)
+        manual = model.head(states[1]).data
+        alpha = np.array([0.0, 1.0, 0.0])
+        assert np.allclose(model(data, layer_weights=alpha).data, manual)
+
+    def test_layer_weights_trainable_tensor(self, data, tiny_split_graph):
+        model = GCN(data.num_features, tiny_split_graph.num_classes, hidden=16,
+                    num_layers=2, dropout=0.0, seed=0)
+        alpha = Tensor(np.zeros(2), requires_grad=True)
+        loss = model(data, layer_weights=alpha).sum()
+        loss.backward()
+        assert alpha.grad is not None and np.any(alpha.grad != 0)
+
+    def test_layer_weight_length_mismatch(self, data, tiny_split_graph):
+        model = GCN(data.num_features, tiny_split_graph.num_classes, hidden=16, num_layers=2)
+        with pytest.raises(ValueError):
+            model(data, layer_weights=np.array([1.0, 0.0, 0.0]))
+
+    def test_predict_proba_is_simplex_and_restores_mode(self, data, tiny_split_graph):
+        model = build_model("gcn", data.num_features, tiny_split_graph.num_classes, hidden=16)
+        model.train()
+        probabilities = model.predict_proba(data)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert model.training is True
+
+    def test_different_seeds_give_different_parameters(self, data, tiny_split_graph):
+        a = build_model("gcn", data.num_features, tiny_split_graph.num_classes, hidden=16, seed=0)
+        b = build_model("gcn", data.num_features, tiny_split_graph.num_classes, hidden=16, seed=1)
+        assert not np.allclose(a.head.weight.data, b.head.weight.data)
+
+    def test_architecture_summary(self, data, tiny_split_graph):
+        model = build_model("gat", data.num_features, tiny_split_graph.num_classes, hidden=16)
+        summary = model.architecture_summary()
+        assert summary["parameters"] == model.num_parameters()
+        assert summary["name"] == "gat"
+
+    def test_mlp_ignores_graph_structure(self, data, tiny_split_graph):
+        model = MLPNode(data.num_features, tiny_split_graph.num_classes, hidden=16,
+                        dropout=0.0, seed=0)
+        model.eval()
+        original = model(data).data
+        shuffled_edges = data.edge_index[:, ::-1].copy()
+        permuted = GraphTensors(
+            features=data.features, adj_sym=data.adj_sym, adj_rw=data.adj_rw,
+            adj_raw=data.adj_raw, edge_index=shuffled_edges, edge_weight=data.edge_weight,
+            num_nodes=data.num_nodes, num_features=data.num_features)
+        assert np.allclose(model(permuted).data, original)
+
+    def test_jknet_default_combine_differs_from_last_layer(self, data, tiny_split_graph):
+        model = build_model("jknet-max", data.num_features, tiny_split_graph.num_classes,
+                            hidden=16, seed=0, dropout=0.0)
+        model.eval()
+        default = model(data).data
+        last_only = model(data, layer_weights=np.array([0.0, 0.0, 1.0])).data
+        assert not np.allclose(default, last_only)
+
+
+class TestModelZoo:
+    def test_zoo_size_and_families(self):
+        names = available_models()
+        assert len(names) >= 20
+        families = {get_model_spec(name).family for name in names}
+        assert {"convolutional-spectral", "convolutional-spatial", "attention",
+                "skip-connection", "gate", "decoupled"}.issubset(families)
+
+    def test_family_filter(self):
+        attention_models = available_models(family="attention")
+        assert "gat" in attention_models
+        assert "gcn" not in attention_models
+
+    def test_get_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model_spec("transformer-xl")
+
+    def test_register_duplicate_and_overwrite(self):
+        spec = get_model_spec("gcn")
+        with pytest.raises(KeyError):
+            register_model(spec)
+        register_model(spec, overwrite=True)
+
+    def test_register_custom_architecture(self, data, tiny_split_graph):
+        custom = ModelSpec(name="custom-gcn-wide", factory=GCN, family="custom",
+                           default_hidden=32, default_layers=2,
+                           description="NAS-discovered candidate")
+        register_model(custom, overwrite=True)
+        model = build_model("custom-gcn-wide", data.num_features,
+                            tiny_split_graph.num_classes)
+        assert model.hidden == 32
+
+    def test_hidden_fraction_builds_proxy_model(self, data, tiny_split_graph):
+        full = get_model_spec("gcn").build(data.num_features, tiny_split_graph.num_classes,
+                                           hidden=64)
+        proxy = get_model_spec("gcn").build(data.num_features, tiny_split_graph.num_classes,
+                                            hidden=64, hidden_fraction=0.5)
+        assert proxy.hidden == 32
+        assert proxy.num_parameters() < full.num_parameters()
+
+    def test_hidden_stays_divisible_by_four(self, data, tiny_split_graph):
+        model = get_model_spec("gat").build(data.num_features, tiny_split_graph.num_classes,
+                                            hidden=30, hidden_fraction=0.37)
+        assert model.hidden % 4 == 0 or model.hidden == 8
+
+    def test_build_model_wrapper(self, data, tiny_split_graph):
+        model = build_model("sgc", data.num_features, tiny_split_graph.num_classes, hidden=24)
+        assert isinstance(model, GNNModel)
+        assert model.model_name == "sgc"

@@ -1,0 +1,133 @@
+"""Tests for the evaluation metrics (accuracy, AUC, Kendall tau, rank score)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tasks import accuracy, auc_score, average_rank_score, kendall_tau, mean_and_std
+
+
+class TestAccuracy:
+    def test_from_class_indices(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_from_score_matrix(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert accuracy(scores, np.array([0, 1])) == 1.0
+
+    def test_empty_targets(self):
+        assert accuracy(np.zeros((0, 2)), np.zeros(0)) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1, 2]), np.array([1]))
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert auc_score(np.array([0.9, 0.8, 0.2, 0.1]), np.array([1, 1, 0, 0])) == 1.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(2000)
+        labels = rng.integers(0, 2, size=2000)
+        assert auc_score(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_get_half_credit(self):
+        assert auc_score(np.array([0.5, 0.5]), np.array([1, 0])) == pytest.approx(0.5)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            auc_score(np.array([0.5, 0.6]), np.array([1, 1]))
+
+    def test_reference_value(self):
+        scores = np.array([0.1, 0.4, 0.35, 0.8])
+        labels = np.array([0, 0, 1, 1])
+        assert auc_score(scores, labels) == pytest.approx(0.75)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_invariant_to_monotone_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=50)
+        labels = rng.integers(0, 2, size=50)
+        if labels.sum() in (0, 50):
+            labels[0] = 1 - labels[0]
+        assert auc_score(scores, labels) == pytest.approx(
+            auc_score(3 * scores + 7, labels))
+
+
+class TestKendallTau:
+    def test_identical_rankings(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == 1.0
+
+    def test_reversed_rankings(self):
+        assert kendall_tau([1, 2, 3, 4], [4, 3, 2, 1]) == -1.0
+
+    def test_partial_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [1, 2, 4, 3]) == pytest.approx(4 / 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            kendall_tau([1], [1])
+
+    def test_matches_scipy(self):
+        from scipy.stats import kendalltau
+
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=20), rng.normal(size=20)
+        assert kendall_tau(a, b) == pytest.approx(kendalltau(a, b).statistic, abs=1e-9)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded_and_symmetric(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.normal(size=12), rng.normal(size=12)
+        tau = kendall_tau(a, b)
+        assert -1.0 <= tau <= 1.0
+        assert tau == pytest.approx(kendall_tau(b, a))
+
+
+class TestAverageRankScore:
+    def test_paper_style_leaderboard(self):
+        scores = {
+            "d1": {"aister": 0.95, "pasa": 0.90, "qqerret": 0.85},
+            "d2": {"aister": 0.80, "pasa": 0.82, "qqerret": 0.70},
+        }
+        ranks = average_rank_score(scores)
+        assert ranks["aister"] == pytest.approx(1.5)
+        assert ranks["qqerret"] == pytest.approx(3.0)
+
+    def test_lower_is_better_winner(self):
+        scores = {"d1": {"a": 0.9, "b": 0.5}, "d2": {"a": 0.8, "b": 0.4}}
+        ranks = average_rank_score(scores)
+        assert ranks["a"] < ranks["b"]
+
+    def test_ties_share_rank(self):
+        ranks = average_rank_score({"d1": {"a": 0.5, "b": 0.5}})
+        assert ranks["a"] == ranks["b"] == pytest.approx(1.5)
+
+    def test_only_common_teams_ranked(self):
+        ranks = average_rank_score({"d1": {"a": 1.0, "b": 0.5}, "d2": {"a": 0.5}})
+        assert set(ranks) == {"a"}
+
+    def test_no_common_team_raises(self):
+        with pytest.raises(ValueError):
+            average_rank_score({"d1": {"a": 1.0}, "d2": {"b": 1.0}})
+
+    def test_error_metric_direction(self):
+        scores = {"d1": {"a": 0.1, "b": 0.9}}
+        ranks = average_rank_score(scores, higher_is_better=False)
+        assert ranks["a"] == 1.0
+
+
+class TestMeanStd:
+    def test_basic(self):
+        mean, std = mean_and_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(np.std([1, 2, 3]))
+
+    def test_empty(self):
+        assert mean_and_std([]) == (0.0, 0.0)

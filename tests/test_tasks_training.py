@@ -1,0 +1,178 @@
+"""Tests for the node-classification trainer, edge prediction and graph classification."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GraphTensors, build_model
+from repro.tasks import (
+    EdgePredictionTask,
+    EdgePredictor,
+    GraphClassificationTask,
+    GraphLevelModel,
+    NodeClassificationTrainer,
+    TrainConfig,
+    grid_search,
+)
+from repro.tasks.edge_prediction import EdgeTrainConfig
+from repro.tasks.graph_classification import GraphTrainConfig
+
+
+@pytest.fixture(scope="module")
+def trained_context(tiny_split_graph, tiny_data):
+    graph = tiny_split_graph
+    return graph, tiny_data, graph.mask_indices("train"), graph.mask_indices("val")
+
+
+class TestNodeClassificationTrainer:
+    def test_training_beats_random(self, trained_context):
+        graph, data, train_idx, val_idx = trained_context
+        model = build_model("gcn", data.num_features, graph.num_classes, hidden=16, seed=0)
+        trainer = NodeClassificationTrainer(TrainConfig(lr=0.02, max_epochs=60, patience=15))
+        result = trainer.train(model, data, graph.labels, train_idx, val_idx)
+        assert result.best_val_accuracy > 1.5 / graph.num_classes
+        assert result.epochs_run <= 60
+        assert result.history
+
+    def test_early_stopping_limits_epochs(self, trained_context):
+        graph, data, train_idx, val_idx = trained_context
+        model = build_model("mlp", data.num_features, graph.num_classes, hidden=8, seed=0)
+        trainer = NodeClassificationTrainer(TrainConfig(lr=0.05, max_epochs=500, patience=3))
+        result = trainer.train(model, data, graph.labels, train_idx, val_idx)
+        assert result.epochs_run < 500
+
+    def test_best_weights_restored(self, trained_context):
+        graph, data, train_idx, val_idx = trained_context
+        model = build_model("gcn", data.num_features, graph.num_classes, hidden=16, seed=0)
+        trainer = NodeClassificationTrainer(TrainConfig(lr=0.05, max_epochs=40, patience=40))
+        result = trainer.train(model, data, graph.labels, train_idx, val_idx)
+        final_val = trainer.evaluate(model, data, graph.labels, val_idx)
+        assert final_val == pytest.approx(result.best_val_accuracy, abs=1e-9)
+
+    def test_result_summary_keys(self, trained_context):
+        graph, data, train_idx, val_idx = trained_context
+        model = build_model("sgc", data.num_features, graph.num_classes, hidden=8, seed=0)
+        trainer = NodeClassificationTrainer(TrainConfig(lr=0.05, max_epochs=15))
+        summary = trainer.train(model, data, graph.labels, train_idx, val_idx).summary()
+        assert set(summary) == {"best_val_accuracy", "best_epoch", "epochs_run", "train_time"}
+
+    def test_soft_targets_accepted(self, trained_context):
+        graph, data, train_idx, val_idx = trained_context
+        model = build_model("gcn", data.num_features, graph.num_classes, hidden=16, seed=0)
+        soft = np.full((graph.num_nodes, graph.num_classes), 1.0 / graph.num_classes)
+        trainer = NodeClassificationTrainer(TrainConfig(lr=0.02, max_epochs=10))
+        result = trainer.train(model, data, graph.labels, train_idx, val_idx, soft_targets=soft)
+        assert result.best_val_accuracy > 0
+
+    def test_evaluate_empty_index(self, trained_context):
+        graph, data, train_idx, val_idx = trained_context
+        model = build_model("mlp", data.num_features, graph.num_classes, hidden=8)
+        assert NodeClassificationTrainer.evaluate(model, data, graph.labels,
+                                                  np.array([], dtype=int)) == 0.0
+
+    def test_config_overrides(self):
+        config = TrainConfig(lr=0.01).with_overrides(lr=0.5, patience=7)
+        assert config.lr == 0.5 and config.patience == 7
+
+    def test_grid_search_returns_best(self, trained_context):
+        graph, data, train_idx, val_idx = trained_context
+
+        def build(dropout, seed):
+            return build_model("gcn", data.num_features, graph.num_classes,
+                               hidden=16, dropout=dropout, seed=seed)
+
+        outcome = grid_search(build, data, graph.labels, train_idx, val_idx,
+                              base_config=TrainConfig(max_epochs=15, patience=5),
+                              lr_grid=(0.05, 0.005), dropout_grid=(0.5, 0.1))
+        assert len(outcome["trials"]) == 4
+        best_acc = outcome["best"]["result"].best_val_accuracy
+        assert best_acc == max(t["result"].best_val_accuracy for t in outcome["trials"])
+
+    def test_grid_search_max_trials(self, trained_context):
+        graph, data, train_idx, val_idx = trained_context
+
+        def build(dropout, seed):
+            return build_model("mlp", data.num_features, graph.num_classes,
+                               hidden=8, dropout=dropout, seed=seed)
+
+        outcome = grid_search(build, data, graph.labels, train_idx, val_idx,
+                              base_config=TrainConfig(max_epochs=5),
+                              lr_grid=(0.05, 0.01), dropout_grid=(0.5, 0.1), max_trials=2)
+        assert len(outcome["trials"]) == 2
+
+
+class TestEdgePrediction:
+    @pytest.fixture(scope="class")
+    def task(self, tiny_graph):
+        return EdgePredictionTask(tiny_graph, val_fraction=0.08, test_fraction=0.12, seed=0)
+
+    def test_training_improves_over_random(self, task, tiny_graph):
+        encoder = build_model("gcn", tiny_graph.num_features, 8, hidden=16, seed=0, dropout=0.0)
+        predictor = EdgePredictor(encoder)
+        outcome = task.train(predictor, EdgeTrainConfig(lr=0.05, max_epochs=60, patience=30))
+        assert outcome["test_auc"] > 0.55
+        assert outcome["val_auc"] > 0.55
+
+    def test_score_edges_shape(self, task, tiny_graph):
+        encoder = build_model("sgc", tiny_graph.num_features, 8, hidden=16, seed=0)
+        predictor = EdgePredictor(encoder)
+        edges = task.edge_splits["val_pos"]
+        probabilities = task.score_edges_proba(predictor, edges)
+        assert probabilities.shape == (edges.shape[1],)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_train_graph_excludes_heldout_edges(self, task, tiny_graph):
+        assert task.train_graph.num_edges < tiny_graph.num_edges
+
+    def test_encoder_parameters_are_trained(self, task, tiny_graph):
+        encoder = build_model("gcn", tiny_graph.num_features, 8, hidden=16, seed=0, dropout=0.0)
+        predictor = EdgePredictor(encoder)
+        before = [p.data.copy() for p in predictor.parameters()]
+        task.train(predictor, EdgeTrainConfig(lr=0.05, max_epochs=5, patience=5))
+        after = [p.data for p in predictor.parameters()]
+        assert any(not np.allclose(b, a) for b, a in zip(before, after))
+
+
+class TestGraphClassification:
+    @pytest.fixture(scope="class")
+    def task(self, proteins_small):
+        return GraphClassificationTask(proteins_small)
+
+    def test_batches_built_per_split(self, task, proteins_small):
+        assert task.num_classes == 2
+        assert task.batch("train").num_graphs == len(proteins_small.train_index)
+        assert task.labels("val").shape == (len(proteins_small.val_index),)
+
+    def test_training_beats_chance(self, task):
+        backbone = build_model("gin", task.num_features, task.num_classes, hidden=16,
+                               seed=0, dropout=0.1)
+        model = GraphLevelModel(backbone, task.num_classes)
+        outcome = task.train(model, GraphTrainConfig(lr=0.01, max_epochs=60, patience=20))
+        assert outcome["test_accuracy"] > 0.6
+
+    def test_readout_modes(self, task):
+        backbone = build_model("gcn", task.num_features, task.num_classes, hidden=16, seed=0)
+        for readout in ("mean", "max", "meanmax"):
+            model = GraphLevelModel(backbone, task.num_classes, readout=readout)
+            logits = model(task.batch("val"))
+            assert logits.shape == (task.batch("val").num_graphs, task.num_classes)
+        with pytest.raises(ValueError):
+            GraphLevelModel(backbone, task.num_classes, readout="sum")
+
+    def test_encode_layer_states_are_graph_level(self, task):
+        backbone = build_model("gcn", task.num_features, task.num_classes, hidden=16, seed=0)
+        model = GraphLevelModel(backbone, task.num_classes)
+        states = model.encode(task.batch("train"))
+        assert len(states) == backbone.num_layers
+        assert states[0].shape[0] == task.batch("train").num_graphs
+
+    def test_requires_batched_input(self, task, tiny_data):
+        backbone = build_model("gcn", tiny_data.num_features, 2, hidden=16, seed=0)
+        model = GraphLevelModel(backbone, 2)
+        with pytest.raises(ValueError):
+            model.encode(tiny_data)
+
+    def test_predict_proba_simplex(self, task):
+        backbone = build_model("gcn", task.num_features, task.num_classes, hidden=16, seed=0)
+        model = GraphLevelModel(backbone, task.num_classes)
+        probabilities = model.predict_proba(task.batch("test"))
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
