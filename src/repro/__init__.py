@@ -30,8 +30,17 @@ from repro.core import (
 from repro.datasets import load_dataset
 from repro.graph import Graph
 from repro.nn import GraphTensors, available_models, build_model
+from repro.parallel import (
+    ComputeCache,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    compute_cache,
+    get_backend,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AutoHEnsGNN",
@@ -46,5 +55,12 @@ __all__ = [
     "load_dataset",
     "available_models",
     "build_model",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "get_backend",
+    "ComputeCache",
+    "compute_cache",
     "__version__",
 ]

@@ -21,13 +21,26 @@ from repro.autograd.tensor import Tensor
 class SparseTensor:
     """An immutable sparse matrix used as a constant in autograd expressions."""
 
-    __slots__ = ("matrix",)
+    __slots__ = ("matrix", "_transposed_csr", "_fingerprint")
 
     def __init__(self, matrix: Union[sp.spmatrix, np.ndarray]) -> None:
         if sp.issparse(matrix):
-            self.matrix = matrix.tocsr().astype(np.float64)
+            # Zero-copy alias only for matrices whose buffers are already
+            # read-only (the ComputeCache freezes its values): each graph
+            # then shares one CSR per operator, and an in-place write through
+            # any alias raises instead of corrupting concurrent trainings.
+            # Caller-owned (writable) matrices are copied, as the seed
+            # implementation always did, so constructing a SparseTensor
+            # never freezes or aliases a matrix the caller may still mutate.
+            if isinstance(matrix, sp.csr_matrix) and matrix.dtype == np.float64 \
+                    and not matrix.data.flags.writeable:
+                self.matrix = matrix
+            else:
+                self.matrix = matrix.tocsr().astype(np.float64)
         else:
             self.matrix = sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+        self._transposed_csr = None
+        self._fingerprint = None
 
     @property
     def shape(self) -> tuple:
@@ -36,6 +49,37 @@ class SparseTensor:
     @property
     def nnz(self) -> int:
         return self.matrix.nnz
+
+    @property
+    def transposed_csr(self) -> sp.csr_matrix:
+        """The CSR transpose, built once and reused by every backward pass.
+
+        The matrix is an immutable constant, so the transpose never goes
+        stale; computing it per ``spmm`` call (as the seed implementation
+        did) redid an O(nnz) conversion on every gradient-requiring forward.
+        """
+        if self._transposed_csr is None:
+            self._transposed_csr = self.matrix.T.tocsr()
+        return self._transposed_csr
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash identifying this matrix in the shared compute cache."""
+        if self._fingerprint is None:
+            from repro.parallel.cache import csr_fingerprint
+
+            self._fingerprint = csr_fingerprint(self.matrix)
+        return self._fingerprint
+
+    def __getstate__(self) -> dict:
+        # Derived fields are cheap to rebuild; keep pickles (sent to process
+        # backend workers) small by dropping them.
+        return {"matrix": self.matrix}
+
+    def __setstate__(self, state: dict) -> None:
+        self.matrix = state["matrix"]
+        self._transposed_csr = None
+        self._fingerprint = None
 
     def to_dense(self) -> np.ndarray:
         return np.asarray(self.matrix.todense())
@@ -67,7 +111,7 @@ def spmm(sparse: SparseTensor, dense: Tensor) -> Tensor:
     out_data = sparse.matrix @ dense.data
     out = Tensor(out_data, requires_grad=dense.requires_grad, _prev=(dense,) if dense.requires_grad else ())
     if out.requires_grad:
-        transposed = sparse.matrix.T.tocsr()
+        transposed = sparse.transposed_csr
 
         def _backward(grad: np.ndarray) -> None:
             dense._accumulate(transposed @ grad)

@@ -15,30 +15,34 @@ experiments.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_GRAD_ENABLED = True
+# Grad mode is thread-local so that one thread evaluating under ``no_grad()``
+# (e.g. the per-epoch validation pass) cannot switch off graph recording for
+# models being trained concurrently on other threads by the parallel
+# execution backends.
+_GRAD_STATE = threading.local()
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradient information."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables graph recording (like ``torch.no_grad``)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
@@ -90,7 +94,7 @@ class Tensor:
     ) -> None:
         self.data = _as_array(data)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._prev: tuple = tuple(_prev)
         self.name = name
@@ -151,7 +155,7 @@ class Tensor:
 
     def _make(self, data: np.ndarray, parents: Iterable["Tensor"]) -> "Tensor":
         parents = tuple(parents)
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
         return out
 

@@ -52,12 +52,17 @@ class CompetitionSubmission:
                 handle.write(f"{int(node)}\t{int(prediction)}\n")
 
 
-def competition_config(time_budget: Optional[float], seed: int = 0) -> AutoHEnsGNNConfig:
+def competition_config(time_budget: Optional[float], seed: int = 0,
+                       backend: str = "serial",
+                       max_workers: Optional[int] = None) -> AutoHEnsGNNConfig:
     """The configuration submitted to the challenge.
 
     The adaptive search is used (bounded GPU memory), the search space of α
     and the hyper-parameter grids are reduced, and a couple of bagging splits
-    are kept only when the budget allows it.
+    are kept only when the budget allows it.  ``backend`` selects the
+    :mod:`repro.parallel` execution backend; under a tight budget, parallel
+    candidate evaluation and member training are the main lever for staying
+    inside the per-dataset wall clock.
     """
     tight_budget = time_budget is not None and time_budget < 150
     return AutoHEnsGNNConfig(
@@ -71,15 +76,20 @@ def competition_config(time_budget: Optional[float], seed: int = 0) -> AutoHEnsG
                           hidden_fraction=0.5, max_epochs=30, seed=seed),
         time_budget=time_budget,
         seed=seed,
+        backend=backend,
+        max_workers=max_workers,
     )
 
 
 class AutoGraphRunner:
     """Run the automated pipeline over a collection of challenge-format datasets."""
 
-    def __init__(self, candidate_models: Optional[Sequence[str]] = None, seed: int = 0) -> None:
+    def __init__(self, candidate_models: Optional[Sequence[str]] = None, seed: int = 0,
+                 backend: str = "serial", max_workers: Optional[int] = None) -> None:
         self.candidate_models = candidate_models
         self.seed = seed
+        self.backend = backend
+        self.max_workers = max_workers
 
     # ------------------------------------------------------------------
     # Single dataset
@@ -93,7 +103,8 @@ class AutoGraphRunner:
         name = dataset_name or graph.name
         budget_seconds = time_budget if time_budget is not None \
             else graph.metadata.get("time_budget")
-        config = competition_config(budget_seconds, seed=self.seed)
+        config = competition_config(budget_seconds, seed=self.seed,
+                                    backend=self.backend, max_workers=self.max_workers)
         if self.candidate_models is not None:
             config.candidate_models = list(self.candidate_models)
         budget = TimeBudget(budget_seconds)

@@ -27,7 +27,27 @@ from repro.core.hierarchical import HierarchicalEnsemble
 from repro.graph.graph import Graph
 from repro.nn.data import GraphTensors
 from repro.nn.model_zoo import get_model_spec
+from repro.parallel.backends import BackendLike, get_backend
 from repro.tasks.trainer import NodeClassificationTrainer, TrainConfig
+
+
+def _score_depth(task) -> float:
+    """Train one (architecture, depth) grid point; picklable for process pools."""
+    (spec_name, depth, data, labels, train_index, val_index, num_classes,
+     hidden, hidden_fraction, train_config, seed) = task
+    spec = get_model_spec(spec_name)
+    model = spec.build(
+        in_features=data.num_features,
+        num_classes=num_classes,
+        hidden=hidden,
+        num_layers=depth,
+        hidden_fraction=hidden_fraction,
+        seed=seed,
+    )
+    alpha = one_hot_alpha(model.num_layers, model.num_layers)
+    result = NodeClassificationTrainer(train_config).train(
+        model, data, labels, train_index, val_index, layer_weights=alpha)
+    return result.best_val_accuracy
 
 
 def adaptive_beta(accuracies: Sequence[float], num_edges: int, num_nodes: int,
@@ -68,7 +88,9 @@ class AdaptiveSearch:
 
     def __init__(self, pool: Sequence[str], ensemble_size: int = 3, max_layers: int = 4,
                  hidden: int = 64, adaptive_config: Optional[AdaptiveConfig] = None,
-                 train_config: Optional[TrainConfig] = None, seed: int = 0) -> None:
+                 train_config: Optional[TrainConfig] = None, seed: int = 0,
+                 backend: BackendLike = None,
+                 max_workers: Optional[int] = None) -> None:
         self.pool = list(pool)
         self.ensemble_size = ensemble_size
         self.max_layers = max_layers
@@ -76,31 +98,17 @@ class AdaptiveSearch:
         self.adaptive_config = adaptive_config or AdaptiveConfig()
         self.train_config = train_config or TrainConfig(lr=0.02, max_epochs=120, patience=15)
         self.seed = seed
+        self.backend = get_backend(backend, max_workers=max_workers)
 
-    # ------------------------------------------------------------------
-    # Depth grid search (one proxy-sized model per depth)
-    # ------------------------------------------------------------------
-    def _search_depth(self, spec_name: str, data: GraphTensors, labels: np.ndarray,
-                      train_index: np.ndarray, val_index: np.ndarray,
-                      num_classes: int, hidden_fraction: float) -> (int, List[float]):
-        spec = get_model_spec(spec_name)
-        trainer = NodeClassificationTrainer(self.train_config)
-        scores: List[float] = []
-        for depth in range(1, self.max_layers + 1):
-            model = spec.build(
-                in_features=data.num_features,
-                num_classes=num_classes,
-                hidden=self.hidden,
-                num_layers=depth,
-                hidden_fraction=hidden_fraction,
-                seed=self.seed,
-            )
-            alpha = one_hot_alpha(model.num_layers, model.num_layers)
-            result = trainer.train(model, data, labels, train_index, val_index,
-                                   layer_weights=alpha)
-            scores.append(result.best_val_accuracy)
-        best_depth = int(np.argmax(scores)) + 1
-        return best_depth, scores
+    def close(self) -> None:
+        """Release pooled workers (use the search as a context manager)."""
+        self.backend.close()
+
+    def __enter__(self) -> "AdaptiveSearch":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Full search
@@ -108,14 +116,25 @@ class AdaptiveSearch:
     def search(self, graph: Graph, data: GraphTensors, labels: np.ndarray,
                train_index: np.ndarray, val_index: np.ndarray,
                num_classes: int, hidden_fraction: float = 0.5) -> AdaptiveSearchResult:
-        """Choose a depth per architecture and compute the adaptive β."""
+        """Choose a depth per architecture and compute the adaptive β.
+
+        Every (architecture, depth) grid point is an independent training run,
+        so the whole ``N x L`` grid is flattened onto the execution backend.
+        """
+        tasks = [
+            (spec_name, depth, data, labels, train_index, val_index, num_classes,
+             self.hidden, hidden_fraction, self.train_config, self.seed)
+            for spec_name in self.pool
+            for depth in range(1, self.max_layers + 1)
+        ]
+        report = self.backend.map(_score_depth, tasks)
         chosen_layers: Dict[str, int] = {}
         layer_scores: Dict[str, List[float]] = {}
         best_scores: List[float] = []
-        for spec_name in self.pool:
-            depth, scores = self._search_depth(spec_name, data, labels, train_index,
-                                               val_index, num_classes, hidden_fraction)
-            chosen_layers[spec_name] = depth
+        for pool_index, spec_name in enumerate(self.pool):
+            scores = list(report.results[pool_index * self.max_layers:
+                                         (pool_index + 1) * self.max_layers])
+            chosen_layers[spec_name] = int(np.argmax(scores)) + 1
             layer_scores[spec_name] = scores
             best_scores.append(max(scores))
         beta = adaptive_beta(best_scores, graph.num_edges, graph.num_nodes,

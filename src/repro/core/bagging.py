@@ -13,10 +13,29 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.automl.budget import TimeBudget
 from repro.graph.graph import Graph
 from repro.graph.splits import random_split
 from repro.nn.data import GraphTensors
+from repro.parallel.backends import BackendLike, scoped_backend
 from repro.tasks.metrics import accuracy
+
+
+def _fit_split(task) -> Dict[str, object]:
+    """Train one bagging split; module-level so process workers can run it."""
+    fit_predict_fn, graph, data, val_fraction, seed, labelled_pool, split_index = task
+    split_graph = random_split(graph, val_fraction=val_fraction,
+                               seed=seed + 7919 * split_index,
+                               labelled_pool=labelled_pool)
+    probabilities = fit_predict_fn(split_graph, data, split_index)
+    return {
+        "probabilities": np.asarray(probabilities),
+        "description": {
+            "split": split_index,
+            "train_nodes": int(split_graph.train_mask.sum()),
+            "val_nodes": int(split_graph.val_mask.sum()),
+        },
+    }
 
 
 @dataclass
@@ -28,6 +47,12 @@ class BaggingEnsemble:
     probability matrix for *all* nodes.  The bagging ensemble averages those
     matrices; it is agnostic to whether the per-split predictor is a single
     model, a GSE or a full hierarchical ensemble.
+
+    Splits are independent, so they run concurrently on any
+    :mod:`repro.parallel` backend (the process backend additionally requires
+    ``fit_predict_fn`` to be picklable).  Under a nearly-exhausted
+    :class:`TimeBudget` later splits are simply not dispatched; at least one
+    split always trains.
     """
 
     num_splits: int = 2
@@ -38,20 +63,18 @@ class BaggingEnsemble:
 
     def fit(self, graph: Graph, data: GraphTensors,
             fit_predict_fn: Callable[[Graph, GraphTensors, int], np.ndarray],
-            labelled_pool: Optional[np.ndarray] = None) -> "BaggingEnsemble":
-        self.probabilities = []
-        self.split_descriptions = []
-        for split_index in range(self.num_splits):
-            split_graph = random_split(graph, val_fraction=self.val_fraction,
-                                       seed=self.seed + 7919 * split_index,
-                                       labelled_pool=labelled_pool)
-            probabilities = fit_predict_fn(split_graph, data, split_index)
-            self.probabilities.append(np.asarray(probabilities))
-            self.split_descriptions.append({
-                "split": split_index,
-                "train_nodes": int(split_graph.train_mask.sum()),
-                "val_nodes": int(split_graph.val_mask.sum()),
-            })
+            labelled_pool: Optional[np.ndarray] = None,
+            backend: BackendLike = None,
+            budget: Optional[TimeBudget] = None) -> "BaggingEnsemble":
+        tasks = [
+            (fit_predict_fn, graph, data, self.val_fraction, self.seed,
+             labelled_pool, split_index)
+            for split_index in range(self.num_splits)
+        ]
+        with scoped_backend(backend) as executor:
+            report = executor.map(_fit_split, tasks, budget=budget, min_results=1)
+        self.probabilities = [outcome["probabilities"] for outcome in report.results]
+        self.split_descriptions = [outcome["description"] for outcome in report.results]
         return self
 
     def predict_proba(self) -> np.ndarray:

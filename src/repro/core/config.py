@@ -71,3 +71,7 @@ class AutoHEnsGNNConfig:
     time_budget: Optional[float] = None
     seed: int = 0
     verbose: bool = False
+    # Parallel execution (repro.parallel): "serial", "thread" or "process".
+    # Every backend produces bit-identical predictions at a fixed seed.
+    backend: str = "serial"
+    max_workers: Optional[int] = None

@@ -19,8 +19,27 @@ import numpy as np
 from repro.nn.data import GraphTensors
 from repro.nn.model_zoo import ModelSpec, get_model_spec
 from repro.nn.models.base import GNNModel
+from repro.parallel.backends import BackendLike, scoped_backend
 from repro.tasks.metrics import accuracy
 from repro.tasks.trainer import NodeClassificationTrainer, TrainConfig
+
+
+def fit_member(task) -> tuple:
+    """Train one GSE member; returns ``(state_dict, best_val_accuracy, rng_state)``.
+
+    Module-level so the process backend can pickle it.  The trained weights
+    travel back as a plain array dict and are loaded into the parent's member
+    object.  The consumed RNG state travels back too: training advances the
+    member's generator (dropout masks), and without restoring it a *second*
+    ``fit`` on the same members would draw different masks under the process
+    backend than under serial/thread — breaking the bit-for-bit contract.
+    """
+    member, alpha, data, labels, train_index, val_index, config = task
+    trainer = NodeClassificationTrainer(config)
+    result = trainer.train(member, data, labels, train_index, val_index,
+                           layer_weights=alpha)
+    return (member.state_dict(), result.best_val_accuracy,
+            member.rng.bit_generator.state)
 
 
 def one_hot_alpha(num_layers: int, chosen_layer: int) -> np.ndarray:
@@ -92,19 +111,50 @@ class GraphSelfEnsemble:
     # ------------------------------------------------------------------
     def fit(self, data: GraphTensors, labels: np.ndarray, train_index: np.ndarray,
             val_index: np.ndarray, train_config: Optional[TrainConfig] = None,
-            num_classes: Optional[int] = None) -> "GraphSelfEnsemble":
-        """Train every member independently and record its validation accuracy."""
+            num_classes: Optional[int] = None,
+            backend: BackendLike = None) -> "GraphSelfEnsemble":
+        """Train every member independently and record its validation accuracy.
+
+        The K members only differ in their initialisation seed, so they can
+        train concurrently on any :mod:`repro.parallel` backend.
+        """
+        tasks = self.member_tasks(data, labels, train_index, val_index,
+                                  train_config=train_config, num_classes=num_classes)
+        with scoped_backend(backend) as executor:
+            report = executor.map(fit_member, tasks)
+        self.apply_member_results(report.results)
+        return self
+
+    def member_tasks(self, data: GraphTensors, labels: np.ndarray,
+                     train_index: np.ndarray, val_index: np.ndarray,
+                     train_config: Optional[TrainConfig] = None,
+                     num_classes: Optional[int] = None) -> List[tuple]:
+        """Build the per-member training tasks consumed by :func:`fit_member`.
+
+        Exposed so :class:`~repro.core.hierarchical.HierarchicalEnsemble` can
+        flatten the tasks of all its GSEs onto one backend map instead of
+        synchronising after every GSE.
+        """
         if not self.members:
             classes = num_classes if num_classes is not None else int(np.max(labels) + 1)
             self.build_members(data.num_features, classes)
         config = train_config or TrainConfig()
+        return [
+            (member, self._member_alpha(index, member), data, labels,
+             train_index, val_index, config.with_overrides(seed=config.seed + index))
+            for index, member in enumerate(self.members)
+        ]
+
+    def apply_member_results(self, results: Sequence[tuple]) -> None:
+        """Load :func:`fit_member` outcomes back into the members."""
         self.member_val_scores = []
-        for index, member in enumerate(self.members):
-            trainer = NodeClassificationTrainer(config.with_overrides(seed=config.seed + index))
-            result = trainer.train(member, data, labels, train_index, val_index,
-                                   layer_weights=self._member_alpha(index, member))
-            self.member_val_scores.append(result.best_val_accuracy)
-        return self
+        for member, (state, val_accuracy, rng_state) in zip(self.members, results):
+            member.load_state_dict(state)
+            # All of the member's sub-modules share its generator, so
+            # restoring the state re-synchronises dropout for any later
+            # training regardless of which backend ran this one.
+            member.rng.bit_generator.state = rng_state
+            self.member_val_scores.append(val_accuracy)
 
     def predict_proba(self, data: GraphTensors) -> np.ndarray:
         """Average member probabilities (Eqn 3)."""

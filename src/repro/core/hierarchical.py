@@ -7,8 +7,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.gse import GraphSelfEnsemble
+from repro.core.gse import GraphSelfEnsemble, fit_member
 from repro.nn.data import GraphTensors
+from repro.parallel.backends import BackendLike, scoped_backend
 from repro.tasks.metrics import accuracy
 from repro.tasks.trainer import TrainConfig
 
@@ -41,11 +42,28 @@ class HierarchicalEnsemble:
     # ------------------------------------------------------------------
     def fit(self, data: GraphTensors, labels: np.ndarray, train_index: np.ndarray,
             val_index: np.ndarray, train_config: Optional[TrainConfig] = None,
-            num_classes: Optional[int] = None) -> "HierarchicalEnsemble":
-        """Train every member GSE (each member model is trained separately)."""
+            num_classes: Optional[int] = None,
+            backend: BackendLike = None) -> "HierarchicalEnsemble":
+        """Train every member GSE (each member model is trained separately).
+
+        All ``N x K`` member models across every GSE are independent, so their
+        training tasks are flattened onto one backend map — a parallel backend
+        keeps every worker busy instead of synchronising after each GSE.
+        """
+        tasks = []
+        counts = []
         for ensemble in self.ensembles:
-            ensemble.fit(data, labels, train_index, val_index,
-                         train_config=train_config, num_classes=num_classes)
+            ensemble_tasks = ensemble.member_tasks(data, labels, train_index, val_index,
+                                                   train_config=train_config,
+                                                   num_classes=num_classes)
+            tasks.extend(ensemble_tasks)
+            counts.append(len(ensemble_tasks))
+        with scoped_backend(backend) as executor:
+            report = executor.map(fit_member, tasks)
+        offset = 0
+        for ensemble, count in zip(self.ensembles, counts):
+            ensemble.apply_member_results(report.results[offset:offset + count])
+            offset += count
         return self
 
     def set_beta(self, beta: Sequence[float]) -> "HierarchicalEnsemble":

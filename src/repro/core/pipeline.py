@@ -34,6 +34,7 @@ from repro.core.selection import select_top_models
 from repro.graph.graph import Graph
 from repro.graph.splits import random_split
 from repro.nn.data import GraphTensors
+from repro.parallel.backends import ExecutionBackend, get_backend
 from repro.tasks.metrics import accuracy
 from repro.tasks.trainer import TrainConfig
 
@@ -65,6 +66,8 @@ class AutoHEnsGNN:
     def __init__(self, config: Optional[AutoHEnsGNNConfig] = None) -> None:
         self.config = config or AutoHEnsGNNConfig()
         self.hierarchical_ensembles: List[HierarchicalEnsemble] = []
+        self.executor: ExecutionBackend = get_backend(self.config.backend,
+                                                      max_workers=self.config.max_workers)
 
     # ------------------------------------------------------------------
     # Fit / predict
@@ -75,6 +78,14 @@ class AutoHEnsGNN:
         ``pool`` can pre-specify the model pool (used by ablations); otherwise
         proxy evaluation selects it automatically.
         """
+        try:
+            return self._fit_predict(graph, pool)
+        finally:
+            # Release pooled workers (process backends hold live interpreter
+            # processes); the executor is re-created lazily on the next call.
+            self.executor.close()
+
+    def _fit_predict(self, graph: Graph, pool: Optional[Sequence[str]] = None) -> PipelineResult:
         config = self.config
         total_start = time.time()
         budget = TimeBudget(config.time_budget)
@@ -87,8 +98,9 @@ class AutoHEnsGNN:
         proxy_start = time.time()
         proxy_ranking: List[str] = []
         if pool is None:
-            evaluator = ProxyEvaluator(config.proxy, candidates=config.candidate_models)
-            report = evaluator.evaluate(graph, seed=config.seed)
+            evaluator = ProxyEvaluator(config.proxy, candidates=config.candidate_models,
+                                       backend=self.executor)
+            report = evaluator.evaluate(graph, seed=config.seed, budget=budget)
             proxy_ranking = report.ranking()
             pool = select_top_models(report, config.pool_size)
         pool = list(pool)
@@ -131,6 +143,7 @@ class AutoHEnsGNN:
                 adaptive_config=config.adaptive,
                 train_config=config.train.with_overrides(max_epochs=config.search_epochs),
                 seed=config.seed,
+                backend=self.executor,
             )
             result = search.search(graph, data, search_split.labels, train_index, val_index,
                                    num_classes=graph.num_classes,
@@ -171,11 +184,15 @@ class AutoHEnsGNN:
                     base_seed=config.seed + 997 * split_index + 131 * model_index,
                     layer_weights=layer_weights[name],
                 ))
+            # The N x K member models of this split train concurrently on the
+            # configured backend; the split loop itself stays sequential so the
+            # budget heuristic below can react to observed per-split cost.
             hierarchical.fit(data, split_graph.labels,
                              split_graph.mask_indices("train"),
                              split_graph.mask_indices("val"),
                              train_config=config.train,
-                             num_classes=graph.num_classes)
+                             num_classes=graph.num_classes,
+                             backend=self.executor)
             hierarchical.set_beta(beta)
             self.hierarchical_ensembles.append(hierarchical)
             split_probabilities.append(hierarchical.predict_proba(data))
@@ -184,6 +201,7 @@ class AutoHEnsGNN:
                 break
         probabilities = np.mean(split_probabilities, axis=0)
         train_time = time.time() - train_start
+        search_details["backend"] = self.executor.describe()
 
         return PipelineResult(
             probabilities=probabilities,

@@ -22,12 +22,14 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.automl.budget import TimeBudget
 from repro.core.config import ProxyConfig
 from repro.graph.graph import Graph
 from repro.graph.sampling import sample_proxy_subgraph
 from repro.graph.splits import random_split
 from repro.nn.data import GraphTensors
 from repro.nn.model_zoo import available_models, get_model_spec
+from repro.parallel.backends import BackendLike, get_backend
 from repro.tasks.metrics import kendall_tau, mean_and_std
 from repro.tasks.trainer import NodeClassificationTrainer, TrainConfig
 
@@ -58,6 +60,7 @@ class ProxyEvaluationReport:
     scores: List[CandidateScore]
     total_time: float
     config: ProxyConfig
+    skipped: List[str] = field(default_factory=list)
 
     def ranking(self) -> List[str]:
         """Candidate names sorted best-first."""
@@ -81,18 +84,86 @@ class ProxyEvaluationReport:
                            [reference[name] for name in shared])
 
 
+@dataclass
+class _CandidateTask:
+    """Picklable description of one candidate evaluation (for process workers)."""
+
+    candidate: str
+    data: GraphTensors
+    proxy_graph: Graph
+    num_classes: int
+    hidden_fraction: float
+    bagging_rounds: int
+    val_fraction: float
+    train_config: TrainConfig
+    seed: int
+
+
+def _evaluate_candidate(task: _CandidateTask) -> CandidateScore:
+    """Train one candidate over its bagging rounds and score it.
+
+    Module-level (not a closure) so every execution backend, including the
+    process pool, can run it; all randomness comes from the explicit seeds,
+    so serial and parallel runs produce identical scores.
+    """
+    spec = get_model_spec(task.candidate)
+    trainer = NodeClassificationTrainer(task.train_config)
+    candidate_start = time.time()
+    bag_scores: List[float] = []
+    for bag in range(max(task.bagging_rounds, 1)):
+        split = random_split(task.proxy_graph, val_fraction=task.val_fraction,
+                             seed=task.seed + 97 * bag)
+        model = spec.build(
+            in_features=task.data.num_features,
+            num_classes=task.num_classes,
+            hidden_fraction=task.hidden_fraction,
+            seed=task.seed + bag,
+        )
+        result = trainer.train(model, task.data, split.labels,
+                               split.mask_indices("train"), split.mask_indices("val"))
+        bag_scores.append(result.best_val_accuracy)
+    mean, std = mean_and_std(bag_scores)
+    return CandidateScore(
+        name=task.candidate,
+        mean_accuracy=mean,
+        std_accuracy=std,
+        scores=bag_scores,
+        train_time=time.time() - candidate_start,
+    )
+
+
 class ProxyEvaluator:
-    """Rank candidate architectures with the proxy protocol (or the accurate one)."""
+    """Rank candidate architectures with the proxy protocol (or the accurate one).
+
+    ``backend`` selects how candidates are evaluated: ``"serial"`` (default),
+    ``"thread"`` or ``"process"``, or any :class:`ExecutionBackend` instance.
+    Candidate evaluations are independent, so any backend yields the same
+    scores at a fixed seed.
+    """
 
     def __init__(self, config: Optional[ProxyConfig] = None,
-                 candidates: Optional[Sequence[str]] = None) -> None:
+                 candidates: Optional[Sequence[str]] = None,
+                 backend: BackendLike = None,
+                 max_workers: Optional[int] = None) -> None:
         self.config = config or ProxyConfig()
         self.candidates = list(candidates) if candidates is not None else available_models()
+        self.backend = get_backend(backend, max_workers=max_workers)
+
+    def close(self) -> None:
+        """Release pooled workers (use the evaluator as a context manager)."""
+        self.backend.close()
+
+    def __enter__(self) -> "ProxyEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Public protocols
     # ------------------------------------------------------------------
-    def evaluate(self, graph: Graph, seed: Optional[int] = None) -> ProxyEvaluationReport:
+    def evaluate(self, graph: Graph, seed: Optional[int] = None,
+                 budget: Optional[TimeBudget] = None) -> ProxyEvaluationReport:
         """Proxy evaluation: sampled sub-graph, reduced hidden size, few bags."""
         config = self.config
         return self._run(
@@ -101,6 +172,7 @@ class ProxyEvaluator:
             hidden_fraction=config.hidden_fraction,
             bagging_rounds=config.bagging_rounds,
             seed=self.config.seed if seed is None else seed,
+            budget=budget,
         )
 
     def accurate_evaluation(self, graph: Graph, bagging_rounds: int = 10,
@@ -125,7 +197,8 @@ class ProxyEvaluator:
     # Implementation
     # ------------------------------------------------------------------
     def _run(self, graph: Graph, dataset_fraction: float, hidden_fraction: float,
-             bagging_rounds: int, seed: int) -> ProxyEvaluationReport:
+             bagging_rounds: int, seed: int,
+             budget: Optional[TimeBudget] = None) -> ProxyEvaluationReport:
         start = time.time()
         config = self.config
         proxy_graph = sample_proxy_subgraph(graph, dataset_fraction, seed=seed)
@@ -137,32 +210,27 @@ class ProxyEvaluator:
             patience=config.patience,
             seed=seed,
         )
-        trainer = NodeClassificationTrainer(train_config)
-
-        scores: List[CandidateScore] = []
-        for candidate in self.candidates:
-            spec = get_model_spec(candidate)
-            candidate_start = time.time()
-            bag_scores: List[float] = []
-            for bag in range(max(bagging_rounds, 1)):
-                split = random_split(proxy_graph, val_fraction=config.val_fraction,
-                                     seed=seed + 97 * bag)
-                model = spec.build(
-                    in_features=data.num_features,
-                    num_classes=graph.num_classes,
-                    hidden_fraction=hidden_fraction,
-                    seed=seed + bag,
-                )
-                result = trainer.train(model, data, split.labels,
-                                       split.mask_indices("train"), split.mask_indices("val"))
-                bag_scores.append(result.best_val_accuracy)
-            mean, std = mean_and_std(bag_scores)
-            scores.append(CandidateScore(
-                name=candidate,
-                mean_accuracy=mean,
-                std_accuracy=std,
-                scores=bag_scores,
-                train_time=time.time() - candidate_start,
-            ))
+        tasks = [
+            _CandidateTask(
+                candidate=candidate,
+                data=data,
+                proxy_graph=proxy_graph,
+                num_classes=graph.num_classes,
+                hidden_fraction=hidden_fraction,
+                bagging_rounds=bagging_rounds,
+                val_fraction=config.val_fraction,
+                train_config=train_config,
+                seed=seed,
+            )
+            for candidate in self.candidates
+        ]
+        # Budget-aware dispatch: under a nearly-exhausted TimeBudget the
+        # backend stops launching further candidates (at least one always
+        # completes so a pool can be selected) and the report records who
+        # was skipped.
+        report = self.backend.map(_evaluate_candidate, tasks, budget=budget,
+                                  min_results=1)
+        scores: List[CandidateScore] = list(report.results)
+        skipped = [task.candidate for task in tasks[report.dispatched:]]
         return ProxyEvaluationReport(scores=scores, total_time=time.time() - start,
-                                     config=config)
+                                     config=config, skipped=skipped)

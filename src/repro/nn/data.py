@@ -20,6 +20,7 @@ from repro.autograd.tensor import Tensor
 from repro.graph.batching import GraphBatch
 from repro.graph.graph import Graph
 from repro.graph import normalize as _norm
+from repro.parallel.cache import compute_cache, csr_fingerprint, ndarray_fingerprint
 
 
 @dataclass
@@ -61,9 +62,14 @@ class GraphTensors:
     @classmethod
     def _from_adjacency(cls, adj: sp.csr_matrix, features: np.ndarray,
                         edge_index: np.ndarray, edge_weight: np.ndarray) -> "GraphTensors":
-        sym = _norm.normalized_adjacency(adj, normalization="sym", self_loops=True)
-        rw = _norm.normalized_adjacency(adj, normalization="rw", self_loops=True)
-        raw = _norm.normalized_adjacency(adj, normalization="none", self_loops=False)
+        cache = compute_cache()
+        adj_fp = csr_fingerprint(adj)
+        sym = cache.normalized_adjacency(adj, normalization="sym", self_loops=True,
+                                         fingerprint=adj_fp)
+        rw = cache.normalized_adjacency(adj, normalization="rw", self_loops=True,
+                                        fingerprint=adj_fp)
+        raw = cache.normalized_adjacency(adj, normalization="none", self_loops=False,
+                                         fingerprint=adj_fp)
         # Attention layers operate on the symmetrised edge list with self loops.
         sym_structure = _norm.add_self_loops(adj).tocoo()
         undirected_edges = np.vstack([sym_structure.row, sym_structure.col])
@@ -92,15 +98,34 @@ class GraphTensors:
             return self.adj_raw
         raise ValueError(f"unknown propagation operator {kind!r}")
 
+    def features_fingerprint(self) -> str:
+        """Content hash of the feature matrix, memoised per view."""
+        key = "fingerprint:features"
+        if key not in self.extras:
+            self.extras[key] = ndarray_fingerprint(self.features.data)
+        return self.extras[key]  # type: ignore[return-value]
+
     def powered_features(self, kind: str, power: int) -> Tensor:
-        """Return ``A^power X`` with caching (used by SGC/SIGN-style models)."""
+        """Return ``A^power X`` with caching (used by SGC/SIGN-style models).
+
+        The product is memoised both on this view (``extras``) and in the
+        process-wide :class:`~repro.parallel.cache.ComputeCache`, so replicas
+        and bagging splits trained concurrently on the same graph share one
+        propagation instead of each recomputing ``power`` sparse matmuls.
+        """
         key = f"powered:{kind}:{power}"
         if key not in self.extras:
             operator = self.propagation(kind)
-            current = self.features.data
-            for _ in range(power):
-                current = operator.matrix @ current
-            self.extras[key] = Tensor(current)
+
+            def compute() -> np.ndarray:
+                current = self.features.data
+                for _ in range(power):
+                    current = operator.matrix @ current
+                return current
+
+            data = compute_cache().powered_features(
+                operator.fingerprint, self.features_fingerprint(), power, compute)
+            self.extras[key] = Tensor(data)
         return self.extras[key]  # type: ignore[return-value]
 
     def with_features(self, features: Tensor) -> "GraphTensors":

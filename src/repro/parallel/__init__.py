@@ -1,0 +1,50 @@
+"""Parallel ensemble execution engine and shared sparse-computation cache.
+
+The subsystem has two halves:
+
+* :mod:`repro.parallel.backends` — the :class:`ExecutionBackend` interface
+  with serial / thread / process implementations and budget-aware dispatch,
+  used by proxy evaluation, graph self-ensembles, bagging, the adaptive
+  search and the end-to-end pipeline.
+* :mod:`repro.parallel.cache` — :class:`ComputeCache`, a thread-safe LRU
+  memoiser for normalised adjacencies and fixed propagation products,
+  shared by every concurrent training run in the process.
+"""
+
+from repro.parallel.backends import (
+    BACKENDS,
+    BackendLike,
+    ExecutionBackend,
+    MapReport,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    scoped_backend,
+)
+from repro.parallel.cache import (
+    CacheStats,
+    ComputeCache,
+    compute_cache,
+    csr_fingerprint,
+    ndarray_fingerprint,
+    set_compute_cache,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BackendLike",
+    "ExecutionBackend",
+    "MapReport",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "get_backend",
+    "scoped_backend",
+    "ComputeCache",
+    "CacheStats",
+    "compute_cache",
+    "set_compute_cache",
+    "csr_fingerprint",
+    "ndarray_fingerprint",
+]

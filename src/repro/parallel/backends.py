@@ -1,0 +1,298 @@
+"""Pluggable execution backends for independent training runs.
+
+AutoHEnsGNN is full of *embarrassingly parallel* work: proxy evaluation
+trains every pool candidate independently, a graph self-ensemble trains K
+seed-replicas independently, bagging trains one predictor per random split,
+and the adaptive search grid-searches depths per architecture independently.
+The sequential loops of the seed implementation left all of that on one core.
+
+:class:`ExecutionBackend` is the one interface those call sites use:
+``backend.map(fn, items)`` runs ``fn`` over ``items`` and returns the results
+in item order, optionally honouring a :class:`~repro.automl.budget.TimeBudget`
+by *not dispatching* further items once the budget heuristic says another
+round would overrun (completed work is never cancelled, so results are always
+a deterministic prefix of the items).
+
+Three implementations ship:
+
+* :class:`SerialBackend` — the reference; identical semantics, zero overhead.
+* :class:`ThreadBackend` — threads; NumPy/SciPy release the GIL inside BLAS
+  and sparse kernels, so full-batch GNN training overlaps well.
+* :class:`ProcessBackend` — processes; requires picklable tasks (every task
+  function used by this repository is module-level for exactly this reason).
+  Known cost: each submitted task pickles its full argument tuple, so call
+  sites that embed a shared ``GraphTensors`` in every task re-serialise the
+  graph per task; an executor-initializer path that ships shared state once
+  per worker is the natural next optimisation if IPC ever dominates.
+
+Determinism contract: tasks must derive all randomness from explicit seeds in
+their arguments.  Under that contract every backend produces bit-for-bit the
+same results, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import contextlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: automl.budget -> core -> nn -> parallel
+    from repro.automl.budget import TimeBudget
+
+
+@dataclass
+class MapReport:
+    """Outcome of one :meth:`ExecutionBackend.map` call."""
+
+    results: List[object]
+    dispatched: int
+    skipped: int
+    elapsed: float
+    backend: str
+    details: dict = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class ExecutionBackend:
+    """Interface shared by the serial / thread / process executors."""
+
+    name = "abstract"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        cpus = os.cpu_count() or 1
+        self.max_workers = max(1, max_workers if max_workers is not None else cpus)
+
+    # ------------------------------------------------------------------
+    # The one entry point
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[object], object], items: Sequence[object],
+            budget: Optional["TimeBudget"] = None, min_results: int = 1) -> MapReport:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled workers (no-op for the serial backend)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def describe(self) -> dict:
+        return {"backend": self.name, "max_workers": self.max_workers}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+    # ------------------------------------------------------------------
+    # Budget heuristic shared by every implementation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _may_dispatch(budget: Optional["TimeBudget"], cost_observed: float,
+                      completed: int, dispatched: int, min_results: int) -> bool:
+        """Decide whether one more task may be submitted.
+
+        ``cost_observed`` must be the *summed per-task latency* of the
+        completed tasks (for the serial backend that equals wall-clock
+        elapsed).  Feeding wall clock on a parallel backend would divide
+        latency by the worker count and systematically over-dispatch tasks
+        that cannot finish inside the budget.
+        """
+        if budget is None or dispatched < max(min_results, 1):
+            return True
+        if completed == 0:
+            # No cost data yet (the initial fill of a parallel backend):
+            # require head-room, not merely "not yet exhausted" — a nearly
+            # spent budget must not front-load a whole worker wave.
+            return not budget.exhausted() and budget.remaining_fraction() > 0.1
+        return budget.has_time_for_another(cost_observed, completed)
+
+
+class SerialBackend(ExecutionBackend):
+    """Run tasks in the calling thread, in order."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[object], object], items: Sequence[object],
+            budget: Optional["TimeBudget"] = None, min_results: int = 1) -> MapReport:
+        items = list(items)
+        start = time.time()
+        results: List[object] = []
+        for index, item in enumerate(items):
+            if not self._may_dispatch(budget, time.time() - start, len(results),
+                                      index, min_results):
+                break
+            results.append(fn(item))
+        return MapReport(results=results, dispatched=len(results),
+                         skipped=len(items) - len(results),
+                         elapsed=time.time() - start, backend=self.name)
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared submit/refill loop for thread and process pools.
+
+    Items are dispatched in order; when a worker frees up the budget heuristic
+    decides whether the next item is submitted.  Dispatched work is always
+    awaited, so the result list is a prefix of ``items`` regardless of the
+    order in which workers finish.
+
+    The underlying executor is created lazily on the first :meth:`map` call
+    and reused by subsequent ones — a pipeline issues one map per stage
+    (proxy, adaptive grid, each bagging split), and re-spawning worker
+    processes per stage would pay the interpreter/NumPy import cost every
+    time.  :meth:`close` (or use as a context manager) releases the workers.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__(max_workers)
+        self._pool: Optional[concurrent.futures.Executor] = None
+
+    def _make_executor(self) -> concurrent.futures.Executor:
+        raise NotImplementedError
+
+    def _ensure_pool(self) -> concurrent.futures.Executor:
+        if self._pool is None:
+            self._pool = self._make_executor()
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown path
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+        except Exception:
+            pass
+
+    def map(self, fn: Callable[[object], object], items: Sequence[object],
+            budget: Optional["TimeBudget"] = None, min_results: int = 1) -> MapReport:
+        items = list(items)
+        start = time.time()
+        if not items:
+            return MapReport(results=[], dispatched=0, skipped=0, elapsed=0.0,
+                             backend=self.name)
+        results: List[object] = [None] * len(items)
+        completed = 0
+        next_index = 0
+        total_latency = 0.0
+        pool = self._ensure_pool()
+        pending = {}
+        submit_times = {}
+        try:
+            # The initial fill consults the budget too, so a nearly-exhausted
+            # budget dispatches (close to) the min_results prefix the serial
+            # backend would run instead of a full worker wave.
+            while next_index < len(items) and next_index < self.max_workers \
+                    and self._may_dispatch(budget, total_latency, completed,
+                                           next_index, min_results):
+                future = pool.submit(fn, items[next_index])
+                pending[future] = next_index
+                submit_times[future] = time.time()
+                next_index += 1
+            while pending:
+                done, _ = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    results[index] = future.result()
+                    # Per-task latency, not wall clock: a new task finishes
+                    # roughly one latency from now regardless of how many
+                    # workers ran in parallel meanwhile.
+                    total_latency += time.time() - submit_times.pop(future)
+                    completed += 1
+                # Refill up to max_workers, not one-per-completion: a
+                # budget-capped initial fill must be able to ramp back up
+                # once observed latencies show there is headroom.
+                while next_index < len(items) and len(pending) < self.max_workers \
+                        and self._may_dispatch(budget, total_latency, completed,
+                                               next_index, min_results):
+                    submitted = pool.submit(fn, items[next_index])
+                    pending[submitted] = next_index
+                    submit_times[submitted] = time.time()
+                    next_index += 1
+        except BaseException as exc:
+            for future in pending:
+                future.cancel()
+            # cancel() cannot stop already-running tasks, and thread tasks
+            # mutate live objects (GSE members) — wait them out so the caller
+            # never observes background mutation after map() has raised.
+            if pending and not isinstance(exc, concurrent.futures.BrokenExecutor):
+                concurrent.futures.wait(list(pending))
+            if isinstance(exc, concurrent.futures.BrokenExecutor):
+                self.close()  # next map() gets a fresh pool
+            raise
+        return MapReport(results=results[:next_index], dispatched=next_index,
+                         skipped=len(items) - next_index,
+                         elapsed=time.time() - start, backend=self.name)
+
+
+class ThreadBackend(_PoolBackend):
+    """Thread-pool execution; best default for NumPy-heavy training."""
+
+    name = "thread"
+
+    def _make_executor(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ThreadPoolExecutor(max_workers=self.max_workers)
+
+
+class ProcessBackend(_PoolBackend):
+    """Process-pool execution; tasks and results must be picklable."""
+
+    name = "process"
+
+    def _make_executor(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ProcessPoolExecutor(max_workers=self.max_workers)
+
+
+BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+BackendLike = Union[None, str, ExecutionBackend]
+
+
+def get_backend(backend: BackendLike = None,
+                max_workers: Optional[int] = None) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``None`` and ``"serial"`` return the reference serial executor, so callers
+    can thread a ``backend`` argument through unconditionally.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    name = (backend or "serial").lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown execution backend {backend!r}; choose from {sorted(BACKENDS)}")
+    return BACKENDS[name](max_workers=max_workers)
+
+
+@contextlib.contextmanager
+def scoped_backend(backend: BackendLike = None,
+                   max_workers: Optional[int] = None):
+    """Resolve a backend for one operation, closing it only if created here.
+
+    ``fit``-style methods that accept ``backend`` as a name must not leak the
+    throwaway worker pool they create, but must equally not shut down an
+    :class:`ExecutionBackend` instance the caller owns and will reuse.
+    """
+    executor = get_backend(backend, max_workers=max_workers)
+    owned = not isinstance(backend, ExecutionBackend)
+    try:
+        yield executor
+    finally:
+        if owned:
+            executor.close()

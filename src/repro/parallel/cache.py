@@ -1,0 +1,250 @@
+"""Shared sparse-computation cache for the parallel execution engine.
+
+Every training run in an AutoHEnsGNN pipeline operates on the *same* graph
+structure: the K replicas of a graph self-ensemble, the bagging splits (which
+only change masks, never edges) and the per-depth grid search of the adaptive
+variant all re-derive identical normalised adjacencies and fixed propagation
+products ``A^k X`` (SGC/SIGN/APPNP-style models).
+
+:class:`ComputeCache` memoises those derived operators under a lock so that
+concurrent trainings — threads sharing one cache, or forked worker processes
+inheriting a warm parent cache — compute each operator at most once per
+graph.  Keys are content fingerprints of the underlying arrays, so two
+``GraphTensors`` built from the same graph hit the same entries even when the
+objects differ.
+
+The cache is *process-safe* in the sense that every value it stores is a
+plain NumPy/SciPy object (picklable, no locks or closures inside), so entries
+travel to worker processes via fork inheritance or pickling; each process
+then keeps its own statistics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def ndarray_fingerprint(array: np.ndarray) -> str:
+    """Content hash of a NumPy array (dtype/shape aware)."""
+    array = np.ascontiguousarray(array)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(array.dtype).encode())
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def csr_fingerprint(matrix: sp.spmatrix) -> str:
+    """Content hash of a sparse matrix in CSR canonical form."""
+    csr = matrix.tocsr()
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(csr.shape).encode())
+    for part in (csr.indptr, csr.indices, csr.data):
+        digest.update(str(part.dtype).encode())
+        digest.update(np.ascontiguousarray(part).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, reported by the runtime benchmarks."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    per_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def record(self, kind: str, hit: bool) -> None:
+        bucket = self.per_kind.setdefault(kind, {"hits": 0, "misses": 0})
+        if hit:
+            self.hits += 1
+            bucket["hits"] += 1
+        else:
+            self.misses += 1
+            bucket["misses"] += 1
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "per_kind": {kind: dict(counts) for kind, counts in self.per_kind.items()},
+        }
+
+
+def _value_nbytes(value: object) -> int:
+    """Approximate in-memory size of a cached value (0 when unknown)."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if sp.issparse(value):
+        csr = value
+        total = 0
+        for attr in ("data", "indices", "indptr", "row", "col"):
+            part = getattr(csr, attr, None)
+            if part is not None:
+                total += int(part.nbytes)
+        return total
+    return 0
+
+
+def _freeze_value(value: object) -> None:
+    """Make a cached array's buffers read-only.
+
+    Cached values are shared by every concurrent training in the process;
+    freezing turns an accidental in-place write through any alias into an
+    immediate ``ValueError`` instead of silent cross-training corruption.
+    """
+    if isinstance(value, np.ndarray):
+        value.setflags(write=False)
+    elif sp.issparse(value):
+        for attr in ("data", "indices", "indptr", "row", "col"):
+            part = getattr(value, attr, None)
+            if part is not None:
+                part.setflags(write=False)
+
+
+class ComputeCache:
+    """Thread-safe LRU memoiser for derived sparse operators.
+
+    The two high-traffic entry points have dedicated helpers so call sites
+    stay declarative:
+
+    * :meth:`normalized_adjacency` — ``D^-1/2 (A+I) D^-1/2`` and friends,
+    * :meth:`powered_features` — fixed propagation products ``A^k X``.
+
+    (The CSR transpose needed by ``spmm`` backward is cached per instance on
+    :class:`~repro.autograd.sparse.SparseTensor` instead — the operand is
+    already long-lived, so a content-keyed global entry would be redundant.)
+
+    Anything else can go through :meth:`get_or_compute` with an explicit key.
+
+    Eviction is LRU, bounded both by entry count and by approximate bytes
+    (dense ``A^k X`` products from long-gone datasets would otherwise stay
+    resident for the process lifetime of a multi-dataset competition run).
+    """
+
+    def __init__(self, max_items: int = 256,
+                 max_bytes: int = 512 * 1024 * 1024) -> None:
+        self.max_items = max_items
+        self.max_bytes = max_bytes
+        self._lock = threading.RLock()
+        self._store: "OrderedDict[str, object]" = OrderedDict()
+        self._nbytes: Dict[str, int] = {}
+        self.total_bytes = 0
+        self.stats = CacheStats()
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    # Generic interface
+    # ------------------------------------------------------------------
+    def get_or_compute(self, key: str, compute: Callable[[], object],
+                       kind: str = "generic") -> object:
+        if not self.enabled:
+            return compute()
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.stats.record(kind, hit=True)
+                return self._store[key]
+        # Compute outside the lock so long derivations do not serialise
+        # unrelated lookups; a rare duplicate computation is harmless because
+        # results are deterministic functions of the key.
+        value = compute()
+        with self._lock:
+            if key not in self._store:
+                _freeze_value(value)
+                self._store[key] = value
+                self._nbytes[key] = _value_nbytes(value)
+                self.total_bytes += self._nbytes[key]
+                self.stats.record(kind, hit=False)
+                while len(self._store) > 1 and (
+                        len(self._store) > self.max_items
+                        or self.total_bytes > self.max_bytes):
+                    evicted_key, _ = self._store.popitem(last=False)
+                    self.total_bytes -= self._nbytes.pop(evicted_key, 0)
+                    self.stats.evictions += 1
+            else:
+                self.stats.record(kind, hit=True)
+            return self._store[key]
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self._nbytes.clear()
+            self.total_bytes = 0
+            self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Specialised helpers
+    # ------------------------------------------------------------------
+    def normalized_adjacency(self, adj: sp.spmatrix, normalization: str,
+                             self_loops: bool,
+                             fingerprint: Optional[str] = None) -> sp.csr_matrix:
+        """Memoised :func:`repro.graph.normalize.normalized_adjacency`.
+
+        ``fingerprint`` lets callers that derive several operators from one
+        adjacency (e.g. ``GraphTensors``) hash the matrix once instead of
+        once per operator.
+        """
+        from repro.graph import normalize as _norm
+
+        if fingerprint is None:
+            fingerprint = csr_fingerprint(adj)
+        key = f"norm:{normalization}:{int(self_loops)}:{fingerprint}"
+
+        def compute() -> sp.csr_matrix:
+            value = _norm.normalized_adjacency(adj, normalization=normalization,
+                                               self_loops=self_loops)
+            if value is adj:
+                # The "none"/no-self-loops path returns the input itself;
+                # copy so freezing the cached value never freezes (or
+                # aliases) the caller's own matrix.
+                value = value.copy()
+            return value
+
+        return self.get_or_compute(key, compute, kind="normalized_adjacency")
+
+    def powered_features(self, operator_fingerprint: str, features_fingerprint: str,
+                         power: int, compute: Callable[[], np.ndarray]) -> np.ndarray:
+        """Memoised fixed propagation product ``A^power X``."""
+        key = f"powered:{operator_fingerprint}:{features_fingerprint}:{power}"
+        return self.get_or_compute(key, compute, kind="powered_features")
+
+
+_GLOBAL_CACHE = ComputeCache()
+
+
+def compute_cache() -> ComputeCache:
+    """The process-wide cache shared by all backends and ``GraphTensors``."""
+    return _GLOBAL_CACHE
+
+
+def set_compute_cache(cache: Optional[ComputeCache]) -> ComputeCache:
+    """Swap the global cache (tests use this to isolate accounting)."""
+    global _GLOBAL_CACHE
+    _GLOBAL_CACHE = cache if cache is not None else ComputeCache()
+    return _GLOBAL_CACHE
