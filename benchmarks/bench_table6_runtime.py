@@ -23,6 +23,7 @@ import time
 import numpy as np
 
 from benchmarks.harness import format_table, prepare_node_dataset, settings
+from repro.autograd.dtype import compute_dtype_scope
 from repro.core import (
     AdaptiveSearch,
     GradientSearch,
@@ -87,6 +88,36 @@ def _parallel_study(prepared, serial_report, proxy_config, pool, data, labels,
     return rows
 
 
+def _dtype_study(prepared, train_config, cfg):
+    """float64-vs-float32 wall clock of the same fixed-seed training workload.
+
+    Each dtype rebuilds its own ``GraphTensors`` under the scoped policy (the
+    compute cache keys operators per dtype), trains a fixed representative
+    pool — fused spectral (gcn), attention/scatter (gat) and decoupled
+    propagation (sgc) — serially, and reports the end-to-end ratio: the
+    headline number of the allocation-lean compute core.
+    """
+    dtype_pool = ["gcn", "gat", "sgc"]
+    # Fixed width: the dtype comparison targets the memory-bandwidth-bound
+    # regime, independent of the benchmark's quick/full scaling knob.
+    hidden = max(cfg.hidden, 64)
+    rows = {}
+    elapsed = {}
+    for dtype in ("float64", "float32"):
+        with compute_dtype_scope(dtype):
+            data = GraphTensors.from_graph(prepared)
+            start = time.time()
+            train_single_models(dtype_pool, data, prepared.labels,
+                                prepared.mask_indices("train"),
+                                prepared.mask_indices("val"),
+                                num_classes=prepared.num_classes, hidden=hidden,
+                                train_config=train_config, replicas=2, seed=0)
+            elapsed[dtype] = time.time() - start
+        rows[f"Training ({dtype})"] = elapsed[dtype]
+    rows["float32 speedup over float64"] = elapsed["float64"] / max(elapsed["float32"], 1e-9)
+    return rows
+
+
 def _runtime_study(graph):
     cfg = settings()
     compute_cache().clear()
@@ -128,6 +159,7 @@ def _runtime_study(graph):
     rows["AutoHEnsGNN-Adaptive: search"] = time.time() - start
     rows.update(_parallel_study(prepared, proxy_report, evaluator.config, pool,
                                 data, labels, train_idx, val_idx, train_config, cfg))
+    rows.update(_dtype_study(prepared, train_config, cfg))
     single_model_bytes = sum(
         parameter.data.nbytes for parameter in get_model_spec(pool[0]).build(
             data.num_features, prepared.num_classes, hidden=cfg.hidden).parameters())

@@ -18,6 +18,12 @@ Quickstart
 (graph.num_nodes,)
 """
 
+from repro.autograd.dtype import (
+    compute_dtype,
+    compute_dtype_name,
+    compute_dtype_scope,
+    set_compute_dtype,
+)
 from repro.core import (
     AutoHEnsGNN,
     AutoHEnsGNNConfig,
@@ -40,9 +46,13 @@ from repro.parallel import (
     get_backend,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "compute_dtype",
+    "compute_dtype_name",
+    "compute_dtype_scope",
+    "set_compute_dtype",
     "AutoHEnsGNN",
     "AutoHEnsGNNConfig",
     "SearchMethod",

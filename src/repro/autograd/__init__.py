@@ -19,8 +19,15 @@ Public API
     ``SGD`` and ``Adam`` optimisers plus learning-rate schedulers.
 """
 
+from repro.autograd.dtype import (
+    compute_dtype,
+    compute_dtype_name,
+    compute_dtype_scope,
+    set_compute_dtype,
+)
 from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
 from repro.autograd import functional
+from repro.autograd import kernels
 from repro.autograd.module import Module, Parameter, ModuleList, Sequential
 from repro.autograd.modules import Linear, Dropout, ReLU, ELU, Identity, LayerNorm, BatchNorm
 from repro.autograd import init
@@ -33,7 +40,12 @@ __all__ = [
     "SparseTensor",
     "no_grad",
     "is_grad_enabled",
+    "compute_dtype",
+    "compute_dtype_name",
+    "compute_dtype_scope",
+    "set_compute_dtype",
     "functional",
+    "kernels",
     "Module",
     "Parameter",
     "ModuleList",

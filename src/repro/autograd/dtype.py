@@ -1,0 +1,76 @@
+"""Process-level compute-dtype policy for the autograd engine.
+
+Every float array the engine creates — tensor data, parameter
+initialisations, sparse propagation operators, gradients — is materialised
+in one *compute dtype*.  The default is float64, which keeps the seed
+implementation's bit-exact behaviour; float32 is an opt-in that halves
+memory traffic and roughly doubles BLAS/sparse throughput on CPU, at the
+cost of ~7 decimal digits of precision (plenty for the architecture-search
+experiments, see ``tests/test_perf_core.py`` for the parity tolerances).
+
+The policy is deliberately **process-wide**, not per-tensor: mixing dtypes
+inside one autograd graph silently upcasts through NumPy promotion and
+destroys both the memory savings and cross-backend determinism.  Set it once
+before building datasets/models (``AutoHEnsGNNConfig.compute_dtype`` does
+this for the pipeline), or use :func:`compute_dtype_scope` in tests.
+
+Worker propagation: thread-backend workers read the same module global;
+process-backend workers created *after* the policy is set inherit it through
+``fork`` (the ``ProcessBackend`` pool is created lazily on first use).
+Switching dtype while a process pool is live requires a fresh backend.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Union
+
+import numpy as np
+
+DTypeLike = Union[str, type, np.dtype]
+
+#: The dtypes the engine supports as a compute dtype.
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_COMPUTE_DTYPE: np.dtype = np.dtype(np.float64)
+
+
+def _coerce(dtype: DTypeLike) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        supported = ", ".join(d.name for d in SUPPORTED_DTYPES)
+        raise ValueError(f"unsupported compute dtype {dtype!r}; choose from {supported}")
+    return resolved
+
+
+def compute_dtype() -> np.dtype:
+    """The dtype every new float array in the engine is created with."""
+    return _COMPUTE_DTYPE
+
+
+def compute_dtype_name() -> str:
+    """The compute dtype as a string (``"float64"`` / ``"float32"``)."""
+    return _COMPUTE_DTYPE.name
+
+
+def set_compute_dtype(dtype: DTypeLike) -> np.dtype:
+    """Set the process-wide compute dtype; returns the resolved ``np.dtype``.
+
+    Call this *before* building graphs, tensors or models: arrays created
+    under the previous policy keep their dtype and mixing the two upcasts
+    through NumPy promotion.
+    """
+    global _COMPUTE_DTYPE
+    _COMPUTE_DTYPE = _coerce(dtype)
+    return _COMPUTE_DTYPE
+
+
+@contextlib.contextmanager
+def compute_dtype_scope(dtype: DTypeLike) -> Iterator[np.dtype]:
+    """Temporarily switch the compute dtype (pipelines, tests, benchmarks)."""
+    previous = _COMPUTE_DTYPE
+    set_compute_dtype(dtype)
+    try:
+        yield _COMPUTE_DTYPE
+    finally:
+        set_compute_dtype(previous)

@@ -31,14 +31,23 @@ def relu(x: Tensor) -> Tensor:
     return _ensure(x).relu()
 
 
+def _elu_forward(data: np.ndarray, alpha: float, positive: np.ndarray) -> np.ndarray:
+    """Shared ELU forward (Tensor path and raw-ndarray inference path)."""
+    return np.where(positive, data, alpha * np.expm1(np.minimum(data, 0.0)))
+
+
 def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
     x = _ensure(x)
-    positive = (x.data > 0).astype(np.float64)
-    exp_part = np.exp(np.minimum(x.data, 0.0))
-    out_data = np.where(x.data > 0, x.data, alpha * (exp_part - 1.0))
+    data = x.data
+    positive = data > 0
+    out_data = _elu_forward(data, alpha, positive)
     out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,) if x.requires_grad else ())
     if out.requires_grad:
-        local = positive + (1.0 - positive) * alpha * exp_part
+        # Backward-only local derivative: alpha * exp(min(x, 0)) on the
+        # negative side, 1 on the positive side.  Built only when grad is
+        # recorded — evaluation passes skip both temporaries entirely.
+        local = alpha * np.exp(np.minimum(data, 0.0))
+        local[positive] = 1.0
 
         def _backward(grad: np.ndarray) -> None:
             x._accumulate(grad * local)
@@ -47,13 +56,21 @@ def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
     return out
 
 
+def _leaky_relu_forward(data: np.ndarray, negative_slope: float,
+                        positive: np.ndarray) -> np.ndarray:
+    """Shared LeakyReLU forward (Tensor path and raw-ndarray inference path)."""
+    return np.where(positive, data, negative_slope * data)
+
+
 def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
     x = _ensure(x)
-    local = np.where(x.data > 0, 1.0, negative_slope)
-    out = Tensor(x.data * local, requires_grad=x.requires_grad, _prev=(x,) if x.requires_grad else ())
+    data = x.data
+    positive = data > 0
+    out_data = _leaky_relu_forward(data, negative_slope, positive)
+    out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,) if x.requires_grad else ())
     if out.requires_grad:
         def _backward(grad: np.ndarray) -> None:
-            x._accumulate(grad * local)
+            x._accumulate(np.where(positive, grad, negative_slope * grad))
 
         out._backward = _backward
     return out
@@ -88,13 +105,68 @@ def activation(name: str):
 
 
 # ---------------------------------------------------------------------------
+# Raw-ndarray activations for the inference fast path
+# ---------------------------------------------------------------------------
+# Each of these computes bit-for-bit the same forward value as its Tensor
+# counterpart above (same NumPy expressions, same order of operations), so
+# ``GNNModel.forward_inference`` matches the Tensor forward exactly.
+def _relu_array(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _elu_array(x: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    return _elu_forward(x, alpha, x > 0)
+
+
+def _leaky_relu_array(x: np.ndarray, negative_slope: float = 0.2) -> np.ndarray:
+    return _leaky_relu_forward(x, negative_slope, x > 0)
+
+
+def _sigmoid_array(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _identity_array(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def softmax_array(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """NumPy softmax matching :func:`softmax` bit-for-bit."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax_array(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """NumPy log-softmax matching :func:`log_softmax` bit-for-bit."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+ACTIVATIONS_ARRAY = {
+    "relu": _relu_array,
+    "elu": _elu_array,
+    "leaky_relu": _leaky_relu_array,
+    "sigmoid": _sigmoid_array,
+    "tanh": np.tanh,
+    "identity": _identity_array,
+    "none": _identity_array,
+}
+
+
+def activation_array(name: str):
+    """The raw-ndarray twin of :func:`activation` (inference fast path)."""
+    return ACTIVATIONS_ARRAY[name]
+
+
+# ---------------------------------------------------------------------------
 # Softmax family
 # ---------------------------------------------------------------------------
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     x = _ensure(x)
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    out_data = exp / exp.sum(axis=axis, keepdims=True)
+    # Delegate to the array twin so the Tensor and inference fast paths can
+    # never drift apart bit-wise.
+    out_data = softmax_array(x.data, axis=axis)
     out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,) if x.requires_grad else ())
     if out.requires_grad:
         def _backward(grad: np.ndarray) -> None:
@@ -107,9 +179,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     x = _ensure(x)
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - log_sum
+    out_data = log_softmax_array(x.data, axis=axis)
     out = Tensor(out_data, requires_grad=x.requires_grad, _prev=(x,) if x.requires_grad else ())
     if out.requires_grad:
         soft = np.exp(out_data)
@@ -132,7 +202,9 @@ def dropout(x: Tensor, p: float, training: bool = True, rng: Optional[np.random.
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
     rng = rng if rng is not None else np.random.default_rng()
-    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    # The RNG draws float64 uniforms regardless of compute dtype, so the
+    # consumed stream (and therefore replica determinism) is dtype-invariant.
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
     out = Tensor(x.data * mask, requires_grad=x.requires_grad, _prev=(x,) if x.requires_grad else ())
     if out.requires_grad:
         def _backward(grad: np.ndarray) -> None:
@@ -169,7 +241,7 @@ def cross_entropy(logits: Tensor, target: np.ndarray, reduction: str = "mean") -
 def soft_cross_entropy(log_probs: Tensor, soft_target: np.ndarray) -> Tensor:
     """Cross-entropy against a soft (probability) target distribution."""
     log_probs = _ensure(log_probs)
-    soft_target = np.asarray(soft_target, dtype=np.float64)
+    soft_target = np.asarray(soft_target, dtype=log_probs.data.dtype)
     return -(Tensor(soft_target) * log_probs).sum(axis=-1).mean()
 
 
@@ -187,7 +259,8 @@ def mse_loss(prediction: Tensor, target: ArrayLike, reduction: str = "mean") -> 
 def binary_cross_entropy_with_logits(logits: Tensor, target: ArrayLike, reduction: str = "mean") -> Tensor:
     """Numerically stable sigmoid + binary cross entropy."""
     logits = _ensure(logits)
-    target_arr = np.asarray(target.data if isinstance(target, Tensor) else target, dtype=np.float64)
+    target_arr = np.asarray(target.data if isinstance(target, Tensor) else target,
+                            dtype=logits.data.dtype)
     x = logits.data
     loss_data = np.maximum(x, 0.0) - x * target_arr + np.log1p(np.exp(-np.abs(x)))
     out = Tensor(loss_data, requires_grad=logits.requires_grad, _prev=(logits,) if logits.requires_grad else ())
@@ -245,28 +318,44 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 # ---------------------------------------------------------------------------
 # Gather / scatter primitives for message passing
 # ---------------------------------------------------------------------------
-def index_select(x: Tensor, index: np.ndarray) -> Tensor:
-    """Select rows of ``x`` (equivalent to ``x[index]`` along axis 0)."""
+def _scatter_sum(values: np.ndarray, index: np.ndarray, dim_size: int,
+                 aggregate) -> np.ndarray:
+    """Sum ``values`` rows into ``dim_size`` buckets.
+
+    With ``aggregate`` (a CSR built by ``GraphTensors.edge_scatter``) the
+    scatter is one sparse matmul; the ``np.add.at`` fallback accumulates in
+    the same edge order, so both paths are bit-identical.
+    """
+    if aggregate is not None:
+        flat = values.reshape(values.shape[0], -1)
+        return np.asarray(aggregate @ flat).reshape((dim_size,) + values.shape[1:])
+    out = np.zeros((dim_size,) + values.shape[1:], dtype=values.dtype)
+    np.add.at(out, index, values)
+    return out
+
+
+def index_select(x: Tensor, index: np.ndarray, scatter=None) -> Tensor:
+    """Select rows of ``x`` (equivalent to ``x[index]`` along axis 0).
+
+    ``scatter`` optionally provides the CSR scatter operator for the
+    backward pass (rows of the gradient summed back into ``x``).
+    """
     x = _ensure(x)
     index = np.asarray(index, dtype=np.int64)
     out = Tensor(x.data[index], requires_grad=x.requires_grad, _prev=(x,) if x.requires_grad else ())
     if out.requires_grad:
         def _backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(x.data)
-            np.add.at(full, index, grad)
-            x._accumulate(full)
+            x._accumulate(_scatter_sum(grad, index, x.shape[0], scatter))
 
         out._backward = _backward
     return out
 
 
-def scatter_add(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+def scatter_add(src: Tensor, index: np.ndarray, dim_size: int, aggregate=None) -> Tensor:
     """Sum rows of ``src`` into ``dim_size`` buckets given by ``index``."""
     src = _ensure(src)
     index = np.asarray(index, dtype=np.int64)
-    out_shape = (dim_size,) + src.shape[1:]
-    out_data = np.zeros(out_shape, dtype=np.float64)
-    np.add.at(out_data, index, src.data)
+    out_data = _scatter_sum(src.data, index, dim_size, aggregate)
     out = Tensor(out_data, requires_grad=src.requires_grad, _prev=(src,) if src.requires_grad else ())
     if out.requires_grad:
         def _backward(grad: np.ndarray) -> None:
@@ -278,9 +367,10 @@ def scatter_add(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
 
 def scatter_mean(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
     """Average rows of ``src`` into ``dim_size`` buckets given by ``index``."""
+    src = _ensure(src)
     index = np.asarray(index, dtype=np.int64)
-    counts = np.bincount(index, minlength=dim_size).astype(np.float64)
-    counts = np.maximum(counts, 1.0).reshape((dim_size,) + (1,) * (len(_ensure(src).shape) - 1))
+    counts = np.bincount(index, minlength=dim_size).astype(src.data.dtype)
+    counts = np.maximum(counts, 1.0).reshape((dim_size,) + (1,) * (len(src.shape) - 1))
     summed = scatter_add(src, index, dim_size)
     return summed * Tensor(1.0 / counts)
 
@@ -290,7 +380,7 @@ def scatter_max(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
     src = _ensure(src)
     index = np.asarray(index, dtype=np.int64)
     out_shape = (dim_size,) + src.shape[1:]
-    out_data = np.full(out_shape, -np.inf, dtype=np.float64)
+    out_data = np.full(out_shape, -np.inf, dtype=src.data.dtype)
     np.maximum.at(out_data, index, src.data)
     empty = ~np.isfinite(out_data)
     out_data[empty] = 0.0
@@ -298,8 +388,8 @@ def scatter_max(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
     if out.requires_grad:
         argmax_mask = (src.data == out_data[index]) & ~empty[index]
         # Split gradient evenly between ties to keep the op well defined.
-        tie_counts = np.zeros(out_shape, dtype=np.float64)
-        np.add.at(tie_counts, index, argmax_mask.astype(np.float64))
+        tie_counts = np.zeros(out_shape, dtype=src.data.dtype)
+        np.add.at(tie_counts, index, argmax_mask.astype(src.data.dtype))
         tie_counts = np.maximum(tie_counts, 1.0)
 
         def _backward(grad: np.ndarray) -> None:
@@ -309,7 +399,22 @@ def scatter_max(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
     return out
 
 
-def segment_softmax(scores: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+def scatter_add_array(src: np.ndarray, index: np.ndarray, dim_size: int,
+                      aggregate=None) -> np.ndarray:
+    """Raw-ndarray forward of :func:`scatter_add` (inference fast path)."""
+    return _scatter_sum(src, index, dim_size, aggregate)
+
+
+def scatter_max_array(src: np.ndarray, index: np.ndarray, dim_size: int) -> np.ndarray:
+    """Raw-ndarray forward of :func:`scatter_max` (inference fast path)."""
+    out = np.full((dim_size,) + src.shape[1:], -np.inf, dtype=src.dtype)
+    np.maximum.at(out, index, src)
+    out[~np.isfinite(out)] = 0.0
+    return out
+
+
+def segment_softmax(scores: Tensor, index: np.ndarray, dim_size: int,
+                    aggregate=None) -> Tensor:
     """Softmax over groups of entries sharing the same ``index`` value.
 
     Used for attention coefficients: ``scores`` holds one value per edge and
@@ -318,29 +423,30 @@ def segment_softmax(scores: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
     """
     scores = _ensure(scores)
     index = np.asarray(index, dtype=np.int64)
-    extra_dims = (1,) * (scores.data.ndim - 1)
-
-    group_max = np.full((dim_size,) + scores.shape[1:], -np.inf, dtype=np.float64)
-    np.maximum.at(group_max, index, scores.data)
-    group_max[~np.isfinite(group_max)] = 0.0
-    shifted = scores.data - group_max[index]
-    exp = np.exp(shifted)
-    denom = np.zeros((dim_size,) + scores.shape[1:], dtype=np.float64)
-    np.add.at(denom, index, exp)
-    denom = np.maximum(denom, 1e-16)
-    out_data = exp / denom[index]
+    out_data = segment_softmax_array(scores.data, index, dim_size, aggregate)
 
     out = Tensor(out_data, requires_grad=scores.requires_grad, _prev=(scores,) if scores.requires_grad else ())
     if out.requires_grad:
         def _backward(grad: np.ndarray) -> None:
             weighted = grad * out_data
-            group_dot = np.zeros((dim_size,) + scores.shape[1:], dtype=np.float64)
-            np.add.at(group_dot, index, weighted)
+            group_dot = _scatter_sum(weighted, index, dim_size, aggregate)
             scores._accumulate(out_data * (grad - group_dot[index]))
 
         out._backward = _backward
-    del extra_dims
     return out
+
+
+def segment_softmax_array(scores: np.ndarray, index: np.ndarray, dim_size: int,
+                          aggregate=None) -> np.ndarray:
+    """Raw-ndarray forward of :func:`segment_softmax` (inference fast path)."""
+    group_shape = (dim_size,) + scores.shape[1:]
+    group_max = np.full(group_shape, -np.inf, dtype=scores.dtype)
+    np.maximum.at(group_max, index, scores)
+    group_max[~np.isfinite(group_max)] = 0.0
+    shifted = scores - group_max[index]
+    exp = np.exp(shifted)
+    denom = np.maximum(_scatter_sum(exp, index, dim_size, aggregate), 1e-16)
+    return exp / denom[index]
 
 
 # ---------------------------------------------------------------------------

@@ -11,46 +11,58 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.autograd.dtype import compute_dtype
+
 
 def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
     return rng if rng is not None else np.random.default_rng()
 
 
+def _cast(array: np.ndarray) -> np.ndarray:
+    """Cast a freshly sampled float64 array into the compute dtype.
+
+    Sampling always happens in float64 so the RNG stream consumption (and
+    therefore replica/seed determinism) is identical under every compute
+    dtype; only the stored representation changes.
+    """
+    return array.astype(compute_dtype(), copy=False)
+
+
 def zeros(shape: Tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=compute_dtype())
 
 
 def ones(shape: Tuple[int, ...]) -> np.ndarray:
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=compute_dtype())
 
 
 def uniform(shape: Tuple[int, ...], low: float = -0.1, high: float = 0.1,
             rng: Optional[np.random.Generator] = None) -> np.ndarray:
-    return _rng(rng).uniform(low, high, size=shape)
+    return _cast(_rng(rng).uniform(low, high, size=shape))
 
 
 def normal(shape: Tuple[int, ...], std: float = 0.01,
            rng: Optional[np.random.Generator] = None) -> np.ndarray:
-    return _rng(rng).normal(0.0, std, size=shape)
+    return _cast(_rng(rng).normal(0.0, std, size=shape))
 
 
 def glorot_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """Xavier/Glorot uniform initialisation (the PyG default for GNN layers)."""
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return _rng(rng).uniform(-limit, limit, size=shape)
+    return _cast(_rng(rng).uniform(-limit, limit, size=shape))
 
 
 def glorot_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
     fan_in, fan_out = _fans(shape)
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return _rng(rng).normal(0.0, std, size=shape)
+    return _cast(_rng(rng).normal(0.0, std, size=shape))
 
 
 def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
     fan_in, _ = _fans(shape)
     limit = np.sqrt(6.0 / fan_in)
-    return _rng(rng).uniform(-limit, limit, size=shape)
+    return _cast(_rng(rng).uniform(-limit, limit, size=shape))
 
 
 def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:

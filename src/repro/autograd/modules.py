@@ -34,6 +34,12 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out += self.bias.data
+        return out
+
 
 class Dropout(Module):
     """Inverted dropout; a no-op when the module is in eval mode."""
@@ -47,6 +53,13 @@ class Dropout(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, training=self.training, rng=self.rng)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        if self.training and self.p > 0.0:
+            # Inference callers run in eval mode; keep exact RNG parity with
+            # the Tensor path if someone does call this while training.
+            return F.dropout(Tensor(x), self.p, training=True, rng=self.rng).data
+        return x
 
 
 class ReLU(Module):
@@ -94,8 +107,8 @@ class BatchNorm(Module):
         self.momentum = momentum
         self.gamma = Parameter(init.ones((num_features,)))
         self.beta = Parameter(init.zeros((num_features,)))
-        self.running_mean = np.zeros(num_features, dtype=np.float64)
-        self.running_var = np.ones(num_features, dtype=np.float64)
+        self.running_mean = init.zeros((num_features,))
+        self.running_var = init.ones((num_features,))
 
     def forward(self, x: Tensor) -> Tensor:
         if self.training:
@@ -124,6 +137,7 @@ class MLP(Module):
         if num_layers < 1:
             raise ValueError("MLP needs at least one layer")
         self.activation = F.activation(activation)
+        self.activation_array = F.activation_array(activation)
         self.dropout = Dropout(dropout, rng=rng)
         from repro.autograd.module import ModuleList
 
@@ -142,4 +156,12 @@ class MLP(Module):
             if i < len(self.layers) - 1:
                 x = self.activation(x)
                 x = self.dropout(x)
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        for i, layer in enumerate(self.layers):
+            x = layer.infer(x)
+            if i < len(self.layers) - 1:
+                x = self.activation_array(x)
+                x = self.dropout.infer(x)
         return x

@@ -3,6 +3,14 @@
 The paper trains every candidate model with Adam (β1=0.9, β2=0.98, ε=1e-9),
 weight decay 5e-4 and a step learning-rate decay of 0.9 every 3 epochs, so
 those are the defaults exposed here.
+
+All update rules run **in place**: moments, velocities and parameters are
+mutated through ``out=`` ufunc calls and augmented assignment against two
+per-parameter scratch buffers, so a step allocates nothing after the first
+call.  The classic functional formulation (``param.data = param.data - ...``,
+``grad = grad + weight_decay * param.data``) allocated four to six fresh
+parameter-sized arrays per parameter per step, which multiplied across the
+thousands of small training runs an AutoHEnsGNN pipeline performs.
 """
 
 from __future__ import annotations
@@ -22,10 +30,33 @@ class Optimizer:
         if not self.parameters:
             raise ValueError("optimiser received an empty parameter list")
         self.lr = lr
+        # Two scratch buffers per parameter, allocated lazily on first use:
+        # one holds the weight-decayed gradient, one the temporary of the
+        # moment/update arithmetic.
+        self._scratch: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._scratch2: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 
     def zero_grad(self) -> None:
         for param in self.parameters:
-            param.grad = None
+            # Tensor.zero_grad parks the gradient buffer for reuse by the
+            # next backward pass instead of dropping it on the floor.
+            param.zero_grad()
+
+    def _buffer(self, store: List[Optional[np.ndarray]], index: int,
+                param: Parameter) -> np.ndarray:
+        """One lazily allocated scratch buffer; allocated only when requested
+        so e.g. ``SGD(weight_decay=0)`` never materialises a decay buffer."""
+        buf = store[index]
+        if buf is None or buf.shape != param.data.shape or buf.dtype != param.data.dtype:
+            buf = store[index] = np.empty_like(param.data)
+        return buf
+
+    def _decayed_grad(self, param: Parameter, buf: np.ndarray,
+                      weight_decay: float) -> np.ndarray:
+        """``grad + weight_decay * param`` computed into ``buf`` (no temporaries)."""
+        np.multiply(param.data, weight_decay, out=buf)
+        buf += param.grad
+        return buf
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -42,17 +73,20 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for param, velocity in zip(self.parameters, self._velocity):
+        for index, (param, velocity) in enumerate(zip(self.parameters, self._velocity)):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                grad = self._decayed_grad(
+                    param, self._buffer(self._scratch, index, param), self.weight_decay)
             if self.momentum:
                 velocity *= self.momentum
                 velocity += grad
                 grad = velocity
-            param.data = param.data - self.lr * grad
+            tmp = self._buffer(self._scratch2, index, param)
+            np.multiply(grad, self.lr, out=tmp)
+            param.data -= tmp
 
 
 class Adam(Optimizer):
@@ -73,19 +107,33 @@ class Adam(Optimizer):
         self._step += 1
         bias1 = 1.0 - self.beta1 ** self._step
         bias2 = 1.0 - self.beta2 ** self._step
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        for index, (param, m, v) in enumerate(zip(self.parameters, self._m, self._v)):
             if param.grad is None:
                 continue
+            # Adam needs both buffers unconditionally: ``tmp`` for the moment
+            # arithmetic and ``buf`` for the final update term.
+            buf = self._buffer(self._scratch, index, param)
+            tmp = self._buffer(self._scratch2, index, param)
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                grad = self._decayed_grad(param, buf, self.weight_decay)
+            # m = beta1 * m + (1 - beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=tmp)
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            m += tmp
+            # v = beta2 * v + (1 - beta2) * grad^2
+            np.multiply(grad, grad, out=tmp)
+            tmp *= 1.0 - self.beta2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            v += tmp
+            # param -= lr * (m / bias1) / (sqrt(v / bias2) + eps)
+            np.divide(v, bias2, out=tmp)
+            np.sqrt(tmp, out=tmp)
+            tmp += self.eps
+            np.divide(m, bias1, out=buf)
+            buf /= tmp
+            buf *= self.lr
+            param.data -= buf
 
 
 class StepLR:

@@ -15,6 +15,7 @@ from typing import Union
 import numpy as np
 import scipy.sparse as sp
 
+from repro.autograd.dtype import compute_dtype
 from repro.autograd.tensor import Tensor
 
 
@@ -24,6 +25,7 @@ class SparseTensor:
     __slots__ = ("matrix", "_transposed_csr", "_fingerprint")
 
     def __init__(self, matrix: Union[sp.spmatrix, np.ndarray]) -> None:
+        dtype = compute_dtype()
         if sp.issparse(matrix):
             # Zero-copy alias only for matrices whose buffers are already
             # read-only (the ComputeCache freezes its values): each graph
@@ -32,13 +34,13 @@ class SparseTensor:
             # Caller-owned (writable) matrices are copied, as the seed
             # implementation always did, so constructing a SparseTensor
             # never freezes or aliases a matrix the caller may still mutate.
-            if isinstance(matrix, sp.csr_matrix) and matrix.dtype == np.float64 \
+            if isinstance(matrix, sp.csr_matrix) and matrix.dtype == dtype \
                     and not matrix.data.flags.writeable:
                 self.matrix = matrix
             else:
-                self.matrix = matrix.tocsr().astype(np.float64)
+                self.matrix = matrix.tocsr().astype(dtype)
         else:
-            self.matrix = sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+            self.matrix = sp.csr_matrix(np.asarray(matrix, dtype=dtype))
         self._transposed_csr = None
         self._fingerprint = None
 

@@ -6,10 +6,11 @@ that propagates the output gradient to them.  Calling :meth:`Tensor.backward`
 runs a topological sort of the recorded graph and accumulates gradients into
 the ``grad`` attribute of every leaf that has ``requires_grad=True``.
 
-Only float64 is used internally.  Graphs in this repository have at most a few
-tens of thousands of nodes, so double precision is both affordable and removes
-an entire class of numerical-stability questions from the architecture-search
-experiments.
+Arrays are materialised in the process-wide *compute dtype*
+(:mod:`repro.autograd.dtype`): float64 by default — double precision is
+affordable on graphs of a few tens of thousands of nodes and removes an
+entire class of numerical-stability questions from the architecture-search
+experiments — with float32 as a memory-bandwidth-halving opt-in.
 """
 
 from __future__ import annotations
@@ -19,6 +20,8 @@ import threading
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
+
+from repro.autograd.dtype import compute_dtype
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
@@ -46,11 +49,12 @@ def no_grad():
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
+    dtype = compute_dtype()
     if isinstance(value, np.ndarray):
-        if value.dtype != np.float64:
-            return value.astype(np.float64)
+        if value.dtype != dtype:
+            return value.astype(dtype)
         return value
-    return np.asarray(value, dtype=np.float64)
+    return np.asarray(value, dtype=dtype)
 
 
 def _reduce_extra_dims(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -82,7 +86,8 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
 class Tensor:
     """A NumPy-backed array that records operations for backpropagation."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name",
+                 "_grad_buffer")
     __array_priority__ = 100  # make NumPy defer to our reflected operators
 
     def __init__(
@@ -98,6 +103,7 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._prev: tuple = tuple(_prev)
         self.name = name
+        self._grad_buffer: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -137,6 +143,14 @@ class Tensor:
         return Tensor(self.data.copy(), requires_grad=self.requires_grad)
 
     def zero_grad(self) -> None:
+        """Clear the gradient, parking its buffer for reuse by the next backward.
+
+        Long-lived tensors (parameters) accumulate a same-shaped gradient
+        every training step; recycling the buffer removes one full-parameter
+        allocation per parameter per step.
+        """
+        if self.grad is not None:
+            self._grad_buffer = self.grad
         self.grad = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
@@ -163,7 +177,21 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            buffer = self._grad_buffer
+            if buffer is not None and isinstance(grad, np.ndarray) \
+                    and buffer.shape == grad.shape:
+                # Recycle the buffer parked by ``zero_grad`` instead of
+                # allocating a fresh copy (hot path: every parameter, every
+                # training step).
+                np.copyto(buffer, grad)
+                self.grad = buffer
+                self._grad_buffer = None
+            else:
+                self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        elif isinstance(grad, np.ndarray) and grad.shape == self.grad.shape:
+            # In-place: the first accumulation always copies, so ``self.grad``
+            # is owned by this tensor and never aliases an incoming array.
+            self.grad += grad
         else:
             self.grad = self.grad + grad
 
@@ -369,7 +397,7 @@ class Tensor:
                 if axis is not None and not keepdims:
                     expanded_out = np.expand_dims(out_data, axis)
                     expanded_grad = np.expand_dims(grad, axis)
-                mask = (self.data == expanded_out).astype(np.float64)
+                mask = (self.data == expanded_out).astype(self.data.dtype)
                 mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
                 self._accumulate(mask * expanded_grad)
             out._backward = _backward
@@ -396,9 +424,12 @@ class Tensor:
         return out
 
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(np.float64)
-        out = self._make(self.data * mask, (self,))
+        out = self._make(np.maximum(self.data, 0.0), (self,))
         if out.requires_grad:
+            # The boolean mask is a backward-only local: skip it entirely
+            # under ``no_grad`` and keep it 1 byte/element when recorded.
+            mask = self.data > 0
+
             def _backward(grad: np.ndarray) -> None:
                 self._accumulate(grad * mask)
             out._backward = _backward

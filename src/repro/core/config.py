@@ -75,3 +75,13 @@ class AutoHEnsGNNConfig:
     # Every backend produces bit-identical predictions at a fixed seed.
     backend: str = "serial"
     max_workers: Optional[int] = None
+    # Engine compute dtype (repro.autograd.dtype): "float64" (default) or
+    # "float32" (halves memory bandwidth; the pipeline sets the process-wide
+    # policy before building graph tensors and models).  Within each dtype,
+    # serial/thread/process backends stay bit-for-bit identical at a fixed
+    # seed.  (Exact bit-parity with the pre-PR-2 seed engine is NOT
+    # preserved: GCNConv now adds its bias after propagation — the standard
+    # formulation — ELU uses expm1, and the in-place Adam associates its
+    # update differently; accuracies are statistically indistinguishable,
+    # see tests/test_perf_core.py.)
+    compute_dtype: str = "float64"

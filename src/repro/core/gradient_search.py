@@ -28,7 +28,7 @@ import numpy as np
 from repro.autograd import functional as F
 from repro.autograd import optim
 from repro.autograd.module import Parameter
-from repro.autograd.tensor import Tensor, no_grad
+from repro.autograd.tensor import Tensor
 from repro.nn.data import GraphTensors
 from repro.nn.model_zoo import get_model_spec
 from repro.nn.models.base import GNNModel
@@ -161,7 +161,7 @@ class GradientSearch:
             train_loss.backward()
             # Only step the weights; clear any architecture gradients produced.
             for parameter in architecture_parameters:
-                parameter.grad = None
+                parameter.zero_grad()
             weight_optimizer.step()
 
             # --- update architecture parameters on the validation loss -------
@@ -172,7 +172,7 @@ class GradientSearch:
                 val_loss = F.nll_loss(log_probabilities[val_index], labels[val_index])
                 val_loss.backward()
                 for parameter in weight_parameters:
-                    parameter.grad = None
+                    parameter.zero_grad()
                 architecture_optimizer.step()
                 val_loss_value = float(val_loss.item())
 
@@ -189,13 +189,29 @@ class GradientSearch:
 
         return self._finalize(start, history)
 
+    def _ensemble_log_proba_inference(self, data: GraphTensors) -> np.ndarray:
+        """Raw-ndarray twin of :meth:`_ensemble_log_proba` (no graph recording)."""
+        beta = F.softmax_array(self.beta_parameter.data, axis=-1)
+        mixture: Optional[np.ndarray] = None
+        for model_index, replicas in enumerate(self.models):
+            gse_probability: Optional[np.ndarray] = None
+            for replica_index, model in enumerate(replicas):
+                alpha = self.alpha_parameters[model_index][replica_index]
+                logits = model.forward_inference(data, layer_weights=alpha)
+                probabilities = F.softmax_array(logits, axis=-1)
+                gse_probability = probabilities if gse_probability is None \
+                    else gse_probability + probabilities
+            gse_probability = gse_probability * (1.0 / len(replicas))
+            weighted = gse_probability * beta[model_index]
+            mixture = weighted if mixture is None else mixture + weighted
+        return np.log(mixture + 1e-12)
+
     def _validation_accuracy(self, data: GraphTensors, labels: np.ndarray,
                              val_index: np.ndarray) -> float:
         for replicas in self.models:
             for model in replicas:
                 model.eval()
-        with no_grad():
-            log_probabilities = self._ensemble_log_proba(data).data
+        log_probabilities = self._ensemble_log_proba_inference(data)
         return accuracy(log_probabilities[val_index], labels[val_index])
 
     def _finalize(self, start: float, history: List[Dict[str, float]]) -> GradientSearchResult:

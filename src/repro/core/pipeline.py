@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.automl.budget import TimeBudget
+from repro.autograd.dtype import compute_dtype_scope
 from repro.core.adaptive import AdaptiveSearch
 from repro.core.config import AutoHEnsGNNConfig, SearchMethod
 from repro.core.gradient_search import GradientSearch
@@ -79,7 +80,12 @@ class AutoHEnsGNN:
         proxy evaluation selects it automatically.
         """
         try:
-            return self._fit_predict(graph, pool)
+            # Apply the engine dtype policy for the duration of the run (and
+            # restore the caller's policy afterwards): every GraphTensors
+            # view, parameter and optimiser buffer downstream then lives in
+            # the configured dtype.
+            with compute_dtype_scope(self.config.compute_dtype):
+                return self._fit_predict(graph, pool)
         finally:
             # Release pooled workers (process backends hold live interpreter
             # processes); the executor is re-created lazily on the next call.

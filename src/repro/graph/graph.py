@@ -16,6 +16,7 @@ from typing import Dict, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro.autograd.dtype import compute_dtype
 from repro.graph import normalize as _norm
 
 
@@ -58,7 +59,10 @@ class Graph:
         self.edge_index = np.asarray(self.edge_index, dtype=np.int64)
         if self.edge_index.ndim != 2 or self.edge_index.shape[0] != 2:
             raise ValueError("edge_index must have shape (2, num_edges)")
-        self.features = np.asarray(self.features, dtype=np.float64)
+        # Datasets materialise their feature tables directly in the
+        # process-wide compute dtype so a float32 run never holds a float64
+        # copy of every feature matrix.
+        self.features = np.asarray(self.features, dtype=compute_dtype())
         if self.features.ndim != 2:
             raise ValueError("features must have shape (num_nodes, num_features)")
         self.labels = np.asarray(self.labels, dtype=np.int64)
@@ -193,7 +197,7 @@ class Graph:
     def with_features(self, features: np.ndarray) -> "Graph":
         """Return a copy of the graph with a replacement feature matrix."""
         graph = self.copy()
-        graph.features = np.asarray(features, dtype=np.float64)
+        graph.features = np.asarray(features, dtype=compute_dtype())
         if graph.features.shape[0] != graph.labels.shape[0]:
             raise ValueError("replacement features must keep the number of nodes")
         return graph

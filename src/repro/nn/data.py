@@ -15,6 +15,7 @@ from typing import Dict, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro.autograd.dtype import compute_dtype
 from repro.autograd.sparse import SparseTensor
 from repro.autograd.tensor import Tensor
 from repro.graph.batching import GraphBatch
@@ -63,24 +64,29 @@ class GraphTensors:
     def _from_adjacency(cls, adj: sp.csr_matrix, features: np.ndarray,
                         edge_index: np.ndarray, edge_weight: np.ndarray) -> "GraphTensors":
         cache = compute_cache()
+        dtype = compute_dtype()
         adj_fp = csr_fingerprint(adj)
+        # The cache stores one normalised operator per (kind, dtype) so
+        # float32 and float64 views of the same graph never collide — and a
+        # float32 run aliases read-only float32 CSRs straight into
+        # ``SparseTensor`` instead of re-casting per view.
         sym = cache.normalized_adjacency(adj, normalization="sym", self_loops=True,
-                                         fingerprint=adj_fp)
+                                         fingerprint=adj_fp, dtype=dtype)
         rw = cache.normalized_adjacency(adj, normalization="rw", self_loops=True,
-                                        fingerprint=adj_fp)
+                                        fingerprint=adj_fp, dtype=dtype)
         raw = cache.normalized_adjacency(adj, normalization="none", self_loops=False,
-                                         fingerprint=adj_fp)
+                                         fingerprint=adj_fp, dtype=dtype)
         # Attention layers operate on the symmetrised edge list with self loops.
         sym_structure = _norm.add_self_loops(adj).tocoo()
         undirected_edges = np.vstack([sym_structure.row, sym_structure.col])
         undirected_weights = sym_structure.data
         return cls(
-            features=Tensor(np.asarray(features, dtype=np.float64)),
+            features=Tensor(np.asarray(features, dtype=dtype)),
             adj_sym=SparseTensor(sym),
             adj_rw=SparseTensor(rw),
             adj_raw=SparseTensor(raw),
             edge_index=undirected_edges.astype(np.int64),
-            edge_weight=np.asarray(undirected_weights, dtype=np.float64),
+            edge_weight=np.asarray(undirected_weights, dtype=dtype),
             num_nodes=int(features.shape[0]),
             num_features=int(features.shape[1]),
         )
@@ -126,6 +132,30 @@ class GraphTensors:
             data = compute_cache().powered_features(
                 operator.fingerprint, self.features_fingerprint(), power, compute)
             self.extras[key] = Tensor(data)
+        return self.extras[key]  # type: ignore[return-value]
+
+    def edge_scatter(self, which: str) -> sp.csr_matrix:
+        """CSR operator summing per-edge values into their ``src``/``dst`` node.
+
+        ``S[node, edge] = 1`` for every edge whose chosen endpoint is
+        ``node``; ``S @ edge_values`` then performs the scatter-sum that the
+        attention layers otherwise pay ``np.add.at`` for (an order of
+        magnitude slower — ``np.ufunc.at`` is unbuffered and unvectorised).
+        Within a node the CSR product accumulates contributions in edge-id
+        order, exactly like ``np.add.at``, so results are bit-identical.
+        Built once per view and memoised in ``extras``.
+        """
+        if which not in {"src", "dst"}:
+            raise ValueError("which must be 'src' or 'dst'")
+        key = f"edge_scatter:{which}"
+        if key not in self.extras:
+            index = self.edge_index[0 if which == "src" else 1]
+            num_edges = index.shape[0]
+            matrix = sp.csr_matrix(
+                (np.ones(num_edges, dtype=self.features.data.dtype),
+                 (index, np.arange(num_edges))),
+                shape=(self.num_nodes, num_edges))
+            self.extras[key] = matrix
         return self.extras[key]  # type: ignore[return-value]
 
     def with_features(self, features: Tensor) -> "GraphTensors":

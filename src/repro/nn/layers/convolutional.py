@@ -18,6 +18,7 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd import functional as F
+from repro.autograd import kernels
 from repro.autograd.module import Module, ModuleList
 from repro.autograd.modules import Linear
 from repro.autograd.sparse import spmm
@@ -26,7 +27,13 @@ from repro.nn.data import GraphTensors
 
 
 class GCNConv(Module):
-    """``H' = act(Â H W)`` with the symmetrically normalised adjacency ``Â``."""
+    """``H' = act(Â H W + b)`` with the symmetrically normalised adjacency ``Â``.
+
+    The product runs through the fused :func:`~repro.autograd.kernels.
+    spmm_bias_act` kernel, which picks ``Â (H W)`` or ``(Â H) W`` from the
+    operand shapes and adds the bias after propagation (the standard GCNConv
+    formulation).
+    """
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
                  propagation: str = "sym", rng: Optional[np.random.Generator] = None) -> None:
@@ -35,8 +42,28 @@ class GCNConv(Module):
         self.propagation = propagation
 
     def forward(self, x: Tensor, data: GraphTensors) -> Tensor:
-        support = self.linear(x)
-        return spmm(data.propagation(self.propagation), support)
+        return self.forward_fused(x, data, activation=None)
+
+    def forward_fused(self, x: Tensor, data: GraphTensors,
+                      activation: Optional[str]) -> Tensor:
+        """Fused conv + activation; ``StackedConvModel`` calls this hook when
+        the model's activation is one the kernel can apply in place."""
+        return kernels.spmm_bias_act(data.propagation(self.propagation), x,
+                                     self.linear.weight, self.linear.bias,
+                                     activation)
+
+    def infer(self, x: np.ndarray, data: GraphTensors) -> np.ndarray:
+        return self.infer_fused(x, data, activation=None)
+
+    def infer_fused(self, x: np.ndarray, data: GraphTensors,
+                    activation: Optional[str]) -> np.ndarray:
+        operator = data.propagation(self.propagation)
+        weight = self.linear.weight.data
+        bias = None if self.linear.bias is None else self.linear.bias.data
+        prop_first = kernels.propagate_first(operator, x.shape[-1], weight.shape[-1])
+        out, _ = kernels.spmm_bias_act_forward(operator.matrix, x, weight, bias,
+                                               activation, prop_first)
+        return out
 
 
 class SGConv(Module):
@@ -55,6 +82,12 @@ class SGConv(Module):
         for _ in range(self.hops):
             hidden = spmm(operator, hidden)
         return self.linear(hidden)
+
+    def infer(self, x: np.ndarray, data: GraphTensors) -> np.ndarray:
+        matrix = data.propagation(self.propagation).matrix
+        for _ in range(self.hops):
+            x = matrix @ x
+        return self.linear.infer(x)
 
 
 class TAGConv(Module):
@@ -76,6 +109,15 @@ class TAGConv(Module):
         for k in range(1, self.hops + 1):
             hidden = spmm(operator, hidden)
             out = out + self.linears[k](hidden)
+        return out
+
+    def infer(self, x: np.ndarray, data: GraphTensors) -> np.ndarray:
+        matrix = data.propagation(self.propagation).matrix
+        hidden = x
+        out = self.linears[0].infer(hidden)
+        for k in range(1, self.hops + 1):
+            hidden = matrix @ hidden
+            out += self.linears[k].infer(hidden)
         return out
 
 
@@ -109,6 +151,20 @@ class ChebConv(Module):
             t_prev_prev, t_prev = t_prev, t_curr
         return out
 
+    def infer(self, x: np.ndarray, data: GraphTensors) -> np.ndarray:
+        matrix = data.propagation("sym").matrix
+        t_prev_prev = x
+        out = self.linears[0].infer(t_prev_prev)
+        if self.order == 1:
+            return out
+        t_prev = (matrix @ x) * -1.0
+        out += self.linears[1].infer(t_prev)
+        for k in range(2, self.order):
+            t_curr = (matrix @ t_prev) * -2.0 - t_prev_prev
+            out += self.linears[k].infer(t_curr)
+            t_prev_prev, t_prev = t_prev, t_curr
+        return out
+
 
 class ARMAConv(Module):
     """One ARMA_1 stack: ``H^{t+1} = act(Â H^t W + X V)`` iterated ``num_iterations`` times."""
@@ -128,4 +184,12 @@ class ARMAConv(Module):
         skip = self.skip_linear(x)
         for _ in range(self.num_iterations):
             hidden = F.relu(self.recurrent_linear(spmm(operator, hidden)) + skip)
+        return hidden
+
+    def infer(self, x: np.ndarray, data: GraphTensors) -> np.ndarray:
+        matrix = data.propagation(self.propagation).matrix
+        hidden = F._relu_array(self.input_linear.infer(x))
+        skip = self.skip_linear.infer(x)
+        for _ in range(self.num_iterations):
+            hidden = F._relu_array(self.recurrent_linear.infer(matrix @ hidden) + skip)
         return hidden

@@ -246,13 +246,29 @@ class ThreadBackend(_PoolBackend):
         return concurrent.futures.ThreadPoolExecutor(max_workers=self.max_workers)
 
 
+def _init_process_worker(dtype_name: str) -> None:
+    """Process-pool initializer: replicate the parent's compute-dtype policy.
+
+    Fork-started workers inherit it anyway; spawn-started workers (macOS /
+    Windows defaults) need the explicit hand-off.
+    """
+    from repro.autograd.dtype import set_compute_dtype
+
+    set_compute_dtype(dtype_name)
+
+
 class ProcessBackend(_PoolBackend):
     """Process-pool execution; tasks and results must be picklable."""
 
     name = "process"
 
     def _make_executor(self) -> concurrent.futures.Executor:
-        return concurrent.futures.ProcessPoolExecutor(max_workers=self.max_workers)
+        from repro.autograd.dtype import compute_dtype_name
+
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            initializer=_init_process_worker,
+            initargs=(compute_dtype_name(),))
 
 
 BACKENDS = {

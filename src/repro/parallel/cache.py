@@ -203,23 +203,29 @@ class ComputeCache:
     # ------------------------------------------------------------------
     def normalized_adjacency(self, adj: sp.spmatrix, normalization: str,
                              self_loops: bool,
-                             fingerprint: Optional[str] = None) -> sp.csr_matrix:
+                             fingerprint: Optional[str] = None,
+                             dtype: Optional[np.dtype] = None) -> sp.csr_matrix:
         """Memoised :func:`repro.graph.normalize.normalized_adjacency`.
 
         ``fingerprint`` lets callers that derive several operators from one
         adjacency (e.g. ``GraphTensors``) hash the matrix once instead of
-        once per operator.
+        once per operator.  ``dtype`` requests the operator in a specific
+        compute dtype; it is part of the cache key, so float32 and float64
+        policies each get their own frozen CSR.
         """
         from repro.graph import normalize as _norm
 
         if fingerprint is None:
             fingerprint = csr_fingerprint(adj)
-        key = f"norm:{normalization}:{int(self_loops)}:{fingerprint}"
+        dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+        key = f"norm:{normalization}:{int(self_loops)}:{dtype.name}:{fingerprint}"
 
         def compute() -> sp.csr_matrix:
             value = _norm.normalized_adjacency(adj, normalization=normalization,
                                                self_loops=self_loops)
-            if value is adj:
+            if value.dtype != dtype:
+                value = value.astype(dtype)
+            elif value is adj:
                 # The "none"/no-self-loops path returns the input itself;
                 # copy so freezing the cached value never freezes (or
                 # aliases) the caller's own matrix.

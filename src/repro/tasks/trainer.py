@@ -19,7 +19,6 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd import optim
-from repro.autograd.tensor import Tensor, no_grad
 from repro.nn.data import GraphTensors
 from repro.nn.models.base import GNNModel, LayerWeights
 from repro.tasks.metrics import accuracy
@@ -99,6 +98,8 @@ class NodeClassificationTrainer:
         start = time.time()
 
         epoch = 0
+        last_evaluated = -1
+        last_loss = float("nan")
         for epoch in range(config.max_epochs):
             model.train()
             optimizer.zero_grad()
@@ -111,11 +112,13 @@ class NodeClassificationTrainer:
             loss.backward()
             optimizer.step()
             scheduler.step()
+            last_loss = float(loss.item())
 
             if epoch % config.evaluate_every != 0:
                 continue
+            last_evaluated = epoch
             val_accuracy = self.evaluate(model, data, labels, val_index, layer_weights)
-            history.append({"epoch": float(epoch), "loss": float(loss.item()),
+            history.append({"epoch": float(epoch), "loss": last_loss,
                             "val_accuracy": val_accuracy})
             if val_accuracy > best_val:
                 best_val = val_accuracy
@@ -126,6 +129,18 @@ class NodeClassificationTrainer:
                 epochs_without_improvement += 1
                 if epochs_without_improvement >= config.patience:
                     break
+
+        if config.max_epochs > 0 and last_evaluated != epoch:
+            # With ``evaluate_every > 1`` the loop can end (via max_epochs)
+            # on an epoch that was trained but never scored; evaluate it so
+            # ``best_state`` can capture the final weights too.
+            val_accuracy = self.evaluate(model, data, labels, val_index, layer_weights)
+            history.append({"epoch": float(epoch), "loss": last_loss,
+                            "val_accuracy": val_accuracy})
+            if val_accuracy > best_val:
+                best_val = val_accuracy
+                best_epoch = epoch
+                best_state = model.state_dict()
 
         model.load_state_dict(best_state)
         return TrainResult(
@@ -140,12 +155,12 @@ class NodeClassificationTrainer:
     @staticmethod
     def evaluate(model: GNNModel, data: GraphTensors, labels: np.ndarray,
                  index: np.ndarray, layer_weights: LayerWeights = None) -> float:
-        """Accuracy of ``model`` on the nodes in ``index`` (no gradient tracking)."""
-        was_training = model.training
-        model.eval()
-        with no_grad():
-            logits = model(data, layer_weights=layer_weights).data
-        model.train(was_training)
+        """Accuracy of ``model`` on the nodes in ``index`` (no gradient tracking).
+
+        Runs through the raw-ndarray inference fast path — the per-epoch
+        validation pass is the single hottest no-grad call in the system.
+        """
+        logits = model.forward_inference(data, layer_weights=layer_weights)
         index = np.asarray(index)
         if index.size == 0:
             return 0.0
