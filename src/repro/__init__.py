@@ -33,8 +33,8 @@ from repro.core import (
     ProxyEvaluator,
     SearchMethod,
 )
-from repro.datasets import load_dataset
-from repro.graph import Graph
+from repro.datasets import available_datasets, load_dataset
+from repro.graph import Graph, NeighborSampler, SubgraphBatch
 from repro.nn import GraphTensors, available_models, build_model
 from repro.parallel import (
     ComputeCache,
@@ -46,7 +46,7 @@ from repro.parallel import (
     get_backend,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "compute_dtype",
@@ -61,8 +61,11 @@ __all__ = [
     "GraphSelfEnsemble",
     "HierarchicalEnsemble",
     "Graph",
+    "NeighborSampler",
+    "SubgraphBatch",
     "GraphTensors",
     "load_dataset",
+    "available_datasets",
     "available_models",
     "build_model",
     "ExecutionBackend",

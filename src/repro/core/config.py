@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.tasks.trainer import TrainConfig
 
@@ -25,7 +25,34 @@ class SearchMethod(str, enum.Enum):
 
 @dataclass
 class ProxyConfig:
-    """Parameters of the proxy task used for fast model selection."""
+    """Parameters of the proxy task used for fast model selection.
+
+    Parameters
+    ----------
+    dataset_fraction : float
+        ``D_proxy`` — fraction of nodes kept in the class-stratified proxy
+        sub-graph.
+    bagging_rounds : int
+        ``B_proxy`` — random train/val splits each candidate is scored on.
+    hidden_fraction : float
+        ``M_proxy`` — hidden-width fraction of the proxy models.
+    max_epochs, patience, lr : int / float
+        Training protocol of each proxy run.
+    val_fraction : float
+        Validation share of each proxy bagging split.
+    batch_size : int, optional
+        ``None`` (default) inherits the pipeline's ``batch_size`` when run
+        through :class:`AutoHEnsGNN` (full-batch otherwise).  A positive
+        integer switches proxy training to neighbour-sampled minibatches —
+        on graphs whose proxy sub-graph is itself large, this is what keeps
+        candidate ranking affordable.  ``0`` pins the proxy stage
+        full-batch even under a minibatch pipeline.
+    fanouts : tuple of int, optional
+        Per-hop neighbour caps for minibatch proxy training (see
+        :class:`~repro.tasks.trainer.TrainConfig`).
+    seed : int
+        Base seed for sampling and training.
+    """
 
     dataset_fraction: float = 0.3      # D_proxy
     bagging_rounds: int = 6            # B_proxy (scaled down by benchmarks)
@@ -34,6 +61,8 @@ class ProxyConfig:
     patience: int = 10
     lr: float = 0.01
     val_fraction: float = 0.2
+    batch_size: Optional[int] = None
+    fanouts: Optional[Tuple[int, ...]] = None
     seed: int = 0
 
 
@@ -48,7 +77,61 @@ class AdaptiveConfig:
 
 @dataclass
 class AutoHEnsGNNConfig:
-    """Full pipeline configuration."""
+    """Full pipeline configuration.
+
+    Parameters
+    ----------
+    candidate_models : sequence of str, optional
+        Candidate zoo for proxy evaluation (``None`` = every registered
+        model).
+    pool_size : int
+        ``N`` — architectures kept after proxy ranking.
+    ensemble_size : int
+        ``K`` — seed replicas per graph self-ensemble.
+    max_layers : int
+        ``L`` — depth of the per-architecture α grid.
+    search_method : SearchMethod
+        ``ADAPTIVE`` (grid α + closed-form β, Eqn 8) or ``GRADIENT``
+        (Algorithm 1).  Gradient search always trains full-batch.
+    proxy, adaptive, train : dataclasses
+        Stage-specific sub-configurations.
+    bagging_splits, val_fraction : int, float
+        Re-training bagging over random train/val splits (Section IV-C).
+    hidden : int
+        Hidden width of the re-trained members.
+    time_budget : float, optional
+        Wall-clock budget in seconds (challenge protocol).
+    backend : str
+        Execution backend for independent trainings: ``"serial"``,
+        ``"thread"`` or ``"process"`` — bit-identical predictions at a
+        fixed seed.
+    max_workers : int, optional
+        Worker cap for the thread/process backends.
+    compute_dtype : str
+        Engine-wide float policy, ``"float64"`` (default) or ``"float32"``
+        (halves memory traffic; see ``repro.autograd.dtype``).
+    batch_size : int, optional
+        ``None`` (default) keeps every training stage full-batch —
+        bit-for-bit the historical pipeline.  An integer turns on
+        neighbour-sampled minibatch training (GraphSAGE-style) for the
+        configuration search and the bagged re-training, with this many
+        seed nodes per optimiser step; it is also inherited by ``train``
+        and proxy evaluation wherever their own ``batch_size`` is ``None``
+        (a stage passes ``0`` to stay full-batch explicitly).  Peak training
+        memory then scales with ``batch_size * prod(fanouts)`` instead of
+        the graph size, opening graphs that cannot afford a full-batch
+        pass.  Prediction/evaluation always runs full-graph through the
+        inference fast path.
+    fanouts : tuple of int, optional
+        Per-hop sampled-neighbour caps for minibatch mode, outermost hop
+        first; ``None`` derives ``(10, 5, 5)`` sized to each model's
+        receptive field but capped at three hops (deeper propagation sees
+        a truncated neighbourhood — name fanouts explicitly to cover more).
+    seed : int
+        Master seed for every stage.
+    verbose : bool
+        Print stage progress.
+    """
 
     candidate_models: Optional[Sequence[str]] = None   # None = entire zoo
     pool_size: int = 3                                  # N
@@ -85,3 +168,7 @@ class AutoHEnsGNNConfig:
     # update differently; accuracies are statistically indistinguishable,
     # see tests/test_perf_core.py.)
     compute_dtype: str = "float64"
+    # Minibatch neighbour-sampled training (repro.graph.sampling): None =
+    # full-batch everywhere (bit-for-bit the historical behaviour).
+    batch_size: Optional[int] = None
+    fanouts: Optional[Tuple[int, ...]] = None

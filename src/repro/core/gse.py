@@ -116,7 +116,11 @@ class GraphSelfEnsemble:
         """Train every member independently and record its validation accuracy.
 
         The K members only differ in their initialisation seed, so they can
-        train concurrently on any :mod:`repro.parallel` backend.
+        train concurrently on any :mod:`repro.parallel` backend.  When
+        ``train_config.batch_size`` is set, each member trains on
+        neighbour-sampled minibatches (its trainer builds a
+        ``NeighborSampler`` from the shared ``adj_raw`` CSR of ``data``);
+        prediction stays full-graph either way.
         """
         tasks = self.member_tasks(data, labels, train_index, val_index,
                                   train_config=train_config, num_classes=num_classes)

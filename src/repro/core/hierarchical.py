@@ -49,6 +49,9 @@ class HierarchicalEnsemble:
         All ``N x K`` member models across every GSE are independent, so their
         training tasks are flattened onto one backend map — a parallel backend
         keeps every worker busy instead of synchronising after each GSE.
+        ``train_config.batch_size`` propagates to every member trainer, so
+        one flag moves the whole hierarchical re-training to
+        neighbour-sampled minibatches on large graphs.
         """
         tasks = []
         counts = []

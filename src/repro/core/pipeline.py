@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from dataclasses import replace as dataclasses_replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -98,13 +99,31 @@ class AutoHEnsGNN:
         data = GraphTensors.from_graph(graph)
         labelled = graph.metadata.get("labelled_pool")
 
+        # Minibatch mode: thread batch_size/fanouts into every training
+        # stage, field-wise — pipeline-level values are *defaults*, so a
+        # stage-level TrainConfig/ProxyConfig that names its own value keeps
+        # it.  With everything None this is an identity rewrite, keeping the
+        # full-batch path bit-for-bit identical to before the minibatch
+        # engine existed.
+        train_config = config.train.with_overrides(
+            batch_size=config.train.batch_size
+            if config.train.batch_size is not None else config.batch_size,
+            fanouts=config.train.fanouts
+            if config.train.fanouts is not None else config.fanouts)
+        proxy_config = dataclasses_replace(
+            config.proxy,
+            batch_size=config.proxy.batch_size
+            if config.proxy.batch_size is not None else config.batch_size,
+            fanouts=config.proxy.fanouts
+            if config.proxy.fanouts is not None else config.fanouts)
+
         # ------------------------------------------------------------------
         # 1. Proxy evaluation and pool selection
         # ------------------------------------------------------------------
         proxy_start = time.time()
         proxy_ranking: List[str] = []
         if pool is None:
-            evaluator = ProxyEvaluator(config.proxy, candidates=config.candidate_models,
+            evaluator = ProxyEvaluator(proxy_config, candidates=config.candidate_models,
                                        backend=self.executor)
             report = evaluator.evaluate(graph, seed=config.seed, budget=budget)
             proxy_ranking = report.ranking()
@@ -121,6 +140,9 @@ class AutoHEnsGNN:
                                     seed=config.seed, labelled_pool=labelled)
         train_index = search_split.mask_indices("train")
         val_index = search_split.mask_indices("val")
+        # Gradient search co-trains the whole relaxed ensemble and therefore
+        # always runs full-batch; minibatch mode applies to the adaptive
+        # search, proxy evaluation and the bagged re-training below.
         if config.search_method == SearchMethod.GRADIENT and budget.remaining_fraction() > 0.3:
             search = GradientSearch(
                 pool=pool,
@@ -147,7 +169,7 @@ class AutoHEnsGNN:
                 max_layers=config.max_layers,
                 hidden=config.hidden,
                 adaptive_config=config.adaptive,
-                train_config=config.train.with_overrides(max_epochs=config.search_epochs),
+                train_config=train_config.with_overrides(max_epochs=config.search_epochs),
                 seed=config.seed,
                 backend=self.executor,
             )
@@ -196,7 +218,7 @@ class AutoHEnsGNN:
             hierarchical.fit(data, split_graph.labels,
                              split_graph.mask_indices("train"),
                              split_graph.mask_indices("val"),
-                             train_config=config.train,
+                             train_config=train_config,
                              num_classes=graph.num_classes,
                              backend=self.executor)
             hierarchical.set_beta(beta)

@@ -208,6 +208,11 @@ class ProxyEvaluator:
             lr=config.lr,
             max_epochs=config.max_epochs,
             patience=config.patience,
+            # Proxy candidates train on neighbour-sampled minibatches when
+            # configured — on large graphs even the D_proxy sub-graph is too
+            # big for a full-batch pass per candidate per bagging round.
+            batch_size=config.batch_size,
+            fanouts=config.fanouts,
             seed=seed,
         )
         tasks = [

@@ -16,6 +16,7 @@ from repro.datasets.generators import (
     SBMConfig,
     make_attributed_sbm,
     make_feature_free_graph,
+    make_large_sbm,
     structural_features,
 )
 from repro.datasets.kddcup import (
@@ -27,12 +28,18 @@ from repro.datasets.citation import make_citation_dataset, CITATION_DATASET_NAME
 from repro.datasets.arxiv import make_arxiv_dataset
 from repro.datasets.proteins import make_proteins_dataset, GraphClassificationDataset
 from repro.datasets.io import load_autograph_directory, save_autograph_directory
-from repro.datasets.registry import DATASETS, load_dataset, register_dataset
+from repro.datasets.registry import (
+    DATASETS,
+    available_datasets,
+    load_dataset,
+    register_dataset,
+)
 
 __all__ = [
     "SBMConfig",
     "make_attributed_sbm",
     "make_feature_free_graph",
+    "make_large_sbm",
     "structural_features",
     "make_kddcup_dataset",
     "kddcup_dataset_statistics",
@@ -45,6 +52,7 @@ __all__ = [
     "load_autograph_directory",
     "save_autograph_directory",
     "DATASETS",
+    "available_datasets",
     "load_dataset",
     "register_dataset",
 ]

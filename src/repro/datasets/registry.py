@@ -3,15 +3,19 @@
 ``load_dataset("kddcup-A")`` or ``load_dataset("cora")`` return ready-to-use
 graphs; new datasets (e.g. loaded from an AutoGraph directory) can be added
 with :func:`register_dataset` so the benchmark harness can iterate over them
-uniformly.
+uniformly.  An unknown name raises a ``KeyError`` that lists every
+registered dataset (with a did-you-mean suggestion), so typos fail with an
+actionable message instead of a bare lookup error.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import difflib
+from typing import Callable, Dict, List
 
 from repro.datasets.arxiv import make_arxiv_dataset
 from repro.datasets.citation import CITATION_DATASET_NAMES, make_citation_dataset
+from repro.datasets.generators import make_large_sbm
 from repro.datasets.kddcup import KDDCUP_DATASET_NAMES, make_kddcup_dataset
 from repro.graph.graph import Graph
 
@@ -28,11 +32,36 @@ def register_dataset(name: str, factory: DatasetFactory, overwrite: bool = False
     DATASETS[key] = factory
 
 
+def available_datasets() -> List[str]:
+    """Sorted names of every registered dataset."""
+    return sorted(DATASETS)
+
+
 def load_dataset(name: str, **kwargs) -> Graph:
-    """Instantiate a registered dataset by name (case insensitive)."""
+    """Instantiate a registered dataset by name (case insensitive).
+
+    Parameters
+    ----------
+    name : str
+        Registered dataset name, e.g. ``"kddcup-A"``, ``"cora"`` or
+        ``"sbm-large"``.
+    **kwargs
+        Forwarded to the dataset factory (e.g. ``scale=`` for the KDD Cup
+        analogues, ``num_nodes=`` for ``"sbm-large"``).
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not registered.  The message lists every available
+        dataset and, when the name is close to a registered one, suggests
+        the likely intended spelling.
+    """
     key = name.lower()
     if key not in DATASETS:
-        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}")
+        close = difflib.get_close_matches(key, DATASETS, n=1)
+        hint = f" — did you mean {close[0]!r}?" if close else ""
+        raise KeyError(
+            f"unknown dataset {name!r}{hint}; available: {available_datasets()}")
     return DATASETS[key](**kwargs)
 
 
@@ -50,6 +79,9 @@ def _register_builtin() -> None:
             overwrite=True,
         )
     register_dataset("arxiv", make_arxiv_dataset, overwrite=True)
+    # Large-graph regime for the minibatch engine (200k nodes by default;
+    # pass num_nodes=... to scale).
+    register_dataset("sbm-large", make_large_sbm, overwrite=True)
 
 
 _register_builtin()

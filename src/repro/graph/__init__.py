@@ -8,10 +8,13 @@ This package is the substrate underneath every GNN in the repository:
   (symmetric / random-walk, optional self-loops, edge weights).
 * :mod:`~repro.graph.splits` — train/validation splitting utilities, including
   the fixed "planetoid" protocol and the random re-splits used for bagging.
-* :mod:`~repro.graph.sampling` — sub-graph sampling for the proxy dataset and
-  negative-edge sampling for link prediction.
+* :mod:`~repro.graph.sampling` — sub-graph sampling for the proxy dataset,
+  fanout-bounded neighbour sampling for minibatch training
+  (:class:`~repro.graph.sampling.NeighborSampler`) and negative-edge
+  sampling for link prediction.
 * :mod:`~repro.graph.batching` — block-diagonal batching of many small graphs
-  for graph classification.
+  for graph classification, and the :class:`~repro.graph.batching.SubgraphBatch`
+  carrier for neighbour-sampled minibatches.
 """
 
 from repro.graph.graph import Graph
@@ -21,17 +24,23 @@ from repro.graph.normalize import (
     normalized_adjacency,
     to_undirected,
 )
-from repro.graph.sampling import negative_edge_sampling, sample_proxy_subgraph
+from repro.graph.sampling import (
+    NeighborSampler,
+    negative_edge_sampling,
+    sample_proxy_subgraph,
+)
 from repro.graph.splits import (
     planetoid_split,
     random_split,
     repeated_random_splits,
     stratified_label_split,
 )
-from repro.graph.batching import GraphBatch, collate_graphs
+from repro.graph.batching import GraphBatch, SubgraphBatch, collate_graphs
 
 __all__ = [
     "Graph",
+    "NeighborSampler",
+    "SubgraphBatch",
     "build_adjacency",
     "normalized_adjacency",
     "add_self_loops",

@@ -1,15 +1,24 @@
-"""Batching many small graphs into one block-diagonal graph.
+"""Batch carriers: block-diagonal graph batches and sampled sub-graph batches.
 
-Graph classification (Table IX, PROTEINS) trains on datasets of small graphs.
-Following standard practice, a batch of graphs is merged into a single large
-graph whose adjacency matrix is block diagonal; a ``graph_id`` vector then
-lets readout layers pool node representations back into per-graph vectors.
+Two batching regimes share this module:
+
+* **Graph classification** (Table IX, PROTEINS) trains on datasets of small
+  graphs.  Following standard practice, :func:`collate_graphs` merges a batch
+  of graphs into a single large graph whose adjacency matrix is block
+  diagonal (:class:`GraphBatch`); a ``graph_id`` vector then lets readout
+  layers pool node representations back into per-graph vectors.
+* **Minibatch node classification** on large graphs trains on sampled
+  neighbourhood sub-graphs.  :class:`SubgraphBatch` carries one such batch —
+  the sampled global node ids (seeds first), the induced edge list remapped
+  to local ids, and the global↔local translation — and turns itself into the
+  same :class:`~repro.nn.data.GraphTensors` view the model zoo already
+  consumes, so every architecture trains on batches unmodified.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -32,14 +41,117 @@ class GraphBatch:
 
     @property
     def num_nodes(self) -> int:
+        """Total nodes across every graph in the batch."""
         return int(self.features.shape[0])
 
     def adjacency(self, normalization: str = "sym", self_loops: bool = True) -> sp.csr_matrix:
+        """The (normalised) block-diagonal adjacency of the whole batch."""
         adj = _norm.build_adjacency(
             self.edge_index, self.num_nodes, edge_weight=self.edge_weight,
             make_undirected=not self.directed,
         )
         return _norm.normalized_adjacency(adj, normalization=normalization, self_loops=self_loops)
+
+
+@dataclass
+class SubgraphBatch:
+    """One sampled neighbourhood sub-graph produced by a ``NeighborSampler``.
+
+    The batch's *local* node ids are positions into :attr:`nodes`: the first
+    :attr:`num_seeds` local ids are the seed nodes (the nodes a training
+    step computes its loss on), followed by each sampled hop ring.  A model
+    forward on :meth:`tensors` therefore scores the seeds at rows
+    ``0..num_seeds-1`` of its output.
+
+    Attributes
+    ----------
+    nodes : ndarray
+        Global node ids of every sampled node, seeds first.
+    num_seeds : int
+        How many leading entries of ``nodes`` are seed nodes.
+    edge_index : ndarray
+        Induced edges among the sampled nodes, shape ``(2, E)``, in *local*
+        ids.
+    edge_weight : ndarray
+        One weight per induced edge.
+    layer_sizes : tuple of int
+        Nodes contributed by the seed set and each hop ring (diagnostics;
+        sums to ``len(nodes)``).
+    """
+
+    nodes: np.ndarray
+    num_seeds: int
+    edge_index: np.ndarray
+    edge_weight: np.ndarray
+    layer_sizes: Tuple[int, ...] = ()
+    #: Lazy (sorted_nodes, argsort_order) pair backing ``to_local``.
+    _lookup: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, repr=False, compare=False)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total sampled nodes (seeds plus every hop ring)."""
+        return int(self.nodes.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        """Induced edges among the sampled nodes."""
+        return int(self.edge_index.shape[1])
+
+    @property
+    def seed_nodes(self) -> np.ndarray:
+        """Global ids of the seed nodes (local ids ``0..num_seeds-1``)."""
+        return self.nodes[:self.num_seeds]
+
+    # ------------------------------------------------------------------
+    # Global <-> local id translation
+    # ------------------------------------------------------------------
+    def to_local(self, global_ids: np.ndarray) -> np.ndarray:
+        """Map global node ids to this batch's local ids.
+
+        Raises ``KeyError`` if any id was not sampled into the batch —
+        silent ``-1`` placeholders would propagate into fancy indexing as
+        wrap-around bugs.
+        """
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        if self._lookup is None:
+            order = np.argsort(self.nodes, kind="stable")
+            self._lookup = (self.nodes[order], order)
+        sorted_nodes, order = self._lookup
+        pos = np.searchsorted(sorted_nodes, global_ids)
+        pos = np.minimum(pos, sorted_nodes.shape[0] - 1)
+        if not np.all(sorted_nodes[pos] == global_ids):
+            missing = global_ids[sorted_nodes[pos] != global_ids]
+            raise KeyError(f"nodes {missing[:5].tolist()} are not in this batch")
+        return order[pos]
+
+    def to_global(self, local_ids: np.ndarray) -> np.ndarray:
+        """Map this batch's local node ids back to global ids."""
+        return self.nodes[np.asarray(local_ids, dtype=np.int64)]
+
+    # ------------------------------------------------------------------
+    # Model-facing view
+    # ------------------------------------------------------------------
+    def tensors(self, features: np.ndarray) -> "object":
+        """Build the :class:`~repro.nn.data.GraphTensors` view of this batch.
+
+        Parameters
+        ----------
+        features : ndarray
+            The **full graph's** node-feature matrix; the batch slices out
+            its sampled rows.  Accepts a raw ndarray or an autograd
+            ``Tensor``.
+
+        Returns
+        -------
+        GraphTensors
+            A view whose normalised operators are built directly (not
+            through the process-wide cache — every sampled batch is unique,
+            so caching would only churn the LRU).
+        """
+        from repro.nn.data import GraphTensors
+
+        return GraphTensors.from_subgraph(self, features)
 
 
 def collate_graphs(graphs: Sequence[Graph], labels: Sequence[int]) -> GraphBatch:

@@ -1,19 +1,27 @@
-"""Sub-graph and negative-edge sampling.
+"""Sub-graph, neighbour and negative-edge sampling.
 
-:func:`sample_proxy_subgraph` implements the *proxy dataset* of Section
-III-B: a class-stratified node sample (ratio ``D_proxy``) whose induced
-sub-graph is used to rank candidate models quickly.
+Three samplers live here:
 
-:func:`negative_edge_sampling` supports the edge-prediction experiments
-(Table VIII): it draws node pairs that are not connected in the graph.
+* :func:`sample_proxy_subgraph` implements the *proxy dataset* of Section
+  III-B: a class-stratified node sample (ratio ``D_proxy``) whose induced
+  sub-graph is used to rank candidate models quickly.
+* :class:`NeighborSampler` implements GraphSAGE-style layer-wise neighbour
+  sampling for minibatch training: seed nodes are expanded hop by hop with a
+  per-layer fanout bound, and each batch becomes a
+  :class:`~repro.graph.batching.SubgraphBatch` small enough to train on
+  regardless of the full graph's size.
+* :func:`negative_edge_sampling` supports the edge-prediction experiments
+  (Table VIII): it draws node pairs that are not connected in the graph.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
+import scipy.sparse as sp
 
+from repro.graph.batching import SubgraphBatch
 from repro.graph.graph import Graph
 
 
@@ -47,6 +55,259 @@ def sample_proxy_subgraph(graph: Graph, ratio: float, seed: int = 0,
     sub = graph.subgraph(np.asarray(chosen, dtype=np.int64), name=f"{graph.name}-proxy{ratio:.2f}")
     sub.metadata["proxy_ratio"] = ratio
     return sub
+
+
+def _gather_segments(values: np.ndarray, starts: np.ndarray,
+                     lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``values[starts[i]:starts[i]+lengths[i]]`` for every segment.
+
+    Vectorised CSR-row gather: builds one flat index array instead of a
+    Python loop over rows, which is what keeps sampling cheap on frontiers
+    of tens of thousands of nodes.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=values.dtype)
+    # Per-element offset within its segment, computed by subtracting the
+    # running start of each segment from a global arange.
+    segment_starts = np.repeat(starts - np.concatenate(
+        ([0], np.cumsum(lengths)[:-1])), lengths)
+    return values[segment_starts + np.arange(total)]
+
+
+class NeighborSampler:
+    """Layer-wise fanout-bounded neighbour sampler for minibatch training.
+
+    Implements the GraphSAGE sampling scheme on a CSR adjacency: a batch of
+    *seed* nodes is expanded one hop at a time, keeping at most ``fanouts[k]``
+    sampled neighbours per frontier node at hop ``k``, and the union of all
+    visited nodes induces the sub-graph the batch trains on.  Peak memory of
+    a training step then scales with the sampled sub-graph
+    (``O(batch_size * prod(fanouts))`` worst case) instead of with the full
+    graph, which is what lets the AutoHEnsGNN pipeline train on graphs that
+    do not fit a full-batch pass.
+
+    Parameters
+    ----------
+    adjacency : scipy.sparse.spmatrix or Graph
+        The graph structure to sample from.  Passing a :class:`Graph` builds
+        the raw weighted adjacency through the process-wide
+        :func:`~repro.parallel.cache.compute_cache`, so the sampler shares
+        one frozen CSR with every ``GraphTensors`` view of the same graph
+        (``adj_raw``) instead of materialising its own copy.  A CSR matrix
+        is used as-is (rows are the message-passing sources, matching
+        ``A @ X`` propagation).
+    fanouts : sequence of int
+        Maximum sampled neighbours per frontier node at each hop, outermost
+        hop first.  ``len(fanouts)`` should be at least the depth of the
+        model trained on the batches; ``-1`` keeps every neighbour of that
+        hop.
+    batch_size : int
+        Number of seed nodes per batch yielded by :meth:`iter_batches`.
+    seed : int
+        Base RNG seed.  Together with the ``epoch`` argument of
+        :meth:`iter_batches` it fully determines the shuffle order and every
+        neighbour draw, so a fixed ``(seed, epoch)`` replays the exact same
+        batches — the determinism contract the parallel backends rely on.
+
+    Notes
+    -----
+    Instances are **not thread-safe**: sampling reuses a per-instance
+    scratch map, so each concurrent training loop must own its own sampler
+    (the minibatch trainer does this automatically).  The underlying CSR is
+    read-only and safely shared.
+
+    Examples
+    --------
+    >>> sampler = NeighborSampler(graph, fanouts=(10, 5), batch_size=256)
+    >>> for batch in sampler.iter_batches(train_index, epoch=0):
+    ...     local = batch.tensors(features)          # GraphTensors view
+    ...     logits = model(local)[:batch.num_seeds]  # seeds come first
+    """
+
+    def __init__(self, adjacency: Union[sp.spmatrix, Graph],
+                 fanouts: Sequence[int], batch_size: int = 1024,
+                 seed: int = 0) -> None:
+        if isinstance(adjacency, Graph):
+            adjacency = self._cached_adjacency(adjacency)
+        csr = adjacency.tocsr() if not isinstance(adjacency, sp.csr_matrix) else adjacency
+        self.num_nodes = int(csr.shape[0])
+        self._indptr = csr.indptr
+        self._indices = csr.indices
+        self._data = csr.data
+        self.fanouts = tuple(int(f) for f in fanouts)
+        if not self.fanouts:
+            raise ValueError("fanouts must name at least one hop")
+        if any(f == 0 or f < -1 for f in self.fanouts):
+            raise ValueError("each fanout must be positive (or -1 for all neighbours)")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+        # Global -> local id scratch map, reset lazily after each batch so a
+        # sampler costs O(num_nodes) memory once, not per batch.
+        self._local = np.full(self.num_nodes, -1, dtype=np.int64)
+
+    @staticmethod
+    def _cached_adjacency(graph: Graph) -> sp.csr_matrix:
+        """The graph's raw weighted adjacency via the shared compute cache.
+
+        Identical key to the ``adj_raw`` operator of
+        ``GraphTensors.from_graph`` (normalisation ``"none"``, no self
+        loops), so pipeline stages that build both pay for one CSR.
+        """
+        from repro.autograd.dtype import compute_dtype
+        from repro.graph import normalize as _norm
+        from repro.parallel.cache import compute_cache
+
+        adj = _norm.build_adjacency(graph.edge_index, graph.num_nodes,
+                                    edge_weight=graph.edge_weight,
+                                    make_undirected=not graph.directed)
+        # Request the operator in the engine compute dtype — the exact key
+        # GraphTensors uses — so float32 runs share one CSR with their
+        # tensor views instead of keeping a second float64 copy.
+        return compute_cache().normalized_adjacency(
+            adj, normalization="none", self_loops=False, dtype=compute_dtype())
+
+    # ------------------------------------------------------------------
+    # Batch iteration
+    # ------------------------------------------------------------------
+    def num_batches(self, num_seeds: int) -> int:
+        """Number of batches one epoch over ``num_seeds`` seed nodes yields.
+
+        Matches :meth:`iter_batches` exactly, including the empty case
+        (zero seeds yield zero batches).
+        """
+        return -(-int(num_seeds) // self.batch_size)
+
+    def iter_batches(self, seed_nodes: np.ndarray, epoch: int = 0,
+                     shuffle: bool = True) -> Iterator[SubgraphBatch]:
+        """Yield one :class:`SubgraphBatch` per ``batch_size`` seed nodes.
+
+        Parameters
+        ----------
+        seed_nodes : ndarray
+            Global ids of the nodes to compute a loss on (e.g. the train
+            index).  Every seed appears in exactly one batch per epoch.
+        epoch : int
+            Mixed into the RNG stream so successive epochs shuffle and
+            sample differently while staying reproducible.
+        shuffle : bool
+            Permute the seeds before batching (disable for evaluation-style
+            sweeps that want deterministic seed order).
+        """
+        seed_nodes = np.asarray(seed_nodes, dtype=np.int64)
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=(self.seed, int(epoch))))
+        if shuffle:
+            seed_nodes = rng.permutation(seed_nodes)
+        for start in range(0, seed_nodes.shape[0], self.batch_size):
+            yield self.sample(seed_nodes[start:start + self.batch_size], rng)
+
+    # ------------------------------------------------------------------
+    # One batch
+    # ------------------------------------------------------------------
+    def sample(self, seeds: np.ndarray,
+               rng: Optional[np.random.Generator] = None) -> SubgraphBatch:
+        """Sample the fanout-bounded neighbourhood sub-graph of ``seeds``.
+
+        Returns a :class:`SubgraphBatch` whose local node order starts with
+        ``seeds`` (in the order given, duplicates removed) followed by each
+        hop ring in ascending global id; edges are the *induced* edges among
+        the sampled nodes, so deeper layers still see every message between
+        nodes the sampler kept.
+        """
+        if rng is None:
+            # Standalone draws get their own stream, disjoint from any
+            # epoch's (epochs use small non-negative entropy values).
+            rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=(self.seed, 0x9E3779B9)))
+        seeds = np.asarray(seeds, dtype=np.int64)
+        if seeds.size == 0:
+            raise ValueError("cannot sample a batch from zero seed nodes")
+        if seeds.min() < 0 or seeds.max() >= self.num_nodes:
+            # Reject out-of-range ids before touching the scratch map: a
+            # negative id would wrap around in numpy indexing and corrupt
+            # the map in a way the finally-reset cannot see.
+            raise ValueError(
+                f"seed node ids must lie in [0, {self.num_nodes}); "
+                f"got range [{int(seeds.min())}, {int(seeds.max())}]")
+        # Stable de-duplication keeping first occurrence order.
+        _, first = np.unique(seeds, return_index=True)
+        seeds = seeds[np.sort(first)]
+
+        # The scratch map makes one sampler instance single-owner: do not
+        # share an instance across threads (each trainer builds its own).
+        # The finally-reset keeps the map clean even if a bad seed id (e.g.
+        # from a different graph) raises mid-expansion.
+        local = self._local
+        ordered = [seeds]
+        try:
+            local[seeds] = np.arange(seeds.shape[0])
+            layer_sizes = [int(seeds.shape[0])]
+            frontier = seeds
+            total = seeds.shape[0]
+            for fanout in self.fanouts:
+                if frontier.size == 0:
+                    layer_sizes.append(0)
+                    continue
+                neighbours = self._sample_neighbors(frontier, fanout, rng)
+                fresh = np.unique(neighbours[local[neighbours] < 0])
+                ordered.append(fresh)
+                local[fresh] = np.arange(total, total + fresh.shape[0])
+                total += fresh.shape[0]
+                layer_sizes.append(int(fresh.shape[0]))
+                frontier = fresh
+            nodes = np.concatenate(ordered)
+
+            # Induced edges: every stored edge with both endpoints sampled.
+            starts = self._indptr[nodes]
+            degrees = self._indptr[nodes + 1] - starts
+            src_local = np.repeat(np.arange(nodes.shape[0]), degrees)
+            dst_global = _gather_segments(self._indices, starts, degrees)
+            weights = _gather_segments(self._data, starts, degrees)
+            keep = local[dst_global] >= 0
+            edge_index = np.vstack([src_local[keep], local[dst_global[keep]]])
+            edge_weight = np.asarray(weights[keep], dtype=np.float64)
+        finally:
+            for ring in ordered:  # reset the scratch map for the next batch
+                valid = ring[(ring >= 0) & (ring < self.num_nodes)]
+                local[valid] = -1
+        return SubgraphBatch(
+            nodes=nodes,
+            num_seeds=int(seeds.shape[0]),
+            edge_index=edge_index,
+            edge_weight=edge_weight,
+            layer_sizes=tuple(layer_sizes),
+        )
+
+    def _sample_neighbors(self, frontier: np.ndarray, fanout: int,
+                          rng: np.random.Generator) -> np.ndarray:
+        """Sampled neighbour ids of ``frontier`` (with duplicates, unfiltered).
+
+        Nodes with degree ``<= fanout`` keep all their neighbours; higher-
+        degree nodes contribute ``fanout`` draws with replacement (the
+        classic GraphSAGE estimator — duplicates collapse when the hop ring
+        is de-duplicated).
+        """
+        starts = self._indptr[frontier]
+        degrees = self._indptr[frontier + 1] - starts
+        if fanout < 0:
+            return _gather_segments(self._indices, starts, degrees)
+        parts = []
+        small = degrees <= fanout
+        if small.any():
+            parts.append(_gather_segments(self._indices, starts[small],
+                                          degrees[small]))
+        large = ~small
+        count = int(large.sum())
+        if count:
+            draws = (rng.random((count, fanout))
+                     * degrees[large][:, None]).astype(np.int64)
+            parts.append(self._indices[starts[large][:, None] + draws].ravel())
+        if not parts:
+            return np.empty(0, dtype=self._indices.dtype)
+        return np.concatenate(parts)
 
 
 def _edge_set(edge_index: np.ndarray, num_nodes: int) -> set:

@@ -38,6 +38,10 @@ class GraphTensors:
     num_features: int
     graph_id: Optional[np.ndarray] = None
     num_graphs: int = 1
+    #: Whether derived operators (``A^k X``) may be memoised in the
+    #: process-wide ComputeCache.  Sub-graph batch views set this False:
+    #: every sampled batch is unique, so global caching is pure churn.
+    cache_derived: bool = True
     extras: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -61,21 +65,62 @@ class GraphTensors:
         return tensors
 
     @classmethod
+    def from_subgraph(cls, batch, features) -> "GraphTensors":
+        """View of one sampled :class:`~repro.graph.batching.SubgraphBatch`.
+
+        ``features`` is the **full graph's** feature matrix (ndarray or
+        ``Tensor``); the batch's sampled rows are sliced out.  The sampler
+        stores both directions of every undirected edge, so no further
+        symmetrisation is applied.  Unlike :meth:`from_graph` the normalised
+        operators are built *without* the process-wide cache: every sampled
+        batch is structurally unique, so content-hashing and LRU insertion
+        would be pure overhead (and would evict genuinely shared entries).
+        """
+        if isinstance(features, Tensor):
+            features = features.data
+        adj = _norm.build_adjacency(batch.edge_index, batch.num_nodes,
+                                    edge_weight=batch.edge_weight,
+                                    make_undirected=False)
+        tensors = cls._from_adjacency(adj, features[batch.nodes],
+                                      batch.edge_index, batch.edge_weight,
+                                      use_cache=False)
+        tensors.cache_derived = False
+        return tensors
+
+    @classmethod
     def _from_adjacency(cls, adj: sp.csr_matrix, features: np.ndarray,
-                        edge_index: np.ndarray, edge_weight: np.ndarray) -> "GraphTensors":
-        cache = compute_cache()
+                        edge_index: np.ndarray, edge_weight: np.ndarray,
+                        use_cache: bool = True) -> "GraphTensors":
         dtype = compute_dtype()
-        adj_fp = csr_fingerprint(adj)
-        # The cache stores one normalised operator per (kind, dtype) so
-        # float32 and float64 views of the same graph never collide — and a
-        # float32 run aliases read-only float32 CSRs straight into
-        # ``SparseTensor`` instead of re-casting per view.
-        sym = cache.normalized_adjacency(adj, normalization="sym", self_loops=True,
-                                         fingerprint=adj_fp, dtype=dtype)
-        rw = cache.normalized_adjacency(adj, normalization="rw", self_loops=True,
-                                        fingerprint=adj_fp, dtype=dtype)
-        raw = cache.normalized_adjacency(adj, normalization="none", self_loops=False,
-                                         fingerprint=adj_fp, dtype=dtype)
+        if use_cache:
+            cache = compute_cache()
+            adj_fp = csr_fingerprint(adj)
+            # The cache stores one normalised operator per (kind, dtype) so
+            # float32 and float64 views of the same graph never collide — and a
+            # float32 run aliases read-only float32 CSRs straight into
+            # ``SparseTensor`` instead of re-casting per view.
+            sym = cache.normalized_adjacency(adj, normalization="sym", self_loops=True,
+                                             fingerprint=adj_fp, dtype=dtype)
+            rw = cache.normalized_adjacency(adj, normalization="rw", self_loops=True,
+                                            fingerprint=adj_fp, dtype=dtype)
+            raw = cache.normalized_adjacency(adj, normalization="none", self_loops=False,
+                                             fingerprint=adj_fp, dtype=dtype)
+        else:
+            # All three operators are built eagerly even though a given
+            # model reads only one; after the vectorised add_self_loops
+            # they are a small slice of per-batch cost (~50ms total on a
+            # 50k-node batch vs ~500ms forward/backward), so lazy fields
+            # are not worth the property indirection on this dataclass.
+            sym = _norm.normalized_adjacency(adj, normalization="sym",
+                                             self_loops=True).astype(dtype)
+            rw = _norm.normalized_adjacency(adj, normalization="rw",
+                                            self_loops=True).astype(dtype)
+            raw = adj.astype(dtype)
+            # Freeze the batch-local operators so SparseTensor aliases them
+            # zero-copy (it only aliases read-only CSRs) — nothing else
+            # holds a reference to these matrices.
+            for operator in (sym, rw, raw):
+                operator.data.setflags(write=False)
         # Attention layers operate on the symmetrised edge list with self loops.
         sym_structure = _norm.add_self_loops(adj).tocoo()
         undirected_edges = np.vstack([sym_structure.row, sym_structure.col])
@@ -129,8 +174,14 @@ class GraphTensors:
                     current = operator.matrix @ current
                 return current
 
-            data = compute_cache().powered_features(
-                operator.fingerprint, self.features_fingerprint(), power, compute)
+            if self.cache_derived:
+                data = compute_cache().powered_features(
+                    operator.fingerprint, self.features_fingerprint(), power, compute)
+            else:
+                # Sub-graph batch views: memoise on this view only — the
+                # batch is never seen again, so hashing it into the global
+                # cache would cost fingerprints and evict shared entries.
+                data = compute()
             self.extras[key] = Tensor(data)
         return self.extras[key]  # type: ignore[return-value]
 
@@ -171,4 +222,5 @@ class GraphTensors:
             num_features=int(features.shape[1]),
             graph_id=self.graph_id,
             num_graphs=self.num_graphs,
+            cache_derived=self.cache_derived,
         )

@@ -53,6 +53,13 @@ class GNNModel(Module):
         self.activation_array = F.activation_array(activation)
         self.dropout = Dropout(dropout, rng=self.rng)
         self.head = Linear(hidden, num_classes, rng=self.rng)
+        # How many hops of the graph one forward pass actually touches.
+        # ``num_layers`` counts GSE aggregation states, which understates the
+        # propagation depth for multi-hop convolutions (TAGCN, ChebNet) and
+        # decoupled models (APPNP, DAGNN); subclasses with deeper
+        # propagation overwrite this.  The minibatch trainer sizes its
+        # default sampling fanouts from it.
+        self.receptive_field = num_layers
 
     # ------------------------------------------------------------------
     # Contract for subclasses
@@ -205,6 +212,18 @@ class StackedConvModel(GNNModel):
             self.activation_name if fusable and hasattr(conv, "forward_fused") else None
             for conv in self.convs
         ]
+        self.receptive_field = sum(self._conv_hops(conv) for conv in self.convs)
+
+    @staticmethod
+    def _conv_hops(conv: Module) -> int:
+        """Graph hops one application of ``conv`` spans (1 for plain convs)."""
+        if hasattr(conv, "hops"):           # SGConv, TAGConv
+            return int(conv.hops)
+        if hasattr(conv, "order"):          # ChebConv: T_{K-1} reaches K-1 hops
+            return max(int(conv.order) - 1, 1)
+        if hasattr(conv, "num_iterations"):  # ARMAConv
+            return int(conv.num_iterations)
+        return 1
 
     def encode(self, data: GraphTensors) -> List[Tensor]:
         x = data.features

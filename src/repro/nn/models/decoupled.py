@@ -101,6 +101,7 @@ class APPNP(GNNModel):
         # GSE aggregates over propagation milestones rather than MLP layers.
         self.num_layers = max(2, min(4, num_iterations // 3))
         self._milestones = np.linspace(1, num_iterations, self.num_layers).astype(int)
+        self.receptive_field = num_iterations
 
     def encode(self, data: GraphTensors) -> List[Tensor]:
         hidden = self.mlp(self.dropout(data.features))
@@ -126,6 +127,7 @@ class DAGNN(GNNModel):
         self.gate = Linear(hidden, 1, rng=self.rng)
         self.num_layers = max(2, min(hops, 4))
         self._milestones = np.linspace(1, hops, self.num_layers).astype(int)
+        self.receptive_field = hops
 
     def encode(self, data: GraphTensors) -> List[Tensor]:
         hidden = self.mlp(self.dropout(data.features))
@@ -171,6 +173,7 @@ class MixHop(GNNModel):
         for layer_index in range(num_layers):
             conv_in = in_features if layer_index == 0 else hidden
             self.convs.append(MixHopConv(conv_in, hidden, powers=powers, rng=self.rng))
+        self.receptive_field = num_layers * max(powers)
 
     def encode(self, data: GraphTensors) -> List[Tensor]:
         states = []

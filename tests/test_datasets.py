@@ -213,6 +213,25 @@ class TestRegistry:
         with pytest.raises(KeyError):
             load_dataset("not-a-dataset")
 
+    def test_unknown_dataset_error_lists_available_names(self):
+        from repro.datasets import available_datasets
+
+        with pytest.raises(KeyError) as excinfo:
+            load_dataset("not-a-dataset")
+        message = str(excinfo.value)
+        for name in available_datasets():
+            assert name in message
+
+    def test_unknown_dataset_error_suggests_close_match(self):
+        with pytest.raises(KeyError) as excinfo:
+            load_dataset("sbm-larg")
+        assert "did you mean 'sbm-large'" in str(excinfo.value)
+
+    def test_sbm_large_registered(self):
+        graph = load_dataset("sbm-large", num_nodes=1200, seed=0)
+        assert graph.num_nodes == 1200
+        assert graph.num_classes > 1
+
     def test_register_duplicate_raises(self):
         with pytest.raises(KeyError):
             register_dataset("cora", lambda **kwargs: None)

@@ -1,0 +1,380 @@
+"""Minibatch engine: NeighborSampler, SubgraphBatch and the trainer path.
+
+Covers the contracts the minibatch subsystem promises:
+
+* sampling is deterministic at a fixed ``(seed, epoch)``,
+* global↔local id remapping round-trips,
+* ``batch_size=None`` is bit-identical to the historical full-batch trainer,
+* the sampled-batch ``GraphTensors`` view feeds the model zoo unmodified,
+* the end-to-end pipeline runs in minibatch mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AutoHEnsGNN, AutoHEnsGNNConfig
+from repro.datasets.generators import make_large_sbm
+from repro.graph import Graph, NeighborSampler, SubgraphBatch
+from repro.graph.splits import holdout_test_split, random_split
+from repro.nn.data import GraphTensors
+from repro.nn.model_zoo import get_model_spec
+from repro.tasks.trainer import NodeClassificationTrainer, TrainConfig
+
+
+@pytest.fixture(scope="module")
+def medium_graph() -> Graph:
+    graph = make_large_sbm(num_nodes=900, num_classes=4, num_features=12,
+                           average_degree=6.0, seed=11, name="mini-medium")
+    return random_split(graph, val_fraction=0.2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def medium_data(medium_graph) -> GraphTensors:
+    return GraphTensors.from_graph(medium_graph)
+
+
+def _batches(sampler, seeds, epoch):
+    return list(sampler.iter_batches(seeds, epoch=epoch))
+
+
+class TestNeighborSampler:
+    def test_deterministic_at_fixed_seed_and_epoch(self, medium_graph):
+        seeds = medium_graph.mask_indices("train")
+        first = _batches(NeighborSampler(medium_graph, (5, 3), batch_size=64, seed=9),
+                         seeds, epoch=4)
+        second = _batches(NeighborSampler(medium_graph, (5, 3), batch_size=64, seed=9),
+                          seeds, epoch=4)
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.nodes, b.nodes)
+            assert np.array_equal(a.edge_index, b.edge_index)
+            assert np.array_equal(a.edge_weight, b.edge_weight)
+
+    def test_num_batches_matches_iter_batches(self, medium_graph):
+        sampler = NeighborSampler(medium_graph, (5, 3), batch_size=64, seed=9)
+        seeds = medium_graph.mask_indices("train")
+        assert sampler.num_batches(seeds.shape[0]) == len(_batches(sampler, seeds, 0))
+        assert sampler.num_batches(0) == 0
+        assert list(sampler.iter_batches(np.asarray([], dtype=np.int64))) == []
+
+    def test_epochs_shuffle_differently(self, medium_graph):
+        sampler = NeighborSampler(medium_graph, (5, 3), batch_size=64, seed=9)
+        seeds = medium_graph.mask_indices("train")
+        epoch0 = np.concatenate([b.seed_nodes for b in _batches(sampler, seeds, 0)])
+        epoch1 = np.concatenate([b.seed_nodes for b in _batches(sampler, seeds, 1)])
+        assert not np.array_equal(epoch0, epoch1)
+        # ... but each epoch still covers every seed exactly once.
+        assert np.array_equal(np.sort(epoch0), np.sort(seeds))
+        assert np.array_equal(np.sort(epoch1), np.sort(seeds))
+
+    def test_seeds_come_first_and_fanouts_bound_rings(self, medium_graph):
+        sampler = NeighborSampler(medium_graph, (4, 2), batch_size=50, seed=1)
+        seeds = medium_graph.mask_indices("train")[:50]
+        batch = sampler.sample(seeds)
+        assert np.array_equal(np.sort(batch.seed_nodes), np.sort(seeds))
+        assert batch.layer_sizes[0] == batch.num_seeds == seeds.shape[0]
+        assert sum(batch.layer_sizes) == batch.num_nodes
+        # Ring k holds at most fanout_k sampled neighbours per frontier node.
+        frontier = batch.layer_sizes[0]
+        for ring, fanout in zip(batch.layer_sizes[1:], (4, 2)):
+            assert ring <= frontier * fanout
+            frontier = ring
+
+    def test_full_expansion_fanout(self, medium_graph):
+        sampler = NeighborSampler(medium_graph, (-1,), batch_size=8, seed=1)
+        batch = sampler.sample(np.asarray([0, 1, 2]))
+        adj = medium_graph.adjacency(normalization="none", self_loops=False)
+        expected = set()
+        for node in (0, 1, 2):
+            expected.update(adj.indices[adj.indptr[node]:adj.indptr[node + 1]].tolist())
+        expected -= {0, 1, 2}
+        assert set(batch.nodes[batch.num_seeds:].tolist()) == expected
+
+    def test_induced_edges_are_local_and_within_batch(self, medium_graph):
+        sampler = NeighborSampler(medium_graph, (5, 3), batch_size=32, seed=3)
+        batch = sampler.sample(medium_graph.mask_indices("train")[:32])
+        assert batch.edge_index.min() >= 0
+        assert batch.edge_index.max() < batch.num_nodes
+        # Every induced edge exists in the full graph under the global ids.
+        adj = medium_graph.adjacency(normalization="none", self_loops=False)
+        src, dst = batch.to_global(batch.edge_index[0]), batch.to_global(batch.edge_index[1])
+        assert all(adj[s, d] != 0 for s, d in zip(src[:50], dst[:50]))
+
+    def test_validation_errors(self, medium_graph):
+        with pytest.raises(ValueError):
+            NeighborSampler(medium_graph, fanouts=(), batch_size=8)
+        with pytest.raises(ValueError):
+            NeighborSampler(medium_graph, fanouts=(0,), batch_size=8)
+        with pytest.raises(ValueError):
+            NeighborSampler(medium_graph, fanouts=(5,), batch_size=0)
+        with pytest.raises(ValueError):
+            NeighborSampler(medium_graph, fanouts=(5,), batch_size=8).sample(
+                np.asarray([], dtype=np.int64))
+
+    def test_out_of_range_seeds_rejected_and_sampler_stays_clean(self, medium_graph):
+        sampler = NeighborSampler(medium_graph, (5, 3), batch_size=8, seed=0)
+        for bad in ([-1, 5], [5, medium_graph.num_nodes]):
+            with pytest.raises(ValueError):
+                sampler.sample(np.asarray(bad))
+        assert (sampler._local == -1).all()
+        # A later valid batch is unaffected by the rejected calls.
+        batch = sampler.sample(np.asarray([5, 6, 7]))
+        assert np.array_equal(batch.seed_nodes, [5, 6, 7])
+        assert batch.edge_index.max() < batch.num_nodes
+
+    def test_shares_cached_adjacency_with_graph_tensors(self, medium_graph):
+        from repro.parallel.cache import ComputeCache, set_compute_cache
+
+        cache = set_compute_cache(ComputeCache())
+        try:
+            GraphTensors.from_graph(medium_graph)
+            misses_before = cache.stats.misses
+            NeighborSampler(medium_graph, (5,), batch_size=8)
+            # The sampler's raw CSR is the adj_raw entry GraphTensors already
+            # created — a cache hit, not a new materialisation.
+            assert cache.stats.misses == misses_before
+            assert cache.stats.hits > 0
+        finally:
+            set_compute_cache(None)
+
+
+class TestSubgraphBatch:
+    def test_global_local_round_trip(self, medium_graph):
+        sampler = NeighborSampler(medium_graph, (5, 3), batch_size=40, seed=5)
+        batch = sampler.sample(medium_graph.mask_indices("train")[:40])
+        shuffled = np.random.default_rng(0).permutation(batch.nodes)
+        assert np.array_equal(batch.to_global(batch.to_local(shuffled)), shuffled)
+        assert np.array_equal(batch.to_local(batch.seed_nodes),
+                              np.arange(batch.num_seeds))
+
+    def test_to_local_rejects_unsampled_nodes(self, medium_graph):
+        sampler = NeighborSampler(medium_graph, (2,), batch_size=4, seed=5)
+        batch = sampler.sample(np.asarray([0, 1, 2, 3]))
+        outside = np.setdiff1d(np.arange(medium_graph.num_nodes), batch.nodes)[:3]
+        with pytest.raises(KeyError):
+            batch.to_local(outside)
+
+    def test_tensors_view_shapes_and_operators(self, medium_graph, medium_data):
+        sampler = NeighborSampler(medium_graph, (5, 3), batch_size=30, seed=2)
+        batch = sampler.sample(medium_graph.mask_indices("train")[:30])
+        local = batch.tensors(medium_data.features.data)
+        assert local.num_nodes == batch.num_nodes
+        assert local.num_features == medium_graph.num_features
+        assert not local.cache_derived
+        assert np.array_equal(local.features.data,
+                              medium_data.features.data[batch.nodes])
+        # Random-walk operator rows sum to one (self loops guarantee degree).
+        row_sums = np.asarray(local.adj_rw.matrix.sum(axis=1)).ravel()
+        np.testing.assert_allclose(row_sums, 1.0)
+
+    def test_zoo_models_train_on_batches(self, medium_graph, medium_data):
+        config = TrainConfig(batch_size=96, max_epochs=3, patience=3, seed=0)
+        trainer = NodeClassificationTrainer(config)
+        for name in ("gcn", "gat", "sgc", "appnp"):
+            model = get_model_spec(name).build(
+                in_features=medium_graph.num_features,
+                num_classes=medium_graph.num_classes, hidden=16, seed=0)
+            result = trainer.train(model, medium_data, medium_graph.labels,
+                                   medium_graph.mask_indices("train"),
+                                   medium_graph.mask_indices("val"))
+            assert result.epochs_run == 3
+            assert 0.0 <= result.best_val_accuracy <= 1.0
+
+
+class TestTrainerRegimes:
+    def _train(self, config, graph, data):
+        model = get_model_spec("gcn").build(
+            in_features=graph.num_features, num_classes=graph.num_classes,
+            hidden=16, seed=4)
+        result = NodeClassificationTrainer(config).train(
+            model, data, graph.labels,
+            graph.mask_indices("train"), graph.mask_indices("val"))
+        return model, result
+
+    def test_batch_size_none_is_bit_identical_to_full_batch(self, medium_graph,
+                                                            medium_data):
+        baseline_config = TrainConfig(max_epochs=8, patience=8, seed=4)
+        explicit_config = baseline_config.with_overrides(batch_size=None,
+                                                         fanouts=(10, 5))
+        baseline_model, baseline = self._train(baseline_config, medium_graph,
+                                               medium_data)
+        explicit_model, explicit = self._train(explicit_config, medium_graph,
+                                               medium_data)
+        assert baseline.best_val_accuracy == explicit.best_val_accuracy
+        assert [h["loss"] for h in baseline.history] == \
+            [h["loss"] for h in explicit.history]
+        for key, value in baseline_model.state_dict().items():
+            assert np.array_equal(value, explicit_model.state_dict()[key]), key
+
+    def test_minibatch_training_is_reproducible(self, medium_graph, medium_data):
+        config = TrainConfig(batch_size=128, max_epochs=4, patience=4, seed=4)
+        model_a, result_a = self._train(config, medium_graph, medium_data)
+        model_b, result_b = self._train(config, medium_graph, medium_data)
+        assert [h["loss"] for h in result_a.history] == \
+            [h["loss"] for h in result_b.history]
+        for key, value in model_a.state_dict().items():
+            assert np.array_equal(value, model_b.state_dict()[key]), key
+
+    def test_batch_size_zero_pins_full_batch(self, medium_graph, medium_data):
+        """``0`` is the explicit full-batch sentinel (survives inheritance)."""
+        none_model, none_result = self._train(
+            TrainConfig(max_epochs=4, patience=4, seed=4), medium_graph, medium_data)
+        zero_model, zero_result = self._train(
+            TrainConfig(batch_size=0, max_epochs=4, patience=4, seed=4),
+            medium_graph, medium_data)
+        assert [h["loss"] for h in none_result.history] == \
+            [h["loss"] for h in zero_result.history]
+        for key, value in none_model.state_dict().items():
+            assert np.array_equal(value, zero_model.state_dict()[key]), key
+
+    def test_minibatch_differs_from_full_batch(self, medium_graph, medium_data):
+        full_model, _ = self._train(TrainConfig(max_epochs=4, patience=4, seed=4),
+                                    medium_graph, medium_data)
+        mini_model, _ = self._train(TrainConfig(batch_size=128, max_epochs=4,
+                                                patience=4, seed=4),
+                                    medium_graph, medium_data)
+        assert any(
+            not np.array_equal(value, mini_model.state_dict()[key])
+            for key, value in full_model.state_dict().items())
+
+    def test_resolve_fanouts(self):
+        assert TrainConfig().resolve_fanouts(3) == (10, 5, 5)
+        assert TrainConfig().resolve_fanouts(1) == (10,)
+        assert TrainConfig(fanouts=(7, 7)).resolve_fanouts(3) == (7, 7)
+        # Derived defaults are depth-capped so deep-propagation models do
+        # not expand every batch to the whole graph; explicit fanouts are
+        # the opt-in for deeper coverage.
+        assert TrainConfig().resolve_fanouts(10) == (10, 5, 5)
+        assert len(TrainConfig(fanouts=(3,) * 10).resolve_fanouts(10)) == 10
+
+    def test_receptive_field_reflects_true_propagation_depth(self):
+        def build(name, **kwargs):
+            return get_model_spec(name).build(in_features=8, num_classes=3,
+                                              hidden=16, seed=0, **kwargs)
+
+        assert build("gcn", num_layers=2).receptive_field == 2
+        # TAGCN aggregates `hops` hops per stacked layer.
+        tagcn = build("tagcn", num_layers=2)
+        assert tagcn.receptive_field == 2 * tagcn.convs[0].hops
+        # APPNP/DAGNN propagate much deeper than their GSE state count.
+        appnp = build("appnp")
+        assert appnp.receptive_field == appnp.propagation.num_iterations
+        assert appnp.receptive_field > appnp.num_layers
+        dagnn = build("dagnn")
+        assert dagnn.receptive_field == dagnn.hops
+
+
+class TestMinibatchBackends:
+    def test_serial_and_thread_backends_bit_identical(self, medium_graph,
+                                                      medium_data):
+        from repro.core.gse import GraphSelfEnsemble
+        from repro.tasks.trainer import TrainConfig
+
+        config = TrainConfig(batch_size=128, max_epochs=3, patience=3, seed=0)
+
+        def fit(backend):
+            ensemble = GraphSelfEnsemble(spec_name="gcn", num_members=2,
+                                         hidden=16, num_layers=2, base_seed=5)
+            ensemble.fit(medium_data, medium_graph.labels,
+                         medium_graph.mask_indices("train"),
+                         medium_graph.mask_indices("val"),
+                         train_config=config, backend=backend)
+            return ensemble.predict_proba(medium_data)
+
+        assert np.array_equal(fit("serial"), fit("thread"))
+
+
+class TestMinibatchPipeline:
+    def test_end_to_end_minibatch_pipeline(self, medium_graph):
+        graph = holdout_test_split(medium_graph, test_fraction=0.2, seed=1)
+        config = AutoHEnsGNNConfig(
+            candidate_models=["gcn", "sgc"], pool_size=1, ensemble_size=1,
+            max_layers=2, batch_size=128, fanouts=(5, 3),
+            search_epochs=3, seed=0,
+        )
+        config.train = config.train.with_overrides(max_epochs=4, patience=4)
+        config.proxy.max_epochs = 3
+        config.proxy.bagging_rounds = 1
+        result = AutoHEnsGNN(config).fit_predict(graph)
+        assert result.probabilities.shape == (graph.num_nodes, graph.num_classes)
+        accuracy = result.test_accuracy(graph.labels, graph.mask_indices("test"))
+        assert accuracy > 1.5 / graph.num_classes  # clearly better than chance
+
+    def test_proxy_inherits_pipeline_batch_size(self, medium_graph, monkeypatch):
+        """Drive the real pipeline and capture what the proxy stage receives."""
+        import repro.core.pipeline as pipeline_module
+        from repro.core.config import ProxyConfig
+        from repro.core.proxy import ProxyEvaluator
+
+        captured = {}
+
+        class SpyEvaluator(ProxyEvaluator):
+            def __init__(self, proxy_config, **kwargs):
+                captured["proxy"] = proxy_config
+                super().__init__(proxy_config, **kwargs)
+
+        monkeypatch.setattr(pipeline_module, "ProxyEvaluator", SpyEvaluator)
+
+        def run(proxy_config):
+            config = AutoHEnsGNNConfig(
+                candidate_models=["gcn"], pool_size=1, ensemble_size=1,
+                max_layers=1, batch_size=64, fanouts=(5, 3), search_epochs=2,
+                proxy=proxy_config, seed=0)
+            config.train = config.train.with_overrides(max_epochs=2, patience=2)
+            AutoHEnsGNN(config).fit_predict(medium_graph)
+            return captured["proxy"]
+
+        inherited = run(ProxyConfig(bagging_rounds=1, max_epochs=2))
+        assert inherited.batch_size == 64
+        assert inherited.fanouts == (5, 3)
+
+        # Stage-level values are kept, not clobbered by the pipeline default.
+        explicit = run(ProxyConfig(bagging_rounds=1, max_epochs=2,
+                                   batch_size=32, fanouts=(2, 2)))
+        assert explicit.batch_size == 32
+        assert explicit.fanouts == (2, 2)
+
+
+class TestDocstringGate:
+    def test_gated_modules_fully_documented(self):
+        """Mirror of the CI docstring gate so it fails locally first."""
+        import pathlib
+        import sys
+
+        tools = pathlib.Path(__file__).resolve().parent.parent / "tools"
+        sys.path.insert(0, str(tools))
+        try:
+            import check_docstrings
+
+            for module in check_docstrings.GATED_MODULES:
+                path = tools.parent / module
+                assert check_docstrings.check_module(path) == [], module
+        finally:
+            sys.path.remove(str(tools))
+
+
+class TestLargeSBMGenerator:
+    def test_deterministic_and_shaped(self):
+        a = make_large_sbm(num_nodes=2000, num_classes=5, num_features=8, seed=3)
+        b = make_large_sbm(num_nodes=2000, num_classes=5, num_features=8, seed=3)
+        assert np.array_equal(a.edge_index, b.edge_index)
+        assert np.array_equal(a.features, b.features)
+        assert a.num_nodes == 2000
+        assert a.num_classes == 5
+        assert a.features.shape == (2000, 8)
+
+    def test_no_isolated_nodes_and_undirected(self):
+        graph = make_large_sbm(num_nodes=1500, seed=2)
+        degree = np.bincount(graph.edge_index.ravel(), minlength=graph.num_nodes)
+        assert degree.min() > 0
+        src, dst = graph.edge_index
+        forward = set(zip(src.tolist(), dst.tolist()))
+        assert all((d, s) in forward for s, d in list(forward)[:200])
+
+    def test_homophily_shapes_edges(self):
+        graph = make_large_sbm(num_nodes=3000, homophily=0.9, seed=0)
+        src, dst = graph.edge_index
+        intra = (graph.labels[src] == graph.labels[dst]).mean()
+        assert intra > 0.75
