@@ -9,12 +9,14 @@ gradient-search network, reproducing the structure of Table VI:
   scheme;
 * the Gradient search uses more memory than the Adaptive one at search time.
 
-On top of the paper's rows, the benchmark reports the :mod:`repro.parallel`
-headline numbers: serial vs thread-backend wall clock for proxy selection and
-hierarchical training (identical results — asserted), and the shared
-compute-cache hit statistics.  The ≥1.5x speedup target applies on multi-core
-hardware; on a single-core runner the ratio degrades to ~1.0x and only the
-determinism and cache assertions are enforced.
+On top of the paper's rows, the benchmark reports the engine headline
+numbers: serial vs thread-backend wall clock for proxy selection and
+hierarchical training (identical results — asserted), the capture-replay
+vs dynamic-engine wall clock on the six-model training workload (bit-identical
+predictions — asserted), the float64-vs-float32 study and the shared
+compute-cache statistics.  Wall-clock speedup targets apply on quiet
+multi-core hardware; on loaded single-core runners the ratios degrade and
+only the determinism and cache assertions are enforced.
 """
 
 import os
@@ -22,7 +24,14 @@ import time
 
 import numpy as np
 
-from benchmarks.harness import format_table, prepare_node_dataset, settings
+from benchmarks.harness import (
+    TABLE6_POOL,
+    capture_engine_microbenchmark,
+    capture_speedup_study,
+    format_table,
+    prepare_node_dataset,
+    settings,
+)
 from repro.autograd.dtype import compute_dtype_scope
 from repro.core import (
     AdaptiveSearch,
@@ -39,7 +48,7 @@ from repro.nn.model_zoo import get_model_spec
 from repro.parallel import compute_cache
 from repro.tasks.trainer import TrainConfig
 
-CANDIDATES = ("gcn", "gat", "sgc", "tagcn", "mlp", "graphsage-mean")
+CANDIDATES = TABLE6_POOL
 
 
 def _parallel_study(prepared, serial_report, proxy_config, pool, data, labels,
@@ -160,6 +169,16 @@ def _runtime_study(graph):
     rows.update(_parallel_study(prepared, proxy_report, evaluator.config, pool,
                                 data, labels, train_idx, val_idx, train_config, cfg))
     rows.update(_dtype_study(prepared, train_config, cfg))
+    # Capture-replay study: the six-candidate training workload on the
+    # dynamic engine vs the capture engine (bit-identical predictions are
+    # asserted inside the study), plus the steady-state per-epoch engine
+    # throughput (interleaved timing, no validation/setup in the window).
+    capture = capture_speedup_study()
+    rows["Training (dynamic engine)"] = capture["capture_dynamic_seconds"]
+    rows["Training (capture replay)"] = capture["capture_replay_seconds"]
+    rows["Capture speedup: training"] = capture["capture_speedup"]
+    engine = capture_engine_microbenchmark()
+    rows["Capture speedup: engine epochs"] = engine["engine_speedup"]
     single_model_bytes = sum(
         parameter.data.nbytes for parameter in get_model_spec(pool[0]).build(
             data.num_features, prepared.num_classes, hidden=cfg.hidden).parameters())
@@ -174,10 +193,13 @@ def _runtime_study(graph):
     rows["Adaptive peak parameter MB"] = single_model_bytes / 1e6
     rows["Gradient peak parameter MB"] = gradient.parameter_bytes() / 1e6
 
-    stats = compute_cache().stats
-    rows["Compute cache: hits"] = float(stats.hits)
-    rows["Compute cache: misses"] = float(stats.misses)
-    rows["Compute cache: hit rate"] = stats.hit_rate
+    stats = compute_cache().stats()
+    rows["Compute cache: hits"] = float(stats["hits"])
+    rows["Compute cache: misses"] = float(stats["misses"])
+    rows["Compute cache: evictions"] = float(stats["evictions"])
+    rows["Compute cache: hit rate"] = stats["hit_rate"]
+    rows["Compute cache: entries"] = float(stats["entries"])
+    rows["Compute cache: resident MB"] = stats["resident_bytes"] / 1e6
     return rows
 
 
@@ -200,5 +222,10 @@ def bench_table6_runtime(benchmark, arxiv_graph):
     # loop interleaves pure-Python autograd with BLAS, so thread speedup on
     # small, loaded CI runners is too noisy for an unconditional gate.
     assert rows["Compute cache: hits"] > 0
+    # Capture-vs-dynamic *determinism* is asserted inside the study itself;
+    # wall-clock ratios (capture, like thread) are only gated on demand —
+    # loaded CI runners make timing asserts flaky.
     if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP"):
         assert rows["Thread speedup: training"] >= 1.2
+        assert rows["Capture speedup: training"] > 1.0
+        assert rows["Capture speedup: engine epochs"] >= 1.5

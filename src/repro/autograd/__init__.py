@@ -17,6 +17,10 @@ Public API
     Stateless differentiable operations (softmax, dropout, cross entropy, …).
 ``optim``
     ``SGD`` and ``Adam`` optimisers plus learning-rate schedulers.
+``capture``
+    Capture-and-replay execution: trace one full-batch training iteration,
+    then replay it without Tensors or closures through a lifetime-planned
+    buffer arena (bit-identical to the dynamic engine at fixed seeds).
 """
 
 from repro.autograd.dtype import (
@@ -26,6 +30,7 @@ from repro.autograd.dtype import (
     set_compute_dtype,
 )
 from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import capture
 from repro.autograd import functional
 from repro.autograd import kernels
 from repro.autograd.module import Module, Parameter, ModuleList, Sequential
@@ -44,6 +49,7 @@ __all__ = [
     "compute_dtype_name",
     "compute_dtype_scope",
     "set_compute_dtype",
+    "capture",
     "functional",
     "kernels",
     "Module",

@@ -15,7 +15,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor, is_grad_enabled
+from repro.autograd.tensor import Tensor, _as_array, _record_op, is_grad_enabled
 
 ArrayLike = Union[Tensor, np.ndarray, float, int]
 
@@ -53,6 +53,7 @@ def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
             x._accumulate(grad * local)
 
         out._backward = _backward
+    _record_op("elu", out, (x,), alpha=alpha)
     return out
 
 
@@ -73,6 +74,7 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
             x._accumulate(np.where(positive, grad, negative_slope * grad))
 
         out._backward = _backward
+    _record_op("leaky_relu", out, (x,), negative_slope=negative_slope)
     return out
 
 
@@ -174,6 +176,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
             x._accumulate(out_data * (grad - dot))
 
         out._backward = _backward
+    _record_op("softmax", out, (x,), axis=axis)
     return out
 
 
@@ -188,6 +191,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
             x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
 
         out._backward = _backward
+    _record_op("log_softmax", out, (x,), axis=axis)
     return out
 
 
@@ -211,6 +215,35 @@ def dropout(x: Tensor, p: float, training: bool = True, rng: Optional[np.random.
             x._accumulate(grad * mask)
 
         out._backward = _backward
+    _record_op("dropout", out, (x,), p=p, rng=rng)
+    return out
+
+
+def drop_node(x: Tensor, p: float, training: bool = True,
+              rng: Optional[np.random.Generator] = None) -> Tensor:
+    """DropNode (GRAND-style): zero whole feature rows and rescale the rest.
+
+    Equivalent to multiplying by an inverted-dropout mask of shape
+    ``(num_rows, 1)``; exposed as a first-class op (rather than a constant
+    mask times a tensor) so the capture engine can re-draw the mask from the
+    seeded RNG stream on every replayed epoch, exactly like the dynamic
+    engine would.
+    """
+    x = _ensure(x)
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("drop_node probability must be < 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = _as_array((rng.random((x.shape[0], 1)) >= p) / (1.0 - p))
+    out = Tensor(x.data * mask, requires_grad=x.requires_grad,
+                 _prev=(x,) if x.requires_grad else ())
+    if out.requires_grad:
+        def _backward(grad: np.ndarray) -> None:
+            x._accumulate(grad * mask)
+
+        out._backward = _backward
+    _record_op("drop_node", out, (x,), p=p, rng=rng)
     return out
 
 
@@ -233,9 +266,83 @@ def nll_loss(log_probs: Tensor, target: np.ndarray, reduction: str = "mean") -> 
     raise ValueError(f"unknown reduction {reduction!r}")
 
 
+def _cross_entropy_forward(logits_data: np.ndarray, target: np.ndarray,
+                           reduction: str) -> tuple:
+    """Fused forward of softmax cross-entropy, shared with the capture engine.
+
+    Computes, in one pass, exactly what the historical
+    ``nll_loss(log_softmax(logits))`` composition computed — same NumPy
+    expressions in the same order, so the fusion is bit-identical — and
+    returns ``(loss, log_probs)`` (the log-probabilities feed the closed-form
+    backward).
+    """
+    log_probs = log_softmax_array(logits_data, axis=-1)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), target]
+    loss = -picked
+    if reduction == "none":
+        return loss, log_probs
+    total = np.asarray(loss.sum(axis=None, keepdims=False), dtype=log_probs.dtype)
+    if reduction == "sum":
+        return total, log_probs
+    if reduction == "mean":
+        # The composition multiplied the summed Tensor by Tensor(1/n); the
+        # scalar cast and multiply below reproduce that bit-for-bit.
+        return total * np.asarray(1.0 / n, dtype=log_probs.dtype), log_probs
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def _cross_entropy_backward(grad: np.ndarray, log_probs: np.ndarray,
+                            soft: np.ndarray, target: np.ndarray,
+                            reduction: str) -> np.ndarray:
+    """Closed-form gradient of :func:`_cross_entropy_forward` w.r.t. logits.
+
+    Mirrors the historical mean → sum → neg → gather → log-softmax backward
+    chain step by step (the broadcast copy, the ``np.add.at`` scatter, the
+    row-sum correction), so the fused gradient matches the composition to the
+    bit.
+    """
+    n = log_probs.shape[0]
+    if reduction == "mean":
+        per_row = np.broadcast_to(grad * np.asarray(1.0 / n, dtype=log_probs.dtype),
+                                  (n,)).copy()
+    elif reduction == "sum":
+        per_row = np.broadcast_to(grad, (n,)).copy()
+    else:
+        per_row = grad
+    picked_grad = -per_row
+    scattered = np.zeros(log_probs.shape, dtype=log_probs.dtype)
+    # One target per row, so fancy assignment scatters exactly what the
+    # composition's ``np.add.at`` onto zeros produced — minus its unbuffered
+    # per-element loop.
+    scattered[np.arange(n), target] = picked_grad
+    return scattered - soft * scattered.sum(axis=-1, keepdims=True)
+
+
 def cross_entropy(logits: Tensor, target: np.ndarray, reduction: str = "mean") -> Tensor:
-    """Softmax cross-entropy with integer targets."""
-    return nll_loss(log_softmax(logits, axis=-1), target, reduction=reduction)
+    """Softmax cross-entropy with integer targets.
+
+    One fused op (single array pass + closed-form backward) rather than the
+    ``log_softmax`` → gather → ``mean`` composition it replaces; values and
+    gradients are bit-identical to that composition (asserted in
+    ``tests/test_capture.py``), and the capture engine records it as a single
+    program step.
+    """
+    logits = _ensure(logits)
+    target = np.asarray(target, dtype=np.int64)
+    out_data, log_probs = _cross_entropy_forward(logits.data, target, reduction)
+    out = Tensor(out_data, requires_grad=logits.requires_grad,
+                 _prev=(logits,) if logits.requires_grad else ())
+    if out.requires_grad:
+        soft = np.exp(log_probs)
+
+        def _backward(grad: np.ndarray) -> None:
+            logits._accumulate(_cross_entropy_backward(grad, log_probs, soft,
+                                                       target, reduction))
+
+        out._backward = _backward
+    _record_op("cross_entropy", out, (logits,), target=target, reduction=reduction)
+    return out
 
 
 def soft_cross_entropy(log_probs: Tensor, soft_target: np.ndarray) -> Tensor:
@@ -271,6 +378,9 @@ def binary_cross_entropy_with_logits(logits: Tensor, target: ArrayLike, reductio
             logits._accumulate(grad * (sig - target_arr))
 
         out._backward = _backward
+    # No replay twin: recording the kind makes a capture trace bail out
+    # (softly) instead of silently dropping the op from the program.
+    _record_op("bce_logits", out, (logits,))
     if reduction == "mean":
         return out.mean()
     if reduction == "sum":
@@ -297,6 +407,7 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
                 tensor._accumulate(grad[tuple(index)])
 
         out._backward = _backward
+    _record_op("concat", out, tuple(tensors), axis=axis)
     return out
 
 
@@ -312,6 +423,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 tensor._accumulate(piece)
 
         out._backward = _backward
+    _record_op("stack", out, tuple(tensors), axis=axis)
     return out
 
 
@@ -348,6 +460,7 @@ def index_select(x: Tensor, index: np.ndarray, scatter=None) -> Tensor:
             x._accumulate(_scatter_sum(grad, index, x.shape[0], scatter))
 
         out._backward = _backward
+    _record_op("index_select", out, (x,), index=index, scatter=scatter)
     return out
 
 
@@ -362,6 +475,8 @@ def scatter_add(src: Tensor, index: np.ndarray, dim_size: int, aggregate=None) -
             src._accumulate(grad[index])
 
         out._backward = _backward
+    _record_op("scatter_add", out, (src,), index=index, dim_size=dim_size,
+               aggregate=aggregate)
     return out
 
 
@@ -396,6 +511,7 @@ def scatter_max(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
             src._accumulate(argmax_mask * grad[index] / tie_counts[index])
 
         out._backward = _backward
+    _record_op("scatter_max", out, (src,), index=index, dim_size=dim_size)
     return out
 
 
@@ -433,6 +549,8 @@ def segment_softmax(scores: Tensor, index: np.ndarray, dim_size: int,
             scores._accumulate(out_data * (grad - group_dot[index]))
 
         out._backward = _backward
+    _record_op("segment_softmax", out, (scores,), index=index, dim_size=dim_size,
+               aggregate=aggregate)
     return out
 
 

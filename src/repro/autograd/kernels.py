@@ -32,7 +32,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.autograd.sparse import SparseTensor
-from repro.autograd.tensor import Tensor, is_grad_enabled
+from repro.autograd.tensor import Tensor, _record_op, is_grad_enabled
 
 #: Activations the fused kernel can apply in-place on the forward buffer
 #: ("none" is the public alias of "identity" in ``functional.ACTIVATIONS``).
@@ -107,6 +107,8 @@ def spmm_bias_act(
     requires = is_grad_enabled() and any(p.requires_grad for p in parents)
     out = Tensor(out_data, requires_grad=requires, _prev=parents if requires else ())
     if not requires:
+        _record_op("spmm_bias_act", out, parents, operator=operator,
+                   activation=activation, prop_first=prop_first)
         return out
 
     relu_mask = (out_data > 0) if activation == "relu" else None
@@ -131,4 +133,6 @@ def spmm_bias_act(
                 x._accumulate(support_grad @ weight.data.T)
 
     out._backward = _backward
+    _record_op("spmm_bias_act", out, parents, operator=operator,
+               activation=activation, prop_first=prop_first)
     return out

@@ -16,7 +16,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd.dtype import compute_dtype
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, _record_op
 
 
 class SparseTensor:
@@ -119,4 +119,5 @@ def spmm(sparse: SparseTensor, dense: Tensor) -> Tensor:
             dense._accumulate(transposed @ grad)
 
         out._backward = _backward
+    _record_op("spmm", out, (dense,), sparse=sparse)
     return out

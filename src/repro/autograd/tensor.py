@@ -48,6 +48,20 @@ def no_grad():
         _GRAD_STATE.enabled = previous
 
 
+# Capture tracing (repro.autograd.capture): while a tape is installed for
+# this thread, every op constructed below also records itself (kind, operand
+# tensors, metadata) so the epoch can later be replayed without Tensors or
+# closures.  Recording is purely observational — with no tape installed the
+# only cost is one thread-local attribute read per op.
+_TRACE = threading.local()
+
+
+def _record_op(kind: str, out: "Tensor", inputs: tuple, **meta) -> None:
+    tape = getattr(_TRACE, "tape", None)
+    if tape is not None:
+        tape.record(kind, out, inputs, meta)
+
+
 def _as_array(value: ArrayLike) -> np.ndarray:
     dtype = compute_dtype()
     if isinstance(value, np.ndarray):
@@ -208,6 +222,10 @@ class Tensor:
             grad = np.ones_like(self.data)
         grad = _as_array(grad)
 
+        tape = getattr(_TRACE, "tape", None)
+        if tape is not None:
+            tape.note_backward(self)
+
         order: list[Tensor] = []
         visited: set[int] = set()
         stack: list[tuple[Tensor, bool]] = [(self, False)]
@@ -240,6 +258,7 @@ class Tensor:
                 self._accumulate(_unbroadcast(grad, self.shape))
                 other._accumulate(_unbroadcast(grad, other.shape))
             out._backward = _backward
+        _record_op("add", out, (self, other))
         return out
 
     __radd__ = __add__
@@ -252,6 +271,7 @@ class Tensor:
                 self._accumulate(_unbroadcast(grad, self.shape))
                 other._accumulate(_unbroadcast(-grad, other.shape))
             out._backward = _backward
+        _record_op("sub", out, (self, other))
         return out
 
     def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
@@ -265,6 +285,7 @@ class Tensor:
                 self._accumulate(_unbroadcast(grad * other.data, self.shape))
                 other._accumulate(_unbroadcast(grad * self.data, other.shape))
             out._backward = _backward
+        _record_op("mul", out, (self, other))
         return out
 
     __rmul__ = __mul__
@@ -279,6 +300,7 @@ class Tensor:
                     _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
                 )
             out._backward = _backward
+        _record_op("div", out, (self, other))
         return out
 
     def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
@@ -290,6 +312,7 @@ class Tensor:
             def _backward(grad: np.ndarray) -> None:
                 self._accumulate(-grad)
             out._backward = _backward
+        _record_op("neg", out, (self,))
         return out
 
     def __pow__(self, exponent: float) -> "Tensor":
@@ -300,6 +323,7 @@ class Tensor:
             def _backward(grad: np.ndarray) -> None:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
             out._backward = _backward
+        _record_op("pow", out, (self,), exponent=exponent)
         return out
 
     # ------------------------------------------------------------------
@@ -324,6 +348,7 @@ class Tensor:
                         grad_other = self.data.swapaxes(-1, -2) @ grad
                     other._accumulate(_reduce_extra_dims(grad_other, other.shape))
             out._backward = _backward
+        _record_op("matmul", out, (self, other))
         return out
 
     def matmul(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
@@ -341,6 +366,7 @@ class Tensor:
             def _backward(grad: np.ndarray) -> None:
                 self._accumulate(np.transpose(grad, inverse))
             out._backward = _backward
+        _record_op("transpose", out, (self,), axes=axes_arg)
         return out
 
     def reshape(self, *shape: int) -> "Tensor":
@@ -353,6 +379,7 @@ class Tensor:
             def _backward(grad: np.ndarray) -> None:
                 self._accumulate(grad.reshape(original))
             out._backward = _backward
+        _record_op("reshape", out, (self,), shape=shape)
         return out
 
     def __getitem__(self, index) -> "Tensor":
@@ -363,6 +390,7 @@ class Tensor:
                 np.add.at(full, index, grad)
                 self._accumulate(full)
             out._backward = _backward
+        _record_op("getitem", out, (self,), index=index)
         return out
 
     # ------------------------------------------------------------------
@@ -377,6 +405,7 @@ class Tensor:
                     expanded = np.expand_dims(grad, axis)
                 self._accumulate(np.broadcast_to(expanded, self.shape).copy())
             out._backward = _backward
+        _record_op("sum", out, (self,), axis=axis, keepdims=keepdims)
         return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -401,6 +430,7 @@ class Tensor:
                 mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
                 self._accumulate(mask * expanded_grad)
             out._backward = _backward
+        _record_op("max", out, (self,), axis=axis, keepdims=keepdims)
         return out
 
     # ------------------------------------------------------------------
@@ -413,6 +443,7 @@ class Tensor:
             def _backward(grad: np.ndarray) -> None:
                 self._accumulate(grad * out_data)
             out._backward = _backward
+        _record_op("exp", out, (self,))
         return out
 
     def log(self) -> "Tensor":
@@ -421,6 +452,7 @@ class Tensor:
             def _backward(grad: np.ndarray) -> None:
                 self._accumulate(grad / self.data)
             out._backward = _backward
+        _record_op("log", out, (self,))
         return out
 
     def relu(self) -> "Tensor":
@@ -433,6 +465,7 @@ class Tensor:
             def _backward(grad: np.ndarray) -> None:
                 self._accumulate(grad * mask)
             out._backward = _backward
+        _record_op("relu", out, (self,))
         return out
 
     def tanh(self) -> "Tensor":
@@ -442,6 +475,7 @@ class Tensor:
             def _backward(grad: np.ndarray) -> None:
                 self._accumulate(grad * (1.0 - out_data ** 2))
             out._backward = _backward
+        _record_op("tanh", out, (self,))
         return out
 
     def sigmoid(self) -> "Tensor":
@@ -451,6 +485,7 @@ class Tensor:
             def _backward(grad: np.ndarray) -> None:
                 self._accumulate(grad * out_data * (1.0 - out_data))
             out._backward = _backward
+        _record_op("sigmoid", out, (self,))
         return out
 
     def abs(self) -> "Tensor":
@@ -461,4 +496,5 @@ class Tensor:
             def _backward(grad: np.ndarray) -> None:
                 self._accumulate(grad * sign)
             out._backward = _backward
+        _record_op("abs", out, (self,))
         return out

@@ -50,6 +50,10 @@ class ProxyConfig:
     fanouts : tuple of int, optional
         Per-hop neighbour caps for minibatch proxy training (see
         :class:`~repro.tasks.trainer.TrainConfig`).
+    capture : bool
+        Capture-and-replay training for the proxy runs (see
+        :class:`~repro.tasks.trainer.TrainConfig`); on by default, ANDed
+        with the pipeline-level ``capture`` switch.
     seed : int
         Base seed for sampling and training.
     """
@@ -63,6 +67,7 @@ class ProxyConfig:
     val_fraction: float = 0.2
     batch_size: Optional[int] = None
     fanouts: Optional[Tuple[int, ...]] = None
+    capture: bool = True
     seed: int = 0
 
 
@@ -127,6 +132,13 @@ class AutoHEnsGNNConfig:
         first; ``None`` derives ``(10, 5, 5)`` sized to each model's
         receptive field but capped at three hops (deeper propagation sees
         a truncated neighbourhood — name fanouts explicitly to cover more).
+    capture : bool
+        Capture-and-replay full-batch training
+        (:mod:`repro.autograd.capture`) across every stage that trains
+        through :class:`~repro.tasks.trainer.NodeClassificationTrainer`;
+        on by default and bit-identical to the dynamic engine at fixed
+        seeds.  ``False`` forces the dynamic engine pipeline-wide (stage
+        configs are ANDed with this switch).
     seed : int
         Master seed for every stage.
     verbose : bool
@@ -172,3 +184,7 @@ class AutoHEnsGNNConfig:
     # full-batch everywhere (bit-for-bit the historical behaviour).
     batch_size: Optional[int] = None
     fanouts: Optional[Tuple[int, ...]] = None
+    # Capture-and-replay full-batch training (repro.autograd.capture):
+    # record the epoch program once per training run, replay it with a
+    # lifetime-planned buffer arena — bit-identical at fixed seeds.
+    capture: bool = True

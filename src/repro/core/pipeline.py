@@ -109,13 +109,15 @@ class AutoHEnsGNN:
             batch_size=config.train.batch_size
             if config.train.batch_size is not None else config.batch_size,
             fanouts=config.train.fanouts
-            if config.train.fanouts is not None else config.fanouts)
+            if config.train.fanouts is not None else config.fanouts,
+            capture=config.train.capture and config.capture)
         proxy_config = dataclasses_replace(
             config.proxy,
             batch_size=config.proxy.batch_size
             if config.proxy.batch_size is not None else config.batch_size,
             fanouts=config.proxy.fanouts
-            if config.proxy.fanouts is not None else config.fanouts)
+            if config.proxy.fanouts is not None else config.fanouts,
+            capture=config.proxy.capture and config.capture)
 
         # ------------------------------------------------------------------
         # 1. Proxy evaluation and pool selection

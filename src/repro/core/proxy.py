@@ -213,6 +213,7 @@ class ProxyEvaluator:
             # big for a full-batch pass per candidate per bagging round.
             batch_size=config.batch_size,
             fanouts=config.fanouts,
+            capture=config.capture,
             seed=seed,
         )
         tasks = [

@@ -35,10 +35,11 @@ class GRAND(GNNModel):
         self.mlp = MLP(in_features, hidden, hidden, num_layers=2, dropout=dropout, rng=self.rng)
 
     def _random_propagate(self, data: GraphTensors, depth: int) -> Tensor:
-        features = data.features
-        if self.training and self.dropnode > 0:
-            mask = (self.rng.random((data.num_nodes, 1)) >= self.dropnode) / (1.0 - self.dropnode)
-            features = features * Tensor(mask)
+        # DropNode through the dedicated functional op (bit-identical to the
+        # historical ``features * Tensor(mask)`` formulation) so captured
+        # epochs re-draw the row mask from the model RNG on every replay.
+        features = F.drop_node(data.features, self.dropnode,
+                               training=self.training, rng=self.rng)
         # Mean over propagation depths 0..depth (the GRAND propagation rule).
         accumulated = features
         current = features

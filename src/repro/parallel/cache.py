@@ -147,7 +147,7 @@ class ComputeCache:
         self._store: "OrderedDict[str, object]" = OrderedDict()
         self._nbytes: Dict[str, int] = {}
         self.total_bytes = 0
-        self.stats = CacheStats()
+        self._stats = CacheStats()
         self.enabled = True
 
     # ------------------------------------------------------------------
@@ -160,7 +160,7 @@ class ComputeCache:
         with self._lock:
             if key in self._store:
                 self._store.move_to_end(key)
-                self.stats.record(kind, hit=True)
+                self._stats.record(kind, hit=True)
                 return self._store[key]
         # Compute outside the lock so long derivations do not serialise
         # unrelated lookups; a rare duplicate computation is harmless because
@@ -172,16 +172,31 @@ class ComputeCache:
                 self._store[key] = value
                 self._nbytes[key] = _value_nbytes(value)
                 self.total_bytes += self._nbytes[key]
-                self.stats.record(kind, hit=False)
+                self._stats.record(kind, hit=False)
                 while len(self._store) > 1 and (
                         len(self._store) > self.max_items
                         or self.total_bytes > self.max_bytes):
                     evicted_key, _ = self._store.popitem(last=False)
                     self.total_bytes -= self._nbytes.pop(evicted_key, 0)
-                    self.stats.evictions += 1
+                    self._stats.evictions += 1
             else:
-                self.stats.record(kind, hit=True)
+                self._stats.record(kind, hit=True)
             return self._store[key]
+
+    def stats(self) -> Dict[str, object]:
+        """Consistent snapshot of the hit/miss/eviction accounting.
+
+        Taken under the cache lock, so concurrent trainings never observe a
+        half-updated view; the returned dict is detached from live state
+        (mutating it, or the cache afterwards, affects neither side).
+        Includes the current entry count and resident byte total alongside
+        the :class:`CacheStats` counters.
+        """
+        with self._lock:
+            snapshot = self._stats.as_dict()
+            snapshot["entries"] = len(self._store)
+            snapshot["resident_bytes"] = self.total_bytes
+            return snapshot
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -196,7 +211,7 @@ class ComputeCache:
             self._store.clear()
             self._nbytes.clear()
             self.total_bytes = 0
-            self.stats = CacheStats()
+            self._stats = CacheStats()
 
     # ------------------------------------------------------------------
     # Specialised helpers

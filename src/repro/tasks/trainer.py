@@ -8,7 +8,11 @@ restoring the parameters that achieved the best validation accuracy.
 Two epoch regimes share that skeleton:
 
 * **full-batch** (default, ``batch_size=None``) — one optimiser step per
-  epoch over the whole graph, exactly the seed behaviour;
+  epoch over the whole graph, exactly the seed behaviour.  With
+  ``capture=True`` (default) epoch 0 is traced and the remaining epochs
+  replay the recorded program through the capture engine
+  (:mod:`repro.autograd.capture`) — bit-identical results, no per-epoch
+  graph construction;
 * **minibatch** (``batch_size`` set) — GraphSAGE-style neighbour-sampled
   steps via :class:`~repro.graph.sampling.NeighborSampler`, one optimiser
   step per seed batch, so peak training memory scales with the sampled
@@ -24,10 +28,11 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.autograd import capture as capture_engine
 from repro.autograd import functional as F
 from repro.autograd import optim
 from repro.graph.sampling import NeighborSampler
@@ -71,6 +76,15 @@ class TrainConfig:
         standard neighbour-sampling trade-off; pass explicit ``fanouts``
         to cover more hops deliberately.  Ignored when ``batch_size`` is
         ``None``.
+    capture : bool
+        Capture-and-replay execution (:mod:`repro.autograd.capture`) for
+        full-batch training, on by default: the first epoch runs (and is
+        traced) on the dynamic engine, later epochs replay the recorded
+        program through a lifetime-planned buffer arena — bit-identical
+        loss/accuracy trajectories, no per-epoch graph construction.  The
+        trainer bails out to the dynamic path automatically for minibatch
+        runs, stateful modules (``BatchNorm``) and any op without a replay
+        twin; set ``False`` to force the dynamic engine everywhere.
     """
 
     lr: float = 0.01
@@ -87,6 +101,7 @@ class TrainConfig:
     evaluate_every: int = 1
     batch_size: Optional[int] = None
     fanouts: Optional[Tuple[int, ...]] = None
+    capture: bool = True
     extra_model_kwargs: Dict[str, object] = field(default_factory=dict)
 
     def with_overrides(self, **overrides) -> "TrainConfig":
@@ -126,6 +141,10 @@ class TrainResult:
     train_time: float
     history: List[Dict[str, float]] = field(default_factory=list)
     config: Optional[TrainConfig] = None
+    #: Whether at least one epoch ran through the capture-replay engine.
+    capture_used: bool = False
+    #: Replay plan statistics (op counts, arena buffers/bytes) when captured.
+    capture_plan: Optional[Dict[str, object]] = None
 
     def summary(self) -> Dict[str, float]:
         """The headline numbers of the run as a flat dict."""
@@ -153,11 +172,14 @@ class NodeClassificationTrainer:
     def train(self, model: GNNModel, data: GraphTensors, labels: np.ndarray,
               train_index: np.ndarray, val_index: np.ndarray,
               layer_weights: LayerWeights = None,
-              soft_targets: Optional[np.ndarray] = None) -> TrainResult:
+              soft_targets: Optional[np.ndarray] = None,
+              epoch_hook: Optional[Callable[[int, float], None]] = None) -> TrainResult:
         """Train ``model`` and restore its best-validation-accuracy weights.
 
         ``soft_targets`` optionally provides a per-node probability matrix to
         mix into the loss (used for the label-reuse trick of Table V).
+        ``epoch_hook(epoch, loss)`` is invoked after every trained epoch —
+        benchmarks use it to sample per-epoch allocation statistics.
         """
         config = self.config
         labels = np.asarray(labels)
@@ -184,8 +206,39 @@ class NodeClassificationTrainer:
             scheduler.step()
             return float(loss.item())
 
+        # Capture-and-replay engages for full-batch runs only: epoch 0 runs
+        # (and is traced) through the unmodified dynamic path above, later
+        # epochs replay the recorded program with no Tensors and no
+        # closures.  Any bail-out — a module replay cannot model, an op
+        # without a replay twin, an input changing shape — silently
+        # continues on the dynamic path instead.
+        capture_state = {"replay": None, "enabled": False}
+
+        def captured_epoch(epoch: int) -> float:
+            replay = capture_state["replay"]
+            if replay is not None:
+                try:
+                    return replay.run_epoch()
+                except capture_engine.CaptureBailout:
+                    capture_state["replay"] = None
+                    capture_state["enabled"] = False
+                    return full_batch_epoch(epoch)
+            if not capture_state["enabled"]:
+                return full_batch_epoch(epoch)
+            tape = capture_engine.Tape()
+            with capture_engine.tracing(tape):
+                loss = full_batch_epoch(epoch)
+            replay = tape.finalize(optimizer=optimizer, scheduler=scheduler)
+            if replay is None:
+                capture_state["enabled"] = False
+            else:
+                capture_state["replay"] = replay
+            return loss
+
         if not config.batch_size:  # None or the explicit full-batch 0
-            run_epoch = full_batch_epoch
+            capture_state["enabled"] = (config.capture
+                                        and capture_engine.supports_capture(model))
+            run_epoch = captured_epoch
         else:
             sampler = NeighborSampler(
                 data.adj_raw.matrix,
@@ -234,6 +287,8 @@ class NodeClassificationTrainer:
         last_loss = float("nan")
         for epoch in range(config.max_epochs):
             last_loss = run_epoch(epoch)
+            if epoch_hook is not None:
+                epoch_hook(epoch, last_loss)
 
             if epoch % config.evaluate_every != 0:
                 continue
@@ -264,6 +319,7 @@ class NodeClassificationTrainer:
                 best_state = model.state_dict()
 
         model.load_state_dict(best_state)
+        replay = capture_state["replay"]
         return TrainResult(
             best_val_accuracy=float(max(best_val, 0.0)),
             best_epoch=best_epoch,
@@ -271,6 +327,8 @@ class NodeClassificationTrainer:
             train_time=time.time() - start,
             history=history,
             config=config,
+            capture_used=replay is not None and replay.epochs_replayed > 0,
+            capture_plan=None if replay is None else dict(replay.plan),
         )
 
     @staticmethod

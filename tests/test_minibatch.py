@@ -130,12 +130,12 @@ class TestNeighborSampler:
         cache = set_compute_cache(ComputeCache())
         try:
             GraphTensors.from_graph(medium_graph)
-            misses_before = cache.stats.misses
+            misses_before = cache.stats()["misses"]
             NeighborSampler(medium_graph, (5,), batch_size=8)
             # The sampler's raw CSR is the adj_raw entry GraphTensors already
             # created — a cache hit, not a new materialisation.
-            assert cache.stats.misses == misses_before
-            assert cache.stats.hits > 0
+            assert cache.stats()["misses"] == misses_before
+            assert cache.stats()["hits"] > 0
         finally:
             set_compute_cache(None)
 

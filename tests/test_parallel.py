@@ -328,10 +328,16 @@ def test_compute_cache_hit_miss_accounting():
     second = cache.get_or_compute("k", expensive, kind="demo")
     assert np.array_equal(first, second)
     assert len(calls) == 1
-    assert cache.stats.hits == 1
-    assert cache.stats.misses == 1
-    assert cache.stats.per_kind["demo"] == {"hits": 1, "misses": 1}
-    assert 0.0 < cache.stats.hit_rate < 1.0
+    snapshot = cache.stats()
+    assert snapshot["hits"] == 1
+    assert snapshot["misses"] == 1
+    assert snapshot["per_kind"]["demo"] == {"hits": 1, "misses": 1}
+    assert 0.0 < snapshot["hit_rate"] < 1.0
+    assert snapshot["entries"] == 1
+    assert snapshot["resident_bytes"] > 0
+    # The snapshot is detached: mutating it does not touch live accounting.
+    snapshot["hits"] = 999
+    assert cache.stats()["hits"] == 1
 
 
 def test_compute_cache_lru_eviction():
@@ -339,7 +345,7 @@ def test_compute_cache_lru_eviction():
     for key in ("a", "b", "c"):
         cache.get_or_compute(key, lambda key=key: key)
     assert len(cache) == 2
-    assert cache.stats.evictions == 1
+    assert cache.stats()["evictions"] == 1
     assert "a" not in cache and "b" in cache and "c" in cache
 
 
@@ -348,7 +354,7 @@ def test_compute_cache_byte_bounded_eviction():
     for key in ("a", "b", "c"):
         cache.get_or_compute(key, lambda: np.zeros(256))  # 2 KiB each
     # Three 2 KiB arrays exceed the 3000-byte bound; the oldest entries go.
-    assert cache.stats.evictions >= 1
+    assert cache.stats()["evictions"] >= 1
     assert "c" in cache
     assert cache.total_bytes <= 2 * 2048
 
@@ -358,17 +364,17 @@ def test_graph_tensors_share_cached_operators(tiny_split_graph):
     cache = set_compute_cache(ComputeCache())
     try:
         first = GraphTensors.from_graph(tiny_split_graph)
-        baseline_misses = cache.stats.misses
-        assert cache.stats.per_kind["normalized_adjacency"]["misses"] == 3
+        baseline_misses = cache.stats()["misses"]
+        assert cache.stats()["per_kind"]["normalized_adjacency"]["misses"] == 3
         second = GraphTensors.from_graph(tiny_split_graph)
         # The second view recomputes nothing: all three operators are hits.
-        assert cache.stats.misses == baseline_misses
-        assert cache.stats.per_kind["normalized_adjacency"]["hits"] == 3
+        assert cache.stats()["misses"] == baseline_misses
+        assert cache.stats()["per_kind"]["normalized_adjacency"]["hits"] == 3
         assert second.adj_sym.matrix is first.adj_sym.matrix
         # Powered features are shared across views of the same graph too.
         powered_first = first.powered_features("sym", 2)
         powered_second = second.powered_features("sym", 2)
-        assert cache.stats.per_kind["powered_features"] == {"hits": 1, "misses": 1}
+        assert cache.stats()["per_kind"]["powered_features"] == {"hits": 1, "misses": 1}
         assert np.array_equal(powered_first.data, powered_second.data)
     finally:
         set_compute_cache(previous)
