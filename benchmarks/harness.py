@@ -435,6 +435,77 @@ def memory_microbenchmark(epochs: int = 14) -> Dict[str, float]:
     return report
 
 
+def serve_latency_microbenchmark(requests: int = 20) -> Dict[str, float]:
+    """Artifact cold-load time and per-request inference latency.
+
+    The fit-once/serve-many numbers behind the estimator API: fits a small
+    pipeline once (the paid-once AutoML cost), saves the fitted ensemble,
+    clears the process-wide compute cache to simulate a fresh serving
+    process, then measures the cold ``FittedEnsemble.load`` time, the first
+    (cache-warming) request and the median steady-state per-request
+    ``predict_proba`` latency through the inference fast path.  The
+    ``serve_speedup`` ratio (fit seconds per request-second) is recorded in
+    the runtime baseline; predictions are asserted bit-identical to the
+    fit-time probabilities.
+    """
+    import tempfile
+    import time as _time
+
+    from repro.core.artifact import FittedEnsemble
+    from repro.core.pipeline import AutoHEnsGNN
+    from repro.datasets.generators import SBMConfig, make_attributed_sbm
+    from repro.parallel.cache import ComputeCache, compute_cache, set_compute_cache
+
+    graph = prepare_node_dataset(
+        make_attributed_sbm(SBMConfig(num_nodes=700, num_classes=4, num_features=48)),
+        seed=0)
+    config = AutoHEnsGNNConfig(
+        pool_size=2, ensemble_size=2, max_layers=2, search_epochs=10,
+        bagging_splits=1, hidden=32, candidate_models=list(MICROBENCH_POOL),
+        proxy=ProxyConfig(dataset_fraction=0.3, bagging_rounds=1,
+                          hidden_fraction=0.5, max_epochs=10, seed=0),
+        seed=0)
+    config.train = TrainConfig(lr=0.02, max_epochs=30, patience=10, seed=0)
+
+    start = _time.perf_counter()
+    fitted = AutoHEnsGNN(config).fit(graph)
+    fit_seconds = _time.perf_counter() - start
+
+    previous_cache = compute_cache()
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = fitted.save(f"{tmp}/artifact")
+            # A serving process starts with an empty compute cache: cold-load
+            # and first-request numbers must include that warm-up, steady
+            # state not.
+            set_compute_cache(ComputeCache())
+            start = _time.perf_counter()
+            loaded = FittedEnsemble.load(path)
+            load_seconds = _time.perf_counter() - start
+            start = _time.perf_counter()
+            probabilities = loaded.predict_proba(graph)
+            first_request_seconds = _time.perf_counter() - start
+            assert np.array_equal(probabilities, fitted.fit_report.probabilities), \
+                "loaded artifact diverged from fit-time probabilities"
+            latencies = []
+            for _ in range(max(requests, 1)):
+                start = _time.perf_counter()
+                loaded.predict_proba(graph)
+                latencies.append(_time.perf_counter() - start)
+    finally:
+        # The cache swap simulates a fresh serving process; the benchmarks
+        # that run after this one must not inherit the emptied cache.
+        set_compute_cache(previous_cache)
+    request_seconds = float(np.median(latencies))
+    return {
+        "serve_fit_seconds": fit_seconds,
+        "serve_artifact_load_seconds": load_seconds,
+        "serve_first_request_seconds": first_request_seconds,
+        "serve_request_seconds": request_seconds,
+        "serve_speedup": fit_seconds / max(request_seconds, 1e-9),
+    }
+
+
 def _calibration_seconds() -> float:
     """Machine-speed probe with the same profile as the training workload.
 
@@ -518,8 +589,10 @@ def emit_runtime_baseline(path: str, repeats: int = 5) -> Dict[str, float]:
 
     Alongside the normalized serial wall clock, the baseline records the
     memory profile (peak RSS, per-epoch tracemalloc allocation peaks for
-    both engines) and the capture-replay speedup on the six-model Table VI
-    workload, so memory and engine regressions gate like runtime ones.
+    both engines), the capture-replay speedup on the six-model Table VI
+    workload, and the fit-once/serve-many profile (artifact cold-load time,
+    per-request inference latency and the fit/request ratio), so memory and
+    engine regressions gate like runtime ones.
     """
     import json
     import platform
@@ -527,6 +600,7 @@ def emit_runtime_baseline(path: str, repeats: int = 5) -> Dict[str, float]:
     measured = runtime_microbenchmark(repeats=repeats)
     payload = dict(measured)
     payload.update(memory_microbenchmark())
+    payload.update(serve_latency_microbenchmark())
     payload.update(capture_speedup_study())
     engine = capture_engine_microbenchmark()
     payload["engine_speedup"] = engine["engine_speedup"]

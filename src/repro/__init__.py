@@ -13,9 +13,14 @@ Quickstart
 >>> from repro import AutoHEnsGNN, AutoHEnsGNNConfig, load_dataset
 >>> graph = load_dataset("kddcup-A", scale=0.3)
 >>> pipeline = AutoHEnsGNN(AutoHEnsGNNConfig(pool_size=2, ensemble_size=2))
->>> result = pipeline.fit_predict(graph)
->>> result.predictions.shape
+>>> fitted = pipeline.fit(graph)           # pay the AutoML cost once
+>>> fitted.predict(graph).shape            # cheap inference, many times
 (graph.num_nodes,)
+>>> fitted.save("artifacts/kddcup-A")      # persist for a serving process
+>>> # later / elsewhere: FittedEnsemble.load(...) or `python -m repro.serve`
+
+The one-shot ``pipeline.fit_predict(graph)`` of the paper remains available
+as a thin wrapper over ``fit`` (bit-identical at fixed seeds).
 """
 
 from repro.autograd.dtype import (
@@ -25,8 +30,10 @@ from repro.autograd.dtype import (
     set_compute_dtype,
 )
 from repro.core import (
+    ArtifactError,
     AutoHEnsGNN,
     AutoHEnsGNNConfig,
+    FittedEnsemble,
     GraphSelfEnsemble,
     HierarchicalEnsemble,
     PipelineResult,
@@ -46,15 +53,17 @@ from repro.parallel import (
     get_backend,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "compute_dtype",
     "compute_dtype_name",
     "compute_dtype_scope",
     "set_compute_dtype",
+    "ArtifactError",
     "AutoHEnsGNN",
     "AutoHEnsGNNConfig",
+    "FittedEnsemble",
     "SearchMethod",
     "PipelineResult",
     "ProxyEvaluator",

@@ -4,7 +4,12 @@ A :class:`Module` automatically registers every :class:`Parameter` and
 sub-module assigned as an attribute, exposes ``parameters()`` /
 ``named_parameters()`` iterators, a ``train()`` / ``eval()`` switch, and
 ``state_dict`` / ``load_state_dict`` for seed-controlled re-initialisation of
-ensemble members.
+ensemble members and for the fitted-ensemble artifacts of
+:mod:`repro.core.artifact`.
+
+Non-trainable array state (e.g. ``BatchNorm`` running statistics) is tracked
+through :meth:`Module.register_buffer` so snapshots and saved artifacts carry
+it alongside the parameters.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ class Module:
     def __init__(self) -> None:
         self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self.training = True
 
     # ------------------------------------------------------------------
@@ -40,11 +46,27 @@ class Module:
             self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
         elif isinstance(value, Module):
             self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        elif name in self.__dict__.get("_buffers", ()):
+            # Re-assigning a registered buffer (the idiom BatchNorm uses to
+            # update its running statistics) keeps the registry in sync.
+            self._buffers[name] = np.asarray(value)
+            value = self._buffers[name]
         object.__setattr__(self, name, value)
 
     def register_parameter(self, name: str, parameter: Parameter) -> None:
         self._parameters[name] = parameter
         object.__setattr__(self, name, parameter)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Track a non-trainable array as part of the module's state.
+
+        Buffers travel with ``state_dict`` / ``load_state_dict`` (and hence
+        with trainer best-epoch snapshots and saved artifacts) but are
+        invisible to ``parameters()`` and the optimisers.  Plain attribute
+        assignment to the same name afterwards updates the buffer.
+        """
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
 
     def add_module(self, name: str, module: "Module") -> None:
         self._modules[name] = module
@@ -61,6 +83,12 @@ class Module:
             yield prefix + name, param
         for module_name, module in self._modules.items():
             yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buffer in self._buffers.items():
+            yield prefix + name, buffer
+        for module_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{module_name}.")
 
     def modules(self) -> Iterator["Module"]:
         yield self
@@ -89,13 +117,35 @@ class Module:
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
-    def state_dict(self) -> Dict[str, np.ndarray]:
-        return {name: param.data.copy() for name, param in self.named_parameters()}
+    def state_dict(self, copy: bool = True) -> Dict[str, np.ndarray]:
+        """Every parameter and registered buffer as ``{name: ndarray}``.
+
+        ``copy=True`` (the default) returns **deep copies** and is the only
+        safe mode for snapshots that must survive further training: the
+        optimisers (:mod:`repro.autograd.optim`) update ``param.data``
+        strictly in place, so an aliased snapshot would silently track every
+        subsequent step instead of freezing the recorded epoch.
+        ``copy=False`` returns aliased views for read-only consumers that
+        immediately materialise the arrays elsewhere (e.g.
+        ``np.savez`` in :mod:`repro.core.artifact`), halving peak memory.
+        """
+        entries = list(self.named_parameters())
+        state = {name: (param.data.copy() if copy else param.data)
+                 for name, param in entries}
+        for name, buffer in self.named_buffers():
+            state[name] = buffer.copy() if copy else buffer
+        return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore parameters and buffers from :meth:`state_dict` output.
+
+        Arrays are copied in (never aliased), so the caller's dict remains a
+        valid independent snapshot afterwards.
+        """
         own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
+        buffers = dict(self.named_buffers())
+        missing = (set(own) | set(buffers)) - set(state)
+        unexpected = set(state) - (set(own) | set(buffers))
         if missing or unexpected:
             raise KeyError(
                 f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
@@ -106,6 +156,16 @@ class Module:
                     f"shape mismatch for {name}: {param.data.shape} vs {state[name].shape}"
                 )
             param.data = state[name].copy()
+        for name, buffer in buffers.items():
+            if buffer.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {buffer.shape} vs {state[name].shape}"
+                )
+            owner = self
+            *path, attr = name.split(".")
+            for part in path:
+                owner = owner._modules[part]
+            setattr(owner, attr, state[name].copy())
 
     # ------------------------------------------------------------------
     # Call protocol

@@ -107,8 +107,10 @@ class BatchNorm(Module):
         self.momentum = momentum
         self.gamma = Parameter(init.ones((num_features,)))
         self.beta = Parameter(init.zeros((num_features,)))
-        self.running_mean = init.zeros((num_features,))
-        self.running_var = init.ones((num_features,))
+        # Registered buffers so best-epoch snapshots and saved artifacts
+        # carry the running statistics alongside the affine parameters.
+        self.register_buffer("running_mean", init.zeros((num_features,)))
+        self.register_buffer("running_var", init.ones((num_features,)))
 
     def forward(self, x: Tensor) -> Tensor:
         if self.training:

@@ -39,6 +39,9 @@ class CompetitionSubmission:
     elapsed: float
     within_budget: bool
     result: Optional["PipelineResult"] = None
+    #: Where the fitted ensemble was persisted (``None`` when the runner was
+    #: constructed without ``artifact_dir``); re-scorable via ``rescore``.
+    artifact_path: Optional[str] = None
 
     def accuracy_against(self, labels: np.ndarray) -> float:
         labels = np.asarray(labels)
@@ -46,10 +49,9 @@ class CompetitionSubmission:
 
     def write(self, path: str) -> None:
         """Write ``node_index<TAB>predicted_class`` rows, the challenge output format."""
-        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            for node, prediction in zip(self.test_nodes, self.predictions):
-                handle.write(f"{int(node)}\t{int(prediction)}\n")
+        from repro.datasets.io import write_predictions_tsv
+
+        write_predictions_tsv(path, self.test_nodes, self.predictions)
 
 
 def competition_config(time_budget: Optional[float], seed: int = 0,
@@ -82,14 +84,22 @@ def competition_config(time_budget: Optional[float], seed: int = 0,
 
 
 class AutoGraphRunner:
-    """Run the automated pipeline over a collection of challenge-format datasets."""
+    """Run the automated pipeline over a collection of challenge-format datasets.
+
+    With ``artifact_dir`` set, every fitted ensemble is persisted under
+    ``{artifact_dir}/{dataset_name}`` so later submissions on re-built or
+    refreshed graphs can reuse the paid-for AutoML run through
+    :meth:`rescore` (seconds instead of minutes).
+    """
 
     def __init__(self, candidate_models: Optional[Sequence[str]] = None, seed: int = 0,
-                 backend: str = "serial", max_workers: Optional[int] = None) -> None:
+                 backend: str = "serial", max_workers: Optional[int] = None,
+                 artifact_dir: Optional[str] = None) -> None:
         self.candidate_models = candidate_models
         self.seed = seed
         self.backend = backend
         self.max_workers = max_workers
+        self.artifact_dir = artifact_dir
 
     # ------------------------------------------------------------------
     # Single dataset
@@ -110,8 +120,14 @@ class AutoGraphRunner:
         budget = TimeBudget(budget_seconds)
         start = time.time()
         pipeline = AutoHEnsGNN(config)
-        result = pipeline.fit_predict(graph)
+        fitted = pipeline.fit(graph)
+        result = fitted.fit_report
         elapsed = time.time() - start
+        artifact_path = None
+        if self.artifact_dir is not None:
+            # Persisting the ensemble is not part of the challenge protocol,
+            # so it happens after the budget clock stops.
+            artifact_path = fitted.save(os.path.join(self.artifact_dir, name))
         test_nodes = graph.mask_indices("test") if graph.test_mask is not None \
             else np.where(graph.labels < 0)[0]
         return CompetitionSubmission(
@@ -121,6 +137,34 @@ class AutoGraphRunner:
             elapsed=elapsed,
             within_budget=budget_seconds is None or elapsed <= budget_seconds,
             result=result,
+            artifact_path=artifact_path,
+        )
+
+    def rescore(self, artifact_path: str, graph: Graph,
+                dataset_name: Optional[str] = None) -> CompetitionSubmission:
+        """Score ``graph`` with a previously fitted ensemble — no AutoML re-run.
+
+        The artifact's members answer through the inference fast path, so a
+        refreshed or extended graph (same feature schema) is re-scored in
+        the time of one forward pass per member instead of a full pipeline
+        run.  The returned submission carries no ``result`` (there was no
+        fit) but is otherwise interchangeable with :meth:`run_graph` output.
+        """
+        from repro.core.artifact import FittedEnsemble
+
+        start = time.time()
+        fitted = FittedEnsemble.load(artifact_path)
+        predictions = fitted.predict(graph)
+        elapsed = time.time() - start
+        test_nodes = graph.mask_indices("test") if graph.test_mask is not None \
+            else np.where(graph.labels < 0)[0]
+        return CompetitionSubmission(
+            dataset_name=dataset_name or graph.name,
+            predictions=predictions[test_nodes],
+            test_nodes=test_nodes,
+            elapsed=elapsed,
+            within_budget=True,
+            artifact_path=artifact_path,
         )
 
     def run_directory(self, directory: str, output_path: Optional[str] = None

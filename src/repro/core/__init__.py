@@ -21,6 +21,7 @@ The package mirrors Figure 1 of the paper:
    competition runner.
 """
 
+from repro.core.artifact import ArtifactError, FittedEnsemble
 from repro.core.config import AdaptiveConfig, AutoHEnsGNNConfig, ProxyConfig, SearchMethod
 from repro.core.proxy import ProxyEvaluator, ProxyEvaluationReport, CandidateScore
 from repro.core.selection import select_top_models
@@ -39,6 +40,8 @@ from repro.core.baselines import (
 from repro.core.pipeline import AutoHEnsGNN, PipelineResult
 
 __all__ = [
+    "ArtifactError",
+    "FittedEnsemble",
     "AutoHEnsGNNConfig",
     "ProxyConfig",
     "AdaptiveConfig",

@@ -13,6 +13,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.tasks.trainer import TrainConfig
 
 
@@ -188,3 +190,93 @@ class AutoHEnsGNNConfig:
     # record the epoch program once per training run, replay it with a
     # lifetime-planned buffer arena — bit-identical at fixed seeds.
     capture: bool = True
+
+    def validate(self) -> "AutoHEnsGNNConfig":
+        """Fail fast on configurations that would only error mid-pipeline.
+
+        ``AutoHEnsGNN.fit`` calls this before any work starts, so a typo'd
+        candidate name or an invalid dtype/backend string surfaces in
+        seconds instead of after minutes of proxy evaluation.  Every problem
+        is collected and reported in one :class:`ValueError`; returns
+        ``self`` so call sites can chain.
+        """
+        from repro.nn.model_zoo import MODEL_ZOO, suggest_model_name
+        from repro.parallel.backends import BACKENDS
+
+        problems = []
+        if self.candidate_models is not None:
+            for name in self.candidate_models:
+                if str(name).lower() not in MODEL_ZOO:
+                    suggestion = suggest_model_name(str(name))
+                    hint = f" (did you mean {suggestion!r}?)" if suggestion else ""
+                    problems.append(f"unknown candidate model {name!r}{hint}; "
+                                    f"known models: {sorted(MODEL_ZOO)}")
+        for field_name in ("pool_size", "ensemble_size", "max_layers", "hidden",
+                           "search_epochs"):
+            value = getattr(self, field_name)
+            if not isinstance(value, (int, np.integer)) or value < 1:
+                problems.append(f"{field_name} must be a positive integer, got {value!r}")
+        # 0 is a documented sentinel ("no bagging": the pipeline still trains
+        # one split via max(bagging_splits, 1)); only negatives are invalid.
+        if not isinstance(self.bagging_splits, (int, np.integer)) or self.bagging_splits < 0:
+            problems.append("bagging_splits must be a non-negative integer, "
+                            f"got {self.bagging_splits!r}")
+        def numeric(field_name: str, value) -> bool:
+            # A non-numeric value (e.g. val_fraction="0.3") must land in the
+            # aggregated report, not escape as a bare comparison TypeError.
+            if isinstance(value, (int, float, np.integer, np.floating)) \
+                    and not isinstance(value, bool):
+                return True
+            problems.append(f"{field_name} must be a number, got {value!r}")
+            return False
+
+        if numeric("val_fraction", self.val_fraction) \
+                and not 0.0 < self.val_fraction < 1.0:
+            problems.append(f"val_fraction must lie in (0, 1), got {self.val_fraction!r}")
+        if numeric("proxy.dataset_fraction", self.proxy.dataset_fraction) \
+                and not 0.0 < self.proxy.dataset_fraction <= 1.0:
+            problems.append("proxy.dataset_fraction must lie in (0, 1], "
+                            f"got {self.proxy.dataset_fraction!r}")
+        if numeric("proxy.hidden_fraction", self.proxy.hidden_fraction) \
+                and not 0.0 < self.proxy.hidden_fraction <= 1.0:
+            problems.append("proxy.hidden_fraction must lie in (0, 1], "
+                            f"got {self.proxy.hidden_fraction!r}")
+        if numeric("proxy.bagging_rounds", self.proxy.bagging_rounds) \
+                and self.proxy.bagging_rounds < 1:
+            problems.append("proxy.bagging_rounds must be a positive integer, "
+                            f"got {self.proxy.bagging_rounds!r}")
+        if self.time_budget is not None \
+                and numeric("time_budget", self.time_budget) and self.time_budget <= 0:
+            problems.append(f"time_budget must be positive or None, got {self.time_budget!r}")
+        try:
+            np.dtype(self.compute_dtype)
+        except TypeError:
+            problems.append(f"compute_dtype is not a dtype: {self.compute_dtype!r}")
+        else:
+            if str(np.dtype(self.compute_dtype)) not in ("float32", "float64"):
+                problems.append(f"compute_dtype must be 'float64' or 'float32', "
+                                f"got {self.compute_dtype!r}")
+        if not isinstance(self.backend, str) or self.backend.lower() not in BACKENDS:
+            problems.append(f"backend must be one of {sorted(BACKENDS)}, "
+                            f"got {self.backend!r}")
+        for stage, batch_size in (("batch_size", self.batch_size),
+                                  ("train.batch_size", self.train.batch_size),
+                                  ("proxy.batch_size", self.proxy.batch_size)):
+            if batch_size is not None and numeric(stage, batch_size) \
+                    and batch_size < 0:
+                problems.append(f"{stage} must be None (full-batch), 0 (pinned "
+                                f"full-batch) or positive, got {batch_size!r}")
+        for stage, fanouts in (("fanouts", self.fanouts),
+                               ("train.fanouts", self.train.fanouts),
+                               ("proxy.fanouts", self.proxy.fanouts)):
+            try:
+                invalid = fanouts is not None and any(f == 0 or f < -1 for f in fanouts)
+            except TypeError:
+                invalid = True
+            if invalid:
+                problems.append(f"{stage} entries must be positive neighbour caps "
+                                f"or -1 (keep all), got {tuple(fanouts)!r}")
+        if problems:
+            details = "\n  - ".join(problems)
+            raise ValueError(f"invalid AutoHEnsGNNConfig:\n  - {details}")
+        return self

@@ -194,3 +194,50 @@ class GraphSelfEnsemble:
             else [list(map(float, alpha)) for alpha in self.layer_weights],
             "validation_accuracy": self.validation_accuracy,
         }
+
+    # ------------------------------------------------------------------
+    # Artifact de/serialisation (repro.core.artifact)
+    # ------------------------------------------------------------------
+    def manifest_entry(self) -> Dict[str, object]:
+        """JSON-safe construction record: everything needed to rebuild the
+        members (weights travel separately as npz blobs)."""
+        return {
+            "model": self.spec_name,
+            "num_members": int(self.num_members),
+            "hidden": int(self.hidden),
+            "num_layers": int(self.num_layers),
+            "dropout": float(self.dropout),
+            "hidden_fraction": float(self.hidden_fraction),
+            "base_seed": int(self.base_seed),
+            "layer_weights": None if self.layer_weights is None
+            else [[float(w) for w in np.asarray(alpha).ravel()]
+                  for alpha in self.layer_weights],
+            "member_val_scores": [float(score) for score in self.member_val_scores],
+        }
+
+    @classmethod
+    def from_manifest_entry(cls, entry: Dict[str, object], num_features: int,
+                            num_classes: int) -> "GraphSelfEnsemble":
+        """Rebuild the GSE and instantiate its members (weights not yet loaded).
+
+        Members are constructed through the model zoo exactly as during
+        training — same spec, same per-member seeds — then the caller loads
+        the stored ``state_dict`` of each, so the rebuilt ensemble predicts
+        bit-for-bit like the fitted one.
+        """
+        weights = entry["layer_weights"]
+        ensemble = cls(
+            spec_name=str(entry["model"]),
+            num_members=int(entry["num_members"]),
+            hidden=int(entry["hidden"]),
+            num_layers=int(entry["num_layers"]),
+            dropout=float(entry["dropout"]),
+            hidden_fraction=float(entry["hidden_fraction"]),
+            base_seed=int(entry["base_seed"]),
+            layer_weights=None if weights is None
+            else [np.asarray(alpha, dtype=np.float64) for alpha in weights],
+        )
+        ensemble.build_members(num_features, num_classes)
+        ensemble.member_val_scores = [float(score)
+                                      for score in entry.get("member_val_scores", [])]
+        return ensemble

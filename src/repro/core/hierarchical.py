@@ -112,3 +112,30 @@ class HierarchicalEnsemble:
             "pool": [ensemble.describe() for ensemble in self.ensembles],
             "beta": [float(b) for b in self.effective_beta()],
         }
+
+    # ------------------------------------------------------------------
+    # Artifact de/serialisation (repro.core.artifact)
+    # ------------------------------------------------------------------
+    def manifest_entry(self) -> Dict[str, object]:
+        """JSON-safe construction record of this split's GSEs and β."""
+        return {
+            "beta": None if self.beta is None else [float(b) for b in self.beta],
+            "ensembles": [ensemble.manifest_entry() for ensemble in self.ensembles],
+        }
+
+    @classmethod
+    def from_manifest_entry(cls, entry: Dict[str, object], num_features: int,
+                            num_classes: int) -> "HierarchicalEnsemble":
+        """Rebuild the split (members instantiated, weights not yet loaded).
+
+        ``beta`` is restored verbatim — it was normalised at fit time, and
+        re-normalising would perturb the stored values by one floating-point
+        division, breaking bit-identical predictions.
+        """
+        hierarchical = cls()
+        for ensemble_entry in entry["ensembles"]:
+            hierarchical.add(GraphSelfEnsemble.from_manifest_entry(
+                ensemble_entry, num_features, num_classes))
+        if entry.get("beta") is not None:
+            hierarchical.beta = np.asarray(entry["beta"], dtype=np.float64)
+        return hierarchical

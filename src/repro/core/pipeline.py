@@ -13,6 +13,15 @@ The pipeline is deliberately *hands-off*: the only required input is the
 graph; every decision the paper automates (model choice, depths, weights,
 hyper-parameters) is made internally, honouring an optional wall-clock time
 budget like the challenge imposes.
+
+The estimator lifecycle separates the expensive part from the cheap part:
+:meth:`AutoHEnsGNN.fit` pays the AutoML cost once and returns a
+:class:`~repro.core.artifact.FittedEnsemble` that owns every trained member
+and answers ``predict_proba``/``predict`` requests through the raw-ndarray
+inference fast path, can be ``save``d to a versioned artifact and ``load``ed
+in a fresh serving process (see :mod:`repro.serve`).  The historical
+one-shot :meth:`AutoHEnsGNN.fit_predict` remains as a thin wrapper over
+``fit`` and is bit-identical to its pre-estimator behaviour at fixed seeds.
 """
 
 from __future__ import annotations
@@ -25,8 +34,9 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.automl.budget import TimeBudget
-from repro.autograd.dtype import compute_dtype_scope
+from repro.autograd.dtype import compute_dtype_name, compute_dtype_scope
 from repro.core.adaptive import AdaptiveSearch
+from repro.core.artifact import FittedEnsemble
 from repro.core.config import AutoHEnsGNNConfig, SearchMethod
 from repro.core.gradient_search import GradientSearch
 from repro.core.gse import GraphSelfEnsemble, one_hot_alpha
@@ -74,25 +84,47 @@ class AutoHEnsGNN:
     # ------------------------------------------------------------------
     # Fit / predict
     # ------------------------------------------------------------------
-    def fit_predict(self, graph: Graph, pool: Optional[Sequence[str]] = None) -> PipelineResult:
-        """Run the full pipeline on ``graph`` and return predictions for every node.
+    def fit(self, graph: Graph, pool: Optional[Sequence[str]] = None) -> FittedEnsemble:
+        """Run the AutoML pipeline once and return the fitted ensemble.
 
-        ``pool`` can pre-specify the model pool (used by ablations); otherwise
-        proxy evaluation selects it automatically.
+        This is the expensive half of the estimator lifecycle: proxy
+        evaluation, configuration search and bagged re-training.  The
+        returned :class:`~repro.core.artifact.FittedEnsemble` owns every
+        trained member and serves ``predict_proba``/``predict`` requests
+        against the original graph or a re-built one with the same feature
+        schema; ``save``/``load`` persist it across processes.  Its
+        ``fit_report`` attribute carries the full
+        :class:`PipelineResult` (fit-time probabilities, timings, proxy
+        ranking).
+
+        ``pool`` can pre-specify the model pool (used by ablations);
+        otherwise proxy evaluation selects it automatically.
         """
+        self.config.validate()
         try:
             # Apply the engine dtype policy for the duration of the run (and
             # restore the caller's policy afterwards): every GraphTensors
             # view, parameter and optimiser buffer downstream then lives in
             # the configured dtype.
             with compute_dtype_scope(self.config.compute_dtype):
-                return self._fit_predict(graph, pool)
+                return self._fit(graph, pool)
         finally:
             # Release pooled workers (process backends hold live interpreter
             # processes); the executor is re-created lazily on the next call.
             self.executor.close()
 
-    def _fit_predict(self, graph: Graph, pool: Optional[Sequence[str]] = None) -> PipelineResult:
+    def fit_predict(self, graph: Graph, pool: Optional[Sequence[str]] = None) -> PipelineResult:
+        """Fit on ``graph`` and return the fit-time predictions for every node.
+
+        A thin wrapper over :meth:`fit` kept for the one-shot transductive
+        workflow of the paper; bit-identical to the historical behaviour at
+        fixed seeds.  ``result.probabilities`` equals
+        ``fit(graph).predict_proba(graph)`` bit-for-bit — use :meth:`fit`
+        when the ensemble should outlive the prediction.
+        """
+        return self.fit(graph, pool).fit_report
+
+    def _fit(self, graph: Graph, pool: Optional[Sequence[str]] = None) -> FittedEnsemble:
         config = self.config
         total_start = time.time()
         budget = TimeBudget(config.time_budget)
@@ -233,7 +265,7 @@ class AutoHEnsGNN:
         train_time = time.time() - train_start
         search_details["backend"] = self.executor.describe()
 
-        return PipelineResult(
+        report = PipelineResult(
             probabilities=probabilities,
             predictions=probabilities.argmax(axis=1),
             pool=pool,
@@ -245,6 +277,24 @@ class AutoHEnsGNN:
             total_time=time.time() - total_start,
             proxy_ranking=proxy_ranking,
             details=search_details,
+        )
+        return FittedEnsemble(
+            ensembles=list(self.hierarchical_ensembles),
+            pool=list(pool),
+            beta=np.asarray(beta),
+            chosen_layers=chosen_layers,
+            num_features=data.num_features,
+            num_classes=int(graph.num_classes),
+            # Resolved under the scope fit() installed, so "float32" round-trips.
+            compute_dtype=compute_dtype_name(),
+            metadata={
+                "graph_name": graph.name,
+                "graph_nodes": int(graph.num_nodes),
+                "search_method": str(config.search_method.value),
+                "seed": int(config.seed),
+                "bagging_splits_trained": len(self.hierarchical_ensembles),
+            },
+            fit_report=report,
         )
 
     # ------------------------------------------------------------------

@@ -30,6 +30,19 @@ _LABEL_FILE = "train_label.tsv"
 _METADATA_FILE = "config.yml"
 
 
+def write_predictions_tsv(path: str, nodes, predictions) -> None:
+    """Write ``node_index<TAB>predicted_class`` rows, the challenge output format.
+
+    The single writer behind ``CompetitionSubmission.write`` and the serving
+    ``ServeResult.write``, so the two surfaces cannot drift apart.  Parent
+    directories are created as needed.
+    """
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for node, prediction in zip(nodes, predictions):
+            handle.write(f"{int(node)}\t{int(prediction)}\n")
+
+
 def save_autograph_directory(graph: Graph, directory: str,
                              time_budget: Optional[float] = None) -> None:
     """Write ``graph`` to ``directory`` in the AutoGraph challenge layout.

@@ -13,6 +13,7 @@ Proxy models (Section III-B) are built through the same specs with a reduced
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -87,10 +88,23 @@ def register_model(spec: ModelSpec, overwrite: bool = False) -> None:
     MODEL_ZOO[key] = spec
 
 
+def suggest_model_name(name: str) -> Optional[str]:
+    """The registered candidate closest to ``name``, or ``None`` if none is close.
+
+    Shared by :func:`get_model_spec` and ``AutoHEnsGNNConfig.validate`` so a
+    typo in a candidate list fails with a did-you-mean hint instead of a bare
+    lookup error mid-pipeline.
+    """
+    close = difflib.get_close_matches(name.lower(), MODEL_ZOO, n=1)
+    return close[0] if close else None
+
+
 def get_model_spec(name: str) -> ModelSpec:
     key = name.lower()
     if key not in MODEL_ZOO:
-        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_ZOO)}")
+        suggestion = suggest_model_name(name)
+        hint = f" — did you mean {suggestion!r}?" if suggestion else ""
+        raise KeyError(f"unknown model {name!r}{hint}; known: {sorted(MODEL_ZOO)}")
     return MODEL_ZOO[key]
 
 

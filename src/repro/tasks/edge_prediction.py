@@ -86,6 +86,10 @@ class EdgePredictionTask:
 
         best_val = -np.inf
         best_test = 0.0
+        best_epoch = -1
+        # Deep-copied snapshot (see Module.state_dict): the in-place Adam
+        # mutates parameter arrays, so an aliased dict would not freeze the
+        # best epoch.
         best_state = predictor.state_dict()
         epochs_without_improvement = 0
         start = time.time()
@@ -107,6 +111,7 @@ class EdgePredictionTask:
             if val_auc > best_val:
                 best_val = val_auc
                 best_test = self.evaluate(predictor, "test", layer_weights=layer_weights)
+                best_epoch = epoch
                 best_state = predictor.state_dict()
                 epochs_without_improvement = 0
             else:
@@ -117,6 +122,7 @@ class EdgePredictionTask:
         return {
             "val_auc": float(best_val),
             "test_auc": float(best_test),
+            "best_epoch": float(best_epoch),
             "train_time": time.time() - start,
         }
 

@@ -136,6 +136,10 @@ class GraphClassificationTask:
 
         best_val = -np.inf
         best_test = 0.0
+        best_epoch = -1
+        # Deep-copied snapshot (see Module.state_dict): the in-place Adam
+        # mutates parameter arrays, so an aliased dict would not freeze the
+        # best epoch.
         best_state = model.state_dict()
         epochs_without_improvement = 0
         start = time.time()
@@ -151,6 +155,7 @@ class GraphClassificationTask:
             if val_accuracy > best_val:
                 best_val = val_accuracy
                 best_test = self.evaluate(model, "test", layer_weights=layer_weights)
+                best_epoch = epoch
                 best_state = model.state_dict()
                 epochs_without_improvement = 0
             else:
@@ -159,6 +164,7 @@ class GraphClassificationTask:
                     break
         model.load_state_dict(best_state)
         return {"val_accuracy": float(best_val), "test_accuracy": float(best_test),
+                "best_epoch": float(best_epoch),
                 "train_time": time.time() - start}
 
     def evaluate(self, model: GraphLevelModel, split: str,

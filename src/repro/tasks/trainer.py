@@ -277,6 +277,10 @@ class NodeClassificationTrainer:
 
         best_val = -np.inf
         best_epoch = -1
+        # ``state_dict()`` deep-copies: the in-place optimisers mutate
+        # ``param.data`` buffers directly, so an aliased snapshot would
+        # track every later epoch instead of freezing the best one
+        # (regression-tested by tests/test_tasks_training.py).
         best_state = model.state_dict()
         history: List[Dict[str, float]] = []
         epochs_without_improvement = 0

@@ -1,0 +1,319 @@
+"""Estimator-lifecycle and artifact round-trip tests.
+
+Covers the fit-once/serve-many API: ``AutoHEnsGNN.fit`` →
+``FittedEnsemble`` → ``save``/``load`` → ``predict_proba``, the bit-identity
+contracts with the historical ``fit_predict``, the feature-schema guard for
+refreshed graphs, and the validation errors for corrupted or
+version-mismatched artifacts.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import (
+    ArtifactError,
+    AutoHEnsGNN,
+    AutoHEnsGNNConfig,
+    FittedEnsemble,
+    SearchMethod,
+    load_dataset,
+)
+from repro.autograd.dtype import compute_dtype_scope
+from repro.core.artifact import MANIFEST_NAME, SCHEMA_VERSION, WEIGHTS_NAME
+from repro.core.config import ProxyConfig
+from repro.nn.data import GraphTensors
+from repro.tasks.trainer import TrainConfig
+
+POOL = ["gcn", "sgc"]
+
+
+def fast_config(**overrides) -> AutoHEnsGNNConfig:
+    config = AutoHEnsGNNConfig(
+        pool_size=2, ensemble_size=2, max_layers=2, search_epochs=4,
+        bagging_splits=2, hidden=16,
+        candidate_models=["gcn", "sgc", "mlp"],
+        proxy=ProxyConfig(dataset_fraction=0.5, bagging_rounds=1,
+                          hidden_fraction=0.5, max_epochs=4),
+        seed=0,
+    )
+    config.train = TrainConfig(lr=0.02, max_epochs=6, patience=5)
+    for name, value in overrides.items():
+        setattr(config, name, value)
+    return config
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_split_graph):
+    return AutoHEnsGNN(fast_config()).fit(tiny_split_graph, pool=POOL)
+
+
+class TestEstimatorLifecycle:
+    def test_fit_returns_fitted_ensemble_with_report(self, fitted):
+        assert isinstance(fitted, FittedEnsemble)
+        assert fitted.pool == POOL
+        assert fitted.fit_report is not None
+        assert fitted.fit_report.probabilities.shape[1] == fitted.num_classes
+        assert fitted.num_members == 2 * 2 * 2  # splits x pool x replicas
+
+    def test_fit_predict_is_thin_wrapper_bitwise(self, tiny_split_graph, fitted):
+        result = AutoHEnsGNN(fast_config()).fit_predict(tiny_split_graph, pool=POOL)
+        np.testing.assert_array_equal(result.probabilities,
+                                      fitted.fit_report.probabilities)
+        np.testing.assert_array_equal(result.predictions,
+                                      fitted.fit_report.predictions)
+
+    def test_predict_proba_matches_fit_probabilities_bitwise(self, tiny_split_graph,
+                                                             fitted):
+        np.testing.assert_array_equal(fitted.predict_proba(tiny_split_graph),
+                                      fitted.fit_report.probabilities)
+
+    def test_predict_accepts_prebuilt_tensors(self, tiny_split_graph, tiny_data,
+                                              fitted):
+        np.testing.assert_array_equal(fitted.predict_proba(tiny_data),
+                                      fitted.predict_proba(tiny_split_graph))
+
+    def test_refreshed_graph_with_same_schema_scores(self, fitted):
+        refreshed = load_dataset("kddcup-A", scale=0.2, seed=3)
+        refreshed = refreshed.with_features(
+            np.random.default_rng(0).normal(size=(refreshed.num_nodes, 16)))
+        probabilities = fitted.predict_proba(refreshed)
+        assert probabilities.shape == (refreshed.num_nodes, fitted.num_classes)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_feature_schema_mismatch_raises(self, fitted, tiny_split_graph):
+        wrong = tiny_split_graph.with_features(
+            np.zeros((tiny_split_graph.num_nodes, 5)))
+        with pytest.raises(ArtifactError, match="feature schema mismatch"):
+            fitted.predict_proba(wrong)
+
+    def test_dtype_mismatched_tensors_raise(self, fitted, tiny_split_graph):
+        with compute_dtype_scope("float32"):
+            wrong_view = GraphTensors.from_graph(tiny_split_graph)
+        with pytest.raises(ArtifactError, match="dtype mismatch"):
+            fitted.predict_proba(wrong_view)
+
+    def test_predict_rejects_non_graphs(self, fitted):
+        with pytest.raises(TypeError, match="Graph or GraphTensors"):
+            fitted.predict_proba(np.zeros((4, 16)))
+
+    def test_fit_validates_config_before_work(self, tiny_split_graph):
+        pipeline = AutoHEnsGNN(fast_config(candidate_models=["gcnn"]))
+        with pytest.raises(ValueError, match="did you mean 'gcn'"):
+            pipeline.fit(tiny_split_graph)
+
+
+class TestArtifactRoundTrip:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_roundtrip_bit_identical_per_dtype(self, tiny_split_graph, tmp_path,
+                                               dtype):
+        config = fast_config(compute_dtype=dtype)
+        fitted = AutoHEnsGNN(config).fit(tiny_split_graph, pool=POOL)
+        loaded = FittedEnsemble.load(fitted.save(str(tmp_path / dtype)))
+        assert loaded.compute_dtype == dtype
+        np.testing.assert_array_equal(loaded.predict_proba(tiny_split_graph),
+                                      fitted.fit_report.probabilities)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_roundtrip_across_backends(self, tiny_split_graph, tmp_path, backend):
+        config = fast_config(backend=backend, max_workers=2)
+        fitted = AutoHEnsGNN(config).fit(tiny_split_graph, pool=POOL)
+        loaded = FittedEnsemble.load(fitted.save(str(tmp_path / backend)))
+        np.testing.assert_array_equal(loaded.predict_proba(tiny_split_graph),
+                                      fitted.fit_report.probabilities)
+
+    def test_roundtrip_minibatch_trained_members(self, tiny_split_graph, tmp_path):
+        config = fast_config(batch_size=16)
+        fitted = AutoHEnsGNN(config).fit(tiny_split_graph, pool=POOL)
+        loaded = FittedEnsemble.load(fitted.save(str(tmp_path / "minibatch")))
+        np.testing.assert_array_equal(loaded.predict_proba(tiny_split_graph),
+                                      fitted.fit_report.probabilities)
+
+    def test_roundtrip_gradient_search(self, tiny_split_graph, tmp_path):
+        config = fast_config(search_method=SearchMethod.GRADIENT, bagging_splits=1)
+        fitted = AutoHEnsGNN(config).fit(tiny_split_graph, pool=POOL)
+        loaded = FittedEnsemble.load(fitted.save(str(tmp_path / "gradient")))
+        np.testing.assert_array_equal(loaded.predict_proba(tiny_split_graph),
+                                      fitted.fit_report.probabilities)
+
+    def test_roundtrip_in_fresh_process(self, tmp_path):
+        """A saved artifact reproduces predictions in a brand-new interpreter."""
+        graph = load_dataset("kddcup-A", scale=0.15, seed=0)
+        fitted = AutoHEnsGNN(fast_config(bagging_splits=1)).fit(graph, pool=POOL)
+        path = fitted.save(str(tmp_path / "fresh"))
+        expected = fitted.predict_proba(graph)
+        script = (
+            "import numpy as np\n"
+            "from repro import FittedEnsemble, load_dataset\n"
+            f"graph = load_dataset('kddcup-A', scale=0.15, seed=0)\n"
+            f"loaded = FittedEnsemble.load({path!r})\n"
+            "probabilities = loaded.predict_proba(graph)\n"
+            "np.save(%r, probabilities)\n" % str(tmp_path / "probas.npy")
+        )
+        env = dict(os.environ, PYTHONPATH=os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src")]
+            + os.environ.get("PYTHONPATH", "").split(os.pathsep)))
+        subprocess.run([sys.executable, "-c", script], check=True, env=env)
+        np.testing.assert_array_equal(np.load(tmp_path / "probas.npy"), expected)
+
+    def test_manifest_is_versioned_json(self, fitted, tmp_path):
+        path = fitted.save(str(tmp_path / "art"))
+        with open(os.path.join(path, MANIFEST_NAME), encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["format"] == "autohensgnn-fitted-ensemble"
+        assert manifest["pool"] == POOL
+        assert manifest["compute_dtype"] == "float64"
+        assert len(manifest["splits"]) == 2
+        assert manifest["weights"]  # every blob declared with shape+dtype
+
+
+class TestArtifactValidation:
+    @pytest.fixture()
+    def artifact(self, fitted, tmp_path):
+        return fitted.save(str(tmp_path / "artifact"))
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ArtifactError, match="does not exist"):
+            FittedEnsemble.load(str(tmp_path / "nope"))
+
+    def test_missing_manifest(self, artifact):
+        os.remove(os.path.join(artifact, MANIFEST_NAME))
+        with pytest.raises(ArtifactError, match="missing manifest.json"):
+            FittedEnsemble.load(artifact)
+
+    def test_corrupted_manifest_json(self, artifact):
+        with open(os.path.join(artifact, MANIFEST_NAME), "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(ArtifactError, match="could not parse"):
+            FittedEnsemble.load(artifact)
+
+    def test_foreign_json_rejected(self, artifact):
+        with open(os.path.join(artifact, MANIFEST_NAME), "w") as handle:
+            json.dump({"hello": "world"}, handle)
+        with pytest.raises(ArtifactError, match="not an AutoHEnsGNN"):
+            FittedEnsemble.load(artifact)
+
+    def _edit_manifest(self, artifact, **changes):
+        path = os.path.join(artifact, MANIFEST_NAME)
+        with open(path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        for key, value in changes.items():
+            if value is None:
+                manifest.pop(key, None)
+            else:
+                manifest[key] = value
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        return manifest
+
+    def test_schema_version_mismatch_names_both_versions(self, artifact):
+        self._edit_manifest(artifact, schema_version=SCHEMA_VERSION + 1)
+        with pytest.raises(ArtifactError, match=f"version {SCHEMA_VERSION + 1}.*"
+                                                f"reads version {SCHEMA_VERSION}"):
+            FittedEnsemble.load(artifact)
+
+    def test_missing_required_field(self, artifact):
+        self._edit_manifest(artifact, beta=None)
+        with pytest.raises(ArtifactError, match="missing required fields.*beta"):
+            FittedEnsemble.load(artifact)
+
+    def test_missing_weights_file(self, artifact):
+        os.remove(os.path.join(artifact, WEIGHTS_NAME))
+        with pytest.raises(ArtifactError, match="missing weights.npz"):
+            FittedEnsemble.load(artifact)
+
+    def test_missing_weight_blob(self, artifact):
+        weights_path = os.path.join(artifact, WEIGHTS_NAME)
+        with np.load(weights_path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        dropped = sorted(arrays)[0]
+        del arrays[dropped]
+        np.savez(weights_path, **arrays)
+        with pytest.raises(ArtifactError, match="disagree with the manifest"):
+            FittedEnsemble.load(artifact)
+
+    def test_corrupted_weight_blob_shape(self, artifact):
+        weights_path = os.path.join(artifact, WEIGHTS_NAME)
+        with np.load(weights_path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        victim = sorted(arrays)[0]
+        arrays[victim] = np.zeros((1, 1), dtype=arrays[victim].dtype)
+        np.savez(weights_path, **arrays)
+        with pytest.raises(ArtifactError, match="corrupted"):
+            FittedEnsemble.load(artifact)
+
+    def test_unknown_model_in_manifest(self, artifact):
+        path = os.path.join(artifact, MANIFEST_NAME)
+        with open(path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        manifest["splits"][0]["ensembles"][0]["model"] = "not-a-model"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ArtifactError, match="not-a-model"):
+            FittedEnsemble.load(artifact)
+
+    def test_save_requires_trained_members(self, fitted, tmp_path):
+        from repro.core.gse import GraphSelfEnsemble
+        from repro.core.hierarchical import HierarchicalEnsemble
+
+        hollow = FittedEnsemble(
+            ensembles=[HierarchicalEnsemble([GraphSelfEnsemble("gcn")])],
+            pool=["gcn"], beta=np.ones(1), chosen_layers={"gcn": 2},
+            num_features=16, num_classes=3, compute_dtype="float64")
+        with pytest.raises(ArtifactError, match="no trained members"):
+            hollow.save(str(tmp_path / "hollow"))
+
+
+class TestConfigValidate:
+    def test_default_config_passes_and_chains(self):
+        config = AutoHEnsGNNConfig()
+        assert config.validate() is config
+
+    def test_unknown_candidate_suggests_closest(self):
+        with pytest.raises(ValueError, match="did you mean 'graphsage-mean'"):
+            AutoHEnsGNNConfig(candidate_models=["graphsage-means"]).validate()
+
+    def test_problems_are_aggregated(self):
+        config = AutoHEnsGNNConfig(pool_size=0, ensemble_size=-2,
+                                   compute_dtype="float16", backend="gpu",
+                                   val_fraction=1.5)
+        with pytest.raises(ValueError) as excinfo:
+            config.validate()
+        message = str(excinfo.value)
+        for fragment in ("pool_size", "ensemble_size", "compute_dtype",
+                         "backend", "val_fraction"):
+            assert fragment in message
+
+    def test_invalid_batch_size_and_fanouts(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            AutoHEnsGNNConfig(batch_size=-4).validate()
+        with pytest.raises(ValueError, match="fanouts"):
+            AutoHEnsGNNConfig(fanouts=(10, 0)).validate()
+
+    def test_invalid_proxy_fractions(self):
+        with pytest.raises(ValueError, match="dataset_fraction"):
+            AutoHEnsGNNConfig(
+                proxy=ProxyConfig(dataset_fraction=0.0)).validate()
+
+    def test_bagging_splits_zero_is_the_no_bagging_sentinel(self):
+        AutoHEnsGNNConfig(bagging_splits=0).validate()  # documented: "none"
+        with pytest.raises(ValueError, match="bagging_splits"):
+            AutoHEnsGNNConfig(bagging_splits=-1).validate()
+
+    def test_non_numeric_values_report_not_crash(self):
+        """Strings in numeric fields must land in the aggregated ValueError,
+        not escape as a bare comparison TypeError."""
+        config = AutoHEnsGNNConfig(val_fraction="0.3", time_budget="60",
+                                   batch_size="32", fanouts=(10, "5"),
+                                   proxy=ProxyConfig(dataset_fraction="0.5"))
+        with pytest.raises(ValueError) as excinfo:
+            config.validate()
+        message = str(excinfo.value)
+        for fragment in ("val_fraction", "time_budget", "batch_size",
+                         "fanouts", "proxy.dataset_fraction"):
+            assert fragment in message

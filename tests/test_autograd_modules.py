@@ -66,6 +66,36 @@ class TestModuleRegistration:
         with pytest.raises((KeyError, ValueError)):
             b.load_state_dict(a.state_dict())
 
+    def test_state_dict_copies_by_default(self):
+        linear = Linear(3, 2)
+        snapshot = linear.state_dict()
+        recorded = {name: array.copy() for name, array in snapshot.items()}
+        # In-place mutation of the live parameters (what optim.Adam does on
+        # every step) must not reach the snapshot...
+        for param in linear.parameters():
+            param.data += 1.0
+        for name, array in snapshot.items():
+            np.testing.assert_array_equal(array, recorded[name], err_msg=name)
+        # ...whereas copy=False intentionally aliases for read-only export.
+        aliased = linear.state_dict(copy=False)
+        assert aliased["weight"] is linear.weight.data
+
+    def test_state_dict_includes_buffers(self):
+        bn = BatchNorm(4)
+        x = Tensor(np.random.default_rng(0).normal(size=(50, 4)) + 5)
+        bn(x)  # training-mode pass updates the running statistics
+        state = bn.state_dict()
+        assert {"gamma", "beta", "running_mean", "running_var"} == set(state)
+        fresh = BatchNorm(4)
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh.running_mean, bn.running_mean)
+        np.testing.assert_array_equal(fresh.running_var, bn.running_var)
+        # The restored buffers are copies, not aliases of the snapshot.
+        assert fresh.running_mean is not state["running_mean"]
+        fresh.eval()
+        bn.eval()
+        np.testing.assert_array_equal(fresh(x).data, bn(x).data)
+
     def test_module_list(self):
         layers = ModuleList([Linear(2, 2), Linear(2, 2)])
         assert len(layers) == 2

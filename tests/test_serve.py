@@ -1,0 +1,140 @@
+"""Tests for the batch-inference serving layer (``repro.serve``)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import AutoHEnsGNN, AutoHEnsGNNConfig, load_dataset
+from repro.core.config import ProxyConfig
+from repro.serve import BatchScorer, ServeResult, load_scorer
+from repro.serve.__main__ import build_parser, main
+from repro.tasks.trainer import TrainConfig
+
+POOL = ["gcn", "sgc"]
+DATASET_ARGS = {"scale": 0.15, "seed": 0}
+
+
+def serving_config() -> AutoHEnsGNNConfig:
+    config = AutoHEnsGNNConfig(
+        pool_size=2, ensemble_size=2, max_layers=2, search_epochs=4,
+        bagging_splits=1, hidden=16, candidate_models=POOL,
+        proxy=ProxyConfig(dataset_fraction=0.5, bagging_rounds=1,
+                          hidden_fraction=0.5, max_epochs=4),
+        seed=0)
+    config.train = TrainConfig(lr=0.02, max_epochs=6, patience=5)
+    return config
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """One fitted ensemble + saved artifact + the graph it was fitted on."""
+    graph = load_dataset("kddcup-A", **DATASET_ARGS)
+    start = time.perf_counter()
+    fitted = AutoHEnsGNN(serving_config()).fit(graph, pool=POOL)
+    fit_seconds = time.perf_counter() - start
+    path = fitted.save(str(tmp_path_factory.mktemp("serve") / "artifact"))
+    return graph, fitted, path, fit_seconds
+
+
+class TestBatchScorer:
+    def test_scores_match_fit_probabilities(self, served):
+        graph, fitted, path, _ = served
+        scorer = BatchScorer(path)
+        result = scorer.score(graph)
+        np.testing.assert_array_equal(result.probabilities,
+                                      fitted.fit_report.probabilities)
+        np.testing.assert_array_equal(result.predictions,
+                                      fitted.fit_report.predictions)
+        assert result.nodes.shape[0] == graph.num_nodes
+
+    def test_node_subset_selects_rows(self, served):
+        graph, fitted, path, _ = served
+        scorer = BatchScorer(fitted)  # in-memory ensemble, no disk load
+        test_nodes = graph.mask_indices("test")
+        result = scorer.score(graph, nodes=test_nodes)
+        assert result.probabilities.shape[0] == test_nodes.shape[0]
+        np.testing.assert_array_equal(
+            result.predictions, fitted.fit_report.predictions[test_nodes])
+
+    def test_counters_and_describe(self, served):
+        graph, _, path, _ = served
+        scorer = load_scorer(path)
+        assert scorer.requests_served == 0
+        scorer.score(graph)
+        scorer.score(graph)
+        summary = scorer.describe()
+        assert summary["requests_served"] == 2
+        assert summary["artifact_path"] == path
+        assert summary["load_seconds"] >= 0.0
+
+    def test_score_many(self, served):
+        graph, _, path, _ = served
+        results = BatchScorer(path).score_many([graph, graph])
+        assert len(results) == 2
+        np.testing.assert_array_equal(results[0].probabilities,
+                                      results[1].probabilities)
+
+    def test_serving_is_much_cheaper_than_fitting(self, served):
+        """The acceptance bar: per-request inference >= 10x cheaper than a fit."""
+        graph, _, path, fit_seconds = served
+        scorer = BatchScorer(path)
+        scorer.score(graph)  # warm caches once
+        latencies = [scorer.score(graph).latency_seconds for _ in range(3)]
+        per_request = float(np.median(latencies))
+        assert per_request * 10 < fit_seconds, \
+            f"per-request {per_request:.4f}s vs fit {fit_seconds:.2f}s"
+
+    def test_write_predictions(self, served, tmp_path):
+        graph, _, path, _ = served
+        result = BatchScorer(path).score(graph, nodes=np.array([3, 1, 4]))
+        out = tmp_path / "preds.tsv"
+        result.write(str(out))
+        rows = [line.split("\t") for line in out.read_text().splitlines()]
+        assert [int(r[0]) for r in rows] == [3, 1, 4]
+        assert all(len(r) == 2 for r in rows)
+
+
+class TestServeCLI:
+    def test_parser_defaults(self):
+        arguments = build_parser().parse_args(
+            ["--artifact", "a", "--data", "kddcup-A"])
+        assert arguments.nodes == "all"
+        assert arguments.repeat == 1
+
+    def test_main_scores_registry_dataset(self, served, tmp_path, capsys):
+        graph, fitted, path, _ = served
+        # Nested, not-yet-existing output directories must be created for
+        # both writers (a scoring run must never crash after the work is done).
+        out = tmp_path / "nested" / "preds.tsv"
+        proba_out = tmp_path / "nested" / "probas.npy"
+        code = main(["--artifact", path, "--data", "kddcup-A",
+                     "--scale", str(DATASET_ARGS["scale"]),
+                     "--seed", str(DATASET_ARGS["seed"]),
+                     "--nodes", "test", "--repeat", "2",
+                     "--output", str(out), "--proba-output", str(proba_out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "scored" in captured and "per request" in captured
+        test_nodes = graph.mask_indices("test")
+        rows = out.read_text().splitlines()
+        assert len(rows) == test_nodes.shape[0]
+        np.testing.assert_array_equal(
+            np.load(proba_out), fitted.fit_report.probabilities[test_nodes])
+
+    def test_main_rejects_missing_artifact(self, tmp_path):
+        from repro import ArtifactError
+
+        with pytest.raises(ArtifactError):
+            main(["--artifact", str(tmp_path / "missing"), "--data", "kddcup-A",
+                  "--scale", "0.15"])
+
+    def test_unsupported_dataset_knob_fails_loudly(self, served):
+        """An explicit --scale a factory cannot honour must not be dropped.
+
+        ``sbm-large`` has no ``scale`` knob: silently retrying without it
+        would score a different graph than the one the user asked for.
+        """
+        _, _, path, _ = served
+        with pytest.raises(TypeError, match="scale"):
+            main(["--artifact", path, "--data", "sbm-large", "--scale", "0.5"])

@@ -176,3 +176,80 @@ class TestGraphClassification:
         model = GraphLevelModel(backbone, task.num_classes)
         probabilities = model.predict_proba(task.batch("test"))
         assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+
+class TestBestStateSnapshotIsolation:
+    """The in-place optimisers must never leak into best-epoch snapshots.
+
+    ``optim.Adam``/``optim.SGD`` mutate ``param.data`` buffers in place, so a
+    ``best_state`` snapshot that aliased those buffers would silently track
+    every post-best epoch instead of freezing the recorded one.  Each test
+    trains deterministically *past* the best epoch, then re-runs the
+    identical training truncated right after the best epoch: the truncated
+    run's final weights are the ground truth the restored snapshot must
+    match bit for bit.  (The strict ``>`` improvement rule makes the best
+    epoch of the truncated run coincide with the long run's.)
+    """
+
+    @pytest.mark.parametrize("capture", [False, True],
+                             ids=["dynamic-engine", "capture-replay"])
+    def test_trainer_restores_recorded_best(self, trained_context, capture):
+        graph, data, train_idx, val_idx = trained_context
+
+        def run(max_epochs):
+            model = build_model("gcn", data.num_features, graph.num_classes,
+                                hidden=16, seed=0)
+            config = TrainConfig(lr=0.05, max_epochs=max_epochs, patience=10_000,
+                                 capture=capture, seed=0)
+            result = NodeClassificationTrainer(config).train(
+                model, data, graph.labels, train_idx, val_idx)
+            return model, result
+
+        model, result = run(40)
+        assert 0 <= result.best_epoch < result.epochs_run - 1, \
+            "fixture must train past its best epoch for the test to bite"
+        reference, _ = run(result.best_epoch + 1)
+        for (name, param), (_, expected) in zip(model.named_parameters(),
+                                                reference.named_parameters()):
+            np.testing.assert_array_equal(param.data, expected.data, err_msg=name)
+
+    def test_edge_prediction_restores_recorded_best(self, tiny_graph):
+        task = EdgePredictionTask(tiny_graph, val_fraction=0.08, test_fraction=0.12,
+                                  seed=0)
+
+        def run(max_epochs):
+            encoder = build_model("gcn", tiny_graph.num_features, 8, hidden=16,
+                                  seed=0, dropout=0.0)
+            predictor = EdgePredictor(encoder)
+            outcome = task.train(predictor, EdgeTrainConfig(
+                lr=0.05, max_epochs=max_epochs, patience=10_000, seed=0))
+            return predictor, outcome
+
+        predictor, outcome = run(25)
+        best_epoch = int(outcome["best_epoch"])
+        assert 0 <= best_epoch < 24, \
+            "fixture must train past its best epoch for the test to bite"
+        reference, _ = run(best_epoch + 1)
+        for (name, param), (_, expected) in zip(predictor.named_parameters(),
+                                                reference.named_parameters()):
+            np.testing.assert_array_equal(param.data, expected.data, err_msg=name)
+
+    def test_graph_classification_restores_recorded_best(self, proteins_small):
+        task = GraphClassificationTask(proteins_small)
+
+        def run(max_epochs):
+            backbone = build_model("gcn", task.num_features, task.num_classes,
+                                   hidden=16, seed=0, dropout=0.0)
+            model = GraphLevelModel(backbone, task.num_classes)
+            outcome = task.train(model, GraphTrainConfig(
+                lr=0.05, max_epochs=max_epochs, patience=10_000))
+            return model, outcome
+
+        model, outcome = run(25)
+        best_epoch = int(outcome["best_epoch"])
+        assert 0 <= best_epoch < 24, \
+            "fixture must train past its best epoch for the test to bite"
+        reference, _ = run(best_epoch + 1)
+        for (name, param), (_, expected) in zip(model.named_parameters(),
+                                                reference.named_parameters()):
+            np.testing.assert_array_equal(param.data, expected.data, err_msg=name)

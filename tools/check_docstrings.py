@@ -26,6 +26,9 @@ GATED_MODULES = (
     "src/repro/graph/sampling.py",
     "src/repro/graph/batching.py",
     "src/repro/core/config.py",
+    "src/repro/core/artifact.py",
+    "src/repro/serve/__init__.py",
+    "src/repro/serve/__main__.py",
     "src/repro/tasks/trainer.py",
     "src/repro/datasets/registry.py",
     "src/repro/datasets/generators.py",
