@@ -435,7 +435,34 @@ def memory_microbenchmark(epochs: int = 14) -> Dict[str, float]:
     return report
 
 
-def serve_latency_microbenchmark(requests: int = 20) -> Dict[str, float]:
+def _serving_workload():
+    """Fit the shared serving workload once: ``(graph, fitted, fit_seconds)``.
+
+    Both serving micro-benchmarks (batch latency and streaming throughput)
+    score the same fitted ensemble over the same 700-node SBM analogue, so
+    the paid-once fit is factored out and shared by ``emit_runtime_baseline``.
+    """
+    import time as _time
+
+    from repro.core.pipeline import AutoHEnsGNN
+    from repro.datasets.generators import SBMConfig, make_attributed_sbm
+
+    graph = prepare_node_dataset(
+        make_attributed_sbm(SBMConfig(num_nodes=700, num_classes=4, num_features=48)),
+        seed=0)
+    config = AutoHEnsGNNConfig(
+        pool_size=2, ensemble_size=2, max_layers=2, search_epochs=10,
+        bagging_splits=1, hidden=32, candidate_models=list(MICROBENCH_POOL),
+        proxy=ProxyConfig(dataset_fraction=0.3, bagging_rounds=1,
+                          hidden_fraction=0.5, max_epochs=10, seed=0),
+        seed=0)
+    config.train = TrainConfig(lr=0.02, max_epochs=30, patience=10, seed=0)
+    start = _time.perf_counter()
+    fitted = AutoHEnsGNN(config).fit(graph)
+    return graph, fitted, _time.perf_counter() - start
+
+
+def serve_latency_microbenchmark(requests: int = 20, prefit=None) -> Dict[str, float]:
     """Artifact cold-load time and per-request inference latency.
 
     The fit-once/serve-many numbers behind the estimator API: fits a small
@@ -452,24 +479,9 @@ def serve_latency_microbenchmark(requests: int = 20) -> Dict[str, float]:
     import time as _time
 
     from repro.core.artifact import FittedEnsemble
-    from repro.core.pipeline import AutoHEnsGNN
-    from repro.datasets.generators import SBMConfig, make_attributed_sbm
     from repro.parallel.cache import ComputeCache, compute_cache, set_compute_cache
 
-    graph = prepare_node_dataset(
-        make_attributed_sbm(SBMConfig(num_nodes=700, num_classes=4, num_features=48)),
-        seed=0)
-    config = AutoHEnsGNNConfig(
-        pool_size=2, ensemble_size=2, max_layers=2, search_epochs=10,
-        bagging_splits=1, hidden=32, candidate_models=list(MICROBENCH_POOL),
-        proxy=ProxyConfig(dataset_fraction=0.3, bagging_rounds=1,
-                          hidden_fraction=0.5, max_epochs=10, seed=0),
-        seed=0)
-    config.train = TrainConfig(lr=0.02, max_epochs=30, patience=10, seed=0)
-
-    start = _time.perf_counter()
-    fitted = AutoHEnsGNN(config).fit(graph)
-    fit_seconds = _time.perf_counter() - start
+    graph, fitted, fit_seconds = prefit or _serving_workload()
 
     previous_cache = compute_cache()
     try:
@@ -503,6 +515,97 @@ def serve_latency_microbenchmark(requests: int = 20) -> Dict[str, float]:
         "serve_first_request_seconds": first_request_seconds,
         "serve_request_seconds": request_seconds,
         "serve_speedup": fit_seconds / max(request_seconds, 1e-9),
+    }
+
+
+def streaming_serve_microbenchmark(requests: int = 240,
+                                   queries_per_mutation: int = 4,
+                                   rescore_samples: int = 5,
+                                   prefit=None) -> Dict[str, float]:
+    """Sustained streaming throughput under a steady mutation load.
+
+    Drives a :class:`~repro.serve.StreamingScorer` through ``requests``
+    queries with one graph mutation every ``queries_per_mutation`` requests —
+    the serving pattern the engine exists for: a mutation stream slower than
+    the query stream, so the microbatcher answers most requests by slicing
+    the version's shared probability matrix and only the first query after a
+    mutation pays the (incrementally refreshed) forward pass.  Reports the
+    sustained requests per second and the p50/p99 per-request latency.  The
+    comparator is the batch path on the *same* mutated graphs: a
+    :class:`~repro.serve.BatchScorer` re-scoring a fresh snapshot per
+    mutation, which pays the full operator and propagation rebuild each
+    time.  ``streaming_speedup`` is the paired ratio of the batch re-score
+    median to the streaming amortized per-request time on this machine, so
+    it normalizes like the other paired gates and is checked by the
+    regression gate.
+    """
+    import time as _time
+
+    from repro.parallel.cache import ComputeCache, compute_cache, set_compute_cache
+    from repro.serve import BatchScorer, StreamingScorer
+
+    graph, fitted, _ = prefit or _serving_workload()
+    rng = np.random.default_rng(0)
+    previous_cache = compute_cache()
+    try:
+        # A serving process starts with an empty compute cache; the swap is
+        # restored below so later benchmarks keep their warm entries.
+        set_compute_cache(ComputeCache())
+        scorer = StreamingScorer(fitted, graph)
+        scorer.score()  # warm-up: seeds the cached A^k X chains and extras
+        num_features = scorer.graph.num_features
+
+        def mutate(step: int) -> None:
+            if step % 3 == 0:
+                node = int(rng.integers(scorer.graph.num_nodes))
+                scorer.update_features(np.array([node]),
+                                       rng.standard_normal((1, num_features)))
+            elif step % 3 == 1:
+                for _ in range(20):
+                    source = int(rng.integers(scorer.graph.num_nodes))
+                    destination = int(rng.integers(scorer.graph.num_nodes))
+                    if source != destination \
+                            and not scorer.graph.has_edge(source, destination):
+                        scorer.add_edges(np.array([[source], [destination]]))
+                        return
+            else:
+                scorer.add_nodes(rng.standard_normal((1, num_features)))
+
+        interval = max(queries_per_mutation, 1)
+        latencies = []
+        sustained_start = _time.perf_counter()
+        for step in range(max(requests, 1)):
+            start = _time.perf_counter()
+            if step % interval == 0:
+                mutate(step // interval)
+            scorer.score(np.array([step % scorer.graph.num_nodes]))
+            latencies.append(_time.perf_counter() - start)
+        sustained_seconds = _time.perf_counter() - sustained_start
+
+        # Comparator: the pre-streaming serving story on the same mutation
+        # stream — full batch re-score of a rebuilt snapshot per mutation.
+        batch = BatchScorer(fitted)
+        batch_latencies = []
+        for step in range(max(rescore_samples, 1)):
+            mutate(step)
+            snapshot = scorer.graph.snapshot()
+            start = _time.perf_counter()
+            batch.score(snapshot)
+            batch_latencies.append(_time.perf_counter() - start)
+    finally:
+        set_compute_cache(previous_cache)
+    ordered = np.sort(np.asarray(latencies))
+    p50 = float(np.percentile(ordered, 50))
+    p99 = float(np.percentile(ordered, 99))
+    amortized = sustained_seconds / max(len(latencies), 1)
+    batch_seconds = float(np.median(batch_latencies))
+    return {
+        "streaming_requests_per_second": len(latencies) / max(sustained_seconds, 1e-9),
+        "streaming_request_p50_seconds": p50,
+        "streaming_request_p99_seconds": p99,
+        "streaming_amortized_seconds": amortized,
+        "streaming_batch_rescore_seconds": batch_seconds,
+        "streaming_speedup": batch_seconds / max(amortized, 1e-9),
     }
 
 
@@ -600,7 +703,9 @@ def emit_runtime_baseline(path: str, repeats: int = 5) -> Dict[str, float]:
     measured = runtime_microbenchmark(repeats=repeats)
     payload = dict(measured)
     payload.update(memory_microbenchmark())
-    payload.update(serve_latency_microbenchmark())
+    prefit = _serving_workload()
+    payload.update(serve_latency_microbenchmark(prefit=prefit))
+    payload.update(streaming_serve_microbenchmark(prefit=prefit))
     payload.update(capture_speedup_study())
     engine = capture_engine_microbenchmark()
     payload["engine_speedup"] = engine["engine_speedup"]
@@ -661,6 +766,26 @@ def check_runtime_regression(path: str, max_regression: float = 0.25,
                     f"> limit {memory_limit:.1f} kB (baseline {baseline[key]:.1f} "
                     f"+{max_memory_regression:.0%})")
         report.update(memory_report)
+
+    if "streaming_speedup" in baseline:
+        # The streaming gate compares the *paired* streaming-vs-batch ratio
+        # measured fresh on this machine, so runner speed cancels exactly
+        # like the workload/calibration pairing above.
+        streaming = streaming_serve_microbenchmark()
+        required = baseline["streaming_speedup"] / (1.0 + max_regression)
+        streaming_report = {
+            "streaming_speedup": streaming["streaming_speedup"],
+            "streaming_request_p50_seconds": streaming["streaming_request_p50_seconds"],
+            "streaming_request_p99_seconds": streaming["streaming_request_p99_seconds"],
+        }
+        print("streaming regression gate:", streaming_report)
+        if streaming["streaming_speedup"] < required:
+            raise SystemExit(
+                f"streaming serving regressed: speedup over the batch re-score "
+                f"path {streaming['streaming_speedup']:.2f}x < required "
+                f"{required:.2f}x (baseline {baseline['streaming_speedup']:.2f}x "
+                f"-{max_regression:.0%})")
+        report.update(streaming_report)
     return report
 
 

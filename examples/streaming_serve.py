@@ -1,0 +1,98 @@
+"""Streaming serving: a long-lived scorer absorbing live graph updates.
+
+``examples/fit_save_serve.py`` ends with a :class:`~repro.serve.BatchScorer`
+rebuilding every propagation operator per request.  This example shows the
+streaming half of the serving story: one
+:class:`~repro.serve.StreamingScorer` wraps the fitted ensemble and a
+mutable graph, absorbs a stream of incremental mutations (new nodes, new
+edges, removed edges, feature updates) and answers per-node queries whose
+scores stay **bit-identical** to a from-scratch batch rebuild of the mutated
+graph — while only touched rows of the normalised operators and cached
+``A^k X`` products are recomputed.
+
+Run with::
+
+    python examples/streaming_serve.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import AutoHEnsGNN, AutoHEnsGNNConfig, load_dataset
+from repro.core.config import ProxyConfig
+from repro.serve import BatchScorer, StreamingScorer
+from repro.tasks.trainer import TrainConfig
+
+
+def main() -> None:
+    graph = load_dataset("kddcup-A", scale=0.25, seed=0)
+    print(f"Dataset: {graph}")
+
+    config = AutoHEnsGNNConfig(
+        pool_size=3, ensemble_size=2, max_layers=2, search_epochs=8,
+        bagging_splits=1, hidden=24,
+        candidate_models=["gcn", "sgc", "sign"],
+        proxy=ProxyConfig(dataset_fraction=0.4, bagging_rounds=1,
+                          hidden_fraction=0.5, max_epochs=8),
+        seed=0)
+    config.train = TrainConfig(lr=0.02, max_epochs=20, patience=8)
+
+    # ------------------------------------------------------------------
+    # 1. Fit once, then stand up the long-lived streaming scorer.
+    # ------------------------------------------------------------------
+    fitted = AutoHEnsGNN(config).fit(graph)
+    scorer = StreamingScorer(fitted, graph)
+    first = scorer.score(np.array([0, 1, 2]))
+    print(f"\nInitial query (version {first.metadata['graph_version']}): "
+          f"predictions {first.predictions.tolist()} "
+          f"in {first.latency_seconds * 1000:.2f}ms")
+
+    # ------------------------------------------------------------------
+    # 2. Stream mutations and queries: mutations journal cheaply, the next
+    #    query flushes them and refreshes only the touched state.
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(7)
+    num_features = scorer.graph.num_features
+    new_nodes = scorer.add_nodes(rng.standard_normal((2, num_features)))
+    print(f"\nAdded nodes {new_nodes.tolist()}")
+    for node in new_nodes:
+        neighbor = int(rng.integers(graph.num_nodes))
+        scorer.add_edges(np.array([[int(node)], [neighbor]]),
+                         edge_weight=np.array([1.5]))
+        print(f"Connected node {int(node)} -> {neighbor}")
+    scorer.update_features(np.array([3]), rng.standard_normal((1, num_features)))
+
+    start = time.perf_counter()
+    result = scorer.score(new_nodes)
+    print(f"Scored the new nodes (version {result.metadata['graph_version']}) "
+          f"in {(time.perf_counter() - start) * 1000:.2f}ms: "
+          f"predictions {result.predictions.tolist()}")
+
+    # Repeat queries against an unchanged graph coalesce onto the shared
+    # probability matrix: no second forward pass.
+    scorer.score(np.array([5]))
+    batcher = scorer.batcher.stats()
+    print(f"Microbatcher: {batcher['requests']} requests -> "
+          f"{batcher['forward_passes']} forward passes "
+          f"({batcher['coalesced']} coalesced)")
+
+    # ------------------------------------------------------------------
+    # 3. The consistency guarantee: bit-identical to a batch rebuild.
+    # ------------------------------------------------------------------
+    snapshot = scorer.graph.snapshot()
+    reference = BatchScorer(fitted).score(snapshot)
+    streaming = scorer.score()
+    identical = streaming.probabilities.tobytes() == reference.probabilities.tobytes()
+    print(f"\nStreaming scores == from-scratch batch rebuild, bitwise: {identical}")
+    if not identical:
+        raise SystemExit("streaming scores diverged from the batch rebuild")
+
+    stats = scorer.describe()["streaming"]
+    print(f"Streaming counters: {stats}")
+
+
+if __name__ == "__main__":
+    main()

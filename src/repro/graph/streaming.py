@@ -1,0 +1,608 @@
+"""Mutable serving graphs with bit-exact incremental re-normalisation.
+
+The batch pipeline derives every propagation operator from scratch:
+:func:`~repro.graph.normalize.build_adjacency` builds a canonical CSR from
+the edge list, :func:`~repro.graph.normalize.normalized_adjacency` then
+produces ``D^-1/2 (A+I) D^-1/2`` (``sym``), ``D^-1 (A+I)`` (``rw``) and the
+raw weighted matrix (``none``).  A long-lived scoring service cannot afford
+that per mutation: adding one edge changes the degrees of exactly two nodes,
+so only the touched rows and columns of the normalised operators actually
+change value.
+
+:class:`MutableServingGraph` maintains the three operators incrementally and
+**bit-identically** to the from-scratch pipeline.  That guarantee is what the
+differential tests in ``tests/test_streaming_serve.py`` enforce, and it rests
+on three verified properties of the SciPy ops the batch path uses:
+
+* ``sp.diags(x) @ A @ sp.diags(y)`` stores row-sorted indices and computes
+  each entry as ``(x[i] * a_ij) * y[j]`` — reproducible entrywise.
+* ``sp.diags(x) @ A`` (single product) stores **reverse**-sorted indices per
+  row with entries ``x[i] * a_ij`` — the incremental ``rw`` operator mirrors
+  that reversed layout exactly.
+* Row slicing a CSR preserves per-row entry order, so ``A[rows] @ X`` and
+  ``A[rows].sum(axis=1)`` equal the corresponding rows of the full products
+  bit for bit — degrees and propagation products can be re-derived for dirty
+  rows only.
+
+Mutations (:meth:`~MutableServingGraph.add_nodes`,
+:meth:`~MutableServingGraph.add_edges`,
+:meth:`~MutableServingGraph.remove_edges`,
+:meth:`~MutableServingGraph.update_features`) are journaled and applied in
+one :meth:`~MutableServingGraph.flush`, which splices the changed rows into
+fresh CSR arrays (superseded arrays are never written in place — served
+views may still alias them) and returns a :class:`MutationDelta` naming the
+rows each operator changed, which downstream consumers (the streaming
+scorer's ``A^k X`` delta propagation) use as their dirty frontier.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.dtype import compute_dtype_scope
+from repro.graph import normalize as _norm
+from repro.graph.graph import Graph
+
+__all__ = ["MutableServingGraph", "MutationDelta", "rows_touching_columns"]
+
+#: Degree floor used by :func:`repro.graph.normalize.normalized_adjacency`;
+#: replicated here so isolated nodes normalise identically.
+_DEGREE_FLOOR = 1e-12
+
+
+def rows_touching_columns(indptr: np.ndarray, indices: np.ndarray,
+                          columns: np.ndarray) -> np.ndarray:
+    """Rows of a CSR holding at least one entry in ``columns`` (sorted, unique).
+
+    The one structural query incremental maintenance needs: which rows of an
+    operator read a given set of dirty columns.  One vectorised scan of the
+    index array — O(nnz) — with no per-row Python.
+    """
+    columns = np.asarray(columns, dtype=np.int64)
+    if columns.size == 0 or indices.size == 0:
+        return np.empty(0, dtype=np.int64)
+    positions = np.flatnonzero(np.isin(indices, columns))
+    if positions.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.searchsorted(indptr, positions, side="right") - 1)
+
+
+@dataclass
+class MutationDelta:
+    """What one :meth:`MutableServingGraph.flush` changed.
+
+    ``operator_rows`` maps each operator kind (``sym``/``rw``/``raw``) to the
+    sorted node ids whose operator *row* changed value or structure; feature
+    consumers combine it with ``feature_rows`` to seed their dirty frontier.
+    ``structure_changed`` distinguishes feature-only flushes, whose operators
+    (and anything derived from structure alone) remain valid.
+    """
+
+    old_num_nodes: int
+    num_nodes: int
+    structure_changed: bool
+    structure_rows: np.ndarray
+    operator_rows: Dict[str, np.ndarray]
+    feature_rows: np.ndarray
+
+
+def _freeze(*arrays: np.ndarray) -> None:
+    """Mark arrays read-only: served views may alias them across versions."""
+    for array in arrays:
+        array.setflags(write=False)
+
+
+def _splice_rows(indptr: np.ndarray, aligned: Sequence[np.ndarray],
+                 dirty_rows: np.ndarray,
+                 replacements: Dict[int, Tuple[np.ndarray, ...]],
+                 new_num_rows: int) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Rebuild CSR arrays with ``dirty_rows`` replaced, other rows copied.
+
+    ``aligned`` is a sequence of per-entry arrays sharing the CSR layout
+    (indices plus any number of data arrays); ``replacements[row]`` supplies
+    the new per-entry arrays for each dirty row, in the same order.  Rows at
+    or beyond the old row count are appended (node growth).  The result is a
+    fresh allocation assembled from O(#dirty) contiguous pieces — clean rows
+    are block-copied, never recomputed, so their bytes are identical by
+    construction.
+    """
+    old_num_rows = indptr.shape[0] - 1
+    lengths = np.zeros(new_num_rows, dtype=np.int64)
+    lengths[:old_num_rows] = np.diff(indptr)
+    for row in dirty_rows:
+        lengths[row] = replacements[int(row)][0].shape[0]
+    new_indptr = np.zeros(new_num_rows + 1, dtype=np.int64)
+    np.cumsum(lengths, out=new_indptr[1:])
+    pieces: List[List[np.ndarray]] = [[] for _ in aligned]
+    previous = 0
+    for row in dirty_rows:
+        row = int(row)
+        clean_hi = min(row, old_num_rows)
+        if previous < clean_hi:
+            for slot, array in enumerate(aligned):
+                pieces[slot].append(array[indptr[previous]:indptr[clean_hi]])
+        for slot, piece in enumerate(replacements[row]):
+            pieces[slot].append(piece)
+        previous = row + 1
+    if previous < old_num_rows:
+        for slot, array in enumerate(aligned):
+            pieces[slot].append(array[indptr[previous]:indptr[old_num_rows]])
+    spliced = [np.concatenate(slot_pieces) if slot_pieces
+               else np.empty(0, dtype=array.dtype)
+               for slot_pieces, array in zip(pieces, aligned)]
+    return new_indptr, spliced
+
+
+class MutableServingGraph:
+    """A living graph that keeps its normalised operators serve-ready.
+
+    Constructed from a :class:`~repro.graph.graph.Graph`, after which the
+    original object is never consulted again: features, labels and the
+    canonical adjacency are copied into masters owned by this instance.
+    Mutations journal cheaply and :meth:`flush` applies them in one
+    incremental maintenance pass; :meth:`snapshot` materialises an ordinary
+    ``Graph`` equivalent to the current state (the differential-testing
+    anchor: scoring the snapshot from scratch must equal scoring the
+    incrementally maintained operators, bit for bit).
+
+    Semantics are deliberately strict so incremental and from-scratch state
+    can never diverge silently:
+
+    * at most one edge per (ordered) node pair — :meth:`add_edges` of an
+      existing pair raises instead of accumulating weight;
+    * self-loops cannot be added or removed (the normalisation inserts its
+      own unit self-loops; pre-existing diagonal entries of the seed graph
+      are preserved in the raw operator);
+    * undirected graphs store both directions of every edge and mutate them
+      together.
+
+    Thread safety: mutation journaling and flushing are serialised by an
+    internal lock, but the class is designed for a single-writer serving
+    loop (the :class:`~repro.serve.streaming.StreamingScorer` holds its own
+    lock around mutate+flush+score sequences).
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.name = graph.name
+        self.directed = bool(graph.directed)
+        self.num_classes = graph.num_classes
+        self._features = np.array(graph.features, dtype=np.float64)
+        self._labels = np.array(graph.labels, dtype=np.int64)
+        adjacency = _norm.build_adjacency(
+            graph.edge_index, graph.num_nodes, edge_weight=graph.edge_weight,
+            make_undirected=not graph.directed)
+        adjacency.sort_indices()
+        self._neighbors: List[Dict[int, float]] = [dict() for _ in range(graph.num_nodes)]
+        coo = adjacency.tocoo()
+        for row, col, value in zip(coo.row.tolist(), coo.col.tolist(), coo.data.tolist()):
+            self._neighbors[row][col] = value
+        self._install_from_scratch(adjacency)
+        self._num_nodes = graph.num_nodes
+        self._pending_new_features: List[np.ndarray] = []
+        self._pending_structure: set = set()
+        self._pending_features: set = set()
+        self._lock = threading.RLock()
+        #: Bumped by every flush that applied at least one mutation.
+        self.version = 0
+        #: Bumped only by flushes that changed structure (edges/nodes).
+        self.structure_version = 0
+
+    # ------------------------------------------------------------------
+    # Construction of the master arrays
+    # ------------------------------------------------------------------
+    def _install_from_scratch(self, adjacency: sp.csr_matrix) -> None:
+        """Derive every master from a canonical adjacency (init-time only)."""
+        loop = _norm.add_self_loops(adjacency)
+        self._raw_indptr = adjacency.indptr.astype(np.int64)
+        self._raw_indices = adjacency.indices.astype(np.int64)
+        self._raw_data = np.asarray(adjacency.data, dtype=np.float64)
+        self._loop_indptr = loop.indptr.astype(np.int64)
+        self._loop_indices = loop.indices.astype(np.int64)
+        self._loop_data = np.asarray(loop.data, dtype=np.float64)
+        # The exact degree reduction normalized_adjacency performs.
+        self._degree = np.asarray(loop.sum(axis=1)).reshape(-1)
+        safe = np.maximum(self._degree, _DEGREE_FLOOR)
+        self._inv_sqrt = 1.0 / np.sqrt(safe)
+        self._inv = 1.0 / safe
+        rows = np.repeat(np.arange(loop.shape[0], dtype=np.int64),
+                         np.diff(self._loop_indptr))
+        self._loop_rows = rows
+        self._sym_data = ((self._inv_sqrt[rows] * self._loop_data)
+                          * self._inv_sqrt[self._loop_indices])
+        self._rw_indices, self._rw_data = self._reversed_rows(
+            self._loop_indptr, self._loop_indices,
+            self._inv[rows] * self._loop_data)
+        _freeze(self._raw_indptr, self._raw_indices, self._raw_data,
+                self._loop_indptr, self._loop_indices, self._loop_data,
+                self._loop_rows, self._sym_data, self._rw_indices, self._rw_data)
+
+    @staticmethod
+    def _reversed_rows(indptr: np.ndarray, indices: np.ndarray,
+                       data: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row reversal of CSR entries, vectorised.
+
+        ``sp.diags(x) @ A`` emits each row's entries in reverse column
+        order; the incremental ``rw`` operator must mirror that layout so
+        its matvecs accumulate in the same order as the batch pipeline's.
+        """
+        if indices.size == 0:
+            return indices.copy(), data.copy()
+        num_rows = indptr.shape[0] - 1
+        starts = np.repeat(indptr[:-1], np.diff(indptr))
+        ends = np.repeat(indptr[1:], np.diff(indptr))
+        offsets = np.arange(indices.shape[0], dtype=np.int64)
+        permutation = starts + (ends - 1 - offsets)
+        return indices[permutation], data[permutation]
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Logical node count, including journaled not-yet-flushed nodes."""
+        return self._num_nodes
+
+    @property
+    def num_features(self) -> int:
+        """Width of the feature matrix (fixed for the graph's lifetime)."""
+        return int(self._features.shape[1])
+
+    @property
+    def num_edges(self) -> int:
+        """Stored directed entry count (undirected edges count twice)."""
+        return sum(len(neighbors) for neighbors in self._neighbors)
+
+    def has_edge(self, source: int, destination: int) -> bool:
+        """Whether the (ordered) pair currently holds an edge."""
+        return int(destination) in self._neighbors[int(source)]
+
+    # ------------------------------------------------------------------
+    # Mutation API (journaling; applied by flush)
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> int:
+        node = int(node)
+        if not 0 <= node < self._num_nodes:
+            raise ValueError(
+                f"node {node} is out of range for a graph of {self._num_nodes} nodes")
+        return node
+
+    def add_nodes(self, features: np.ndarray) -> np.ndarray:
+        """Append isolated nodes with the given feature rows; return their ids.
+
+        New nodes participate in normalisation immediately (each gets the
+        unit self-loop every node has), carry label ``-1`` and no edges until
+        :meth:`add_edges` connects them.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if features.shape[1] != self.num_features:
+            raise ValueError(
+                f"new nodes must carry {self.num_features} features, "
+                f"got {features.shape[1]}")
+        with self._lock:
+            first = self._num_nodes
+            count = features.shape[0]
+            self._pending_new_features.append(features.copy())
+            self._neighbors.extend(dict() for _ in range(count))
+            self._num_nodes += count
+            new_ids = np.arange(first, first + count, dtype=np.int64)
+            self._pending_structure.update(new_ids.tolist())
+            return new_ids
+
+    def _edge_pairs(self, edge_index: np.ndarray) -> List[Tuple[int, int]]:
+        edge_index = np.asarray(edge_index, dtype=np.int64)
+        if edge_index.ndim == 1:
+            edge_index = edge_index.reshape(2, 1)
+        if edge_index.ndim != 2 or edge_index.shape[0] != 2:
+            raise ValueError("edge_index must have shape (2, num_edges)")
+        return [(self._check_node(s), self._check_node(d))
+                for s, d in zip(edge_index[0], edge_index[1])]
+
+    def add_edges(self, edge_index: np.ndarray,
+                  edge_weight: Optional[np.ndarray] = None) -> None:
+        """Insert edges (both directions on undirected graphs).
+
+        Raises ``ValueError`` for self-loops, out-of-range endpoints or a
+        pair that already holds an edge — silent weight accumulation is
+        exactly the kind of divergence the differential tests exist to
+        catch, so duplicate inserts fail loudly instead.
+        """
+        pairs = self._edge_pairs(edge_index)
+        if edge_weight is None:
+            weights = [1.0] * len(pairs)
+        else:
+            weights = [float(w) for w in np.asarray(edge_weight, dtype=np.float64)]
+            if len(weights) != len(pairs):
+                raise ValueError("edge_weight must have one entry per edge")
+        with self._lock:
+            for (source, destination), weight in zip(pairs, weights):
+                if source == destination:
+                    raise ValueError(
+                        f"self-loop ({source}, {destination}) cannot be added: "
+                        f"normalisation owns the diagonal")
+                if destination in self._neighbors[source]:
+                    raise ValueError(
+                        f"edge ({source}, {destination}) already exists; "
+                        f"remove it first to change its weight")
+                self._neighbors[source][destination] = weight
+                self._pending_structure.update((source, destination))
+                if not self.directed:
+                    self._neighbors[destination][source] = weight
+
+    def remove_edges(self, edge_index: np.ndarray) -> None:
+        """Delete edges (both directions on undirected graphs).
+
+        Raises ``ValueError`` if any pair holds no edge — removing a
+        non-existent edge is a client bookkeeping bug, not a no-op.
+        """
+        pairs = self._edge_pairs(edge_index)
+        with self._lock:
+            for source, destination in pairs:
+                if source == destination:
+                    raise ValueError(
+                        f"self-loop ({source}, {destination}) cannot be removed: "
+                        f"normalisation owns the diagonal")
+                if destination not in self._neighbors[source]:
+                    raise ValueError(f"edge ({source}, {destination}) does not exist")
+                del self._neighbors[source][destination]
+                self._pending_structure.update((source, destination))
+                if not self.directed:
+                    del self._neighbors[destination][source]
+
+    def update_features(self, nodes: np.ndarray, features: np.ndarray) -> None:
+        """Replace the feature rows of ``nodes`` (shape ``(len(nodes), F)``)."""
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if features.shape != (nodes.shape[0], self.num_features):
+            raise ValueError(
+                f"expected features of shape {(nodes.shape[0], self.num_features)}, "
+                f"got {features.shape}")
+        with self._lock:
+            flushed_rows = self._features.shape[0]
+            for position, node in enumerate(nodes):
+                node = self._check_node(node)
+                if node < flushed_rows:
+                    self._features[node] = features[position]
+                else:
+                    # The node is journaled but not yet flushed: patch the
+                    # pending block it lives in.
+                    offset = node - flushed_rows
+                    for block in self._pending_new_features:
+                        if offset < block.shape[0]:
+                            block[offset] = features[position]
+                            break
+                        offset -= block.shape[0]
+                self._pending_features.add(int(node))
+
+    # ------------------------------------------------------------------
+    # Flush: apply the journal incrementally
+    # ------------------------------------------------------------------
+    @property
+    def dirty(self) -> bool:
+        """Whether mutations are journaled but not yet flushed."""
+        return bool(self._pending_structure or self._pending_features
+                    or self._pending_new_features)
+
+    def flush(self) -> Optional[MutationDelta]:
+        """Apply journaled mutations to the operator masters.
+
+        Returns the :class:`MutationDelta` describing what changed, or
+        ``None`` if nothing was pending.  Only the touched rows and columns
+        are recomputed: degrees for the mutated endpoints, ``sym`` entries
+        in their rows and columns, ``rw``/``raw`` entries in their rows.
+        Untouched rows are block-copied into the fresh arrays, so their
+        bytes provably cannot drift from a from-scratch rebuild.
+        """
+        with self._lock:
+            if not self.dirty:
+                return None
+            old_num_nodes = self._raw_indptr.shape[0] - 1
+            if self._pending_new_features:
+                self._features = np.concatenate(
+                    [self._features] + self._pending_new_features, axis=0)
+                self._pending_new_features = []
+            structure_rows = np.asarray(sorted(self._pending_structure), dtype=np.int64)
+            feature_rows = np.asarray(sorted(self._pending_features), dtype=np.int64)
+            self._pending_structure = set()
+            self._pending_features = set()
+            structure_changed = structure_rows.size > 0
+            if structure_changed:
+                operator_rows = self._apply_structure(structure_rows, old_num_nodes)
+                self.structure_version += 1
+            else:
+                empty = np.empty(0, dtype=np.int64)
+                operator_rows = {"sym": empty, "rw": empty, "raw": empty}
+            self.version += 1
+            return MutationDelta(
+                old_num_nodes=old_num_nodes,
+                num_nodes=self._num_nodes,
+                structure_changed=structure_changed,
+                structure_rows=structure_rows,
+                operator_rows=operator_rows,
+                feature_rows=feature_rows,
+            )
+
+    def _row_content(self, row: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Canonical (sorted columns, weights) for one raw adjacency row."""
+        neighbors = self._neighbors[row]
+        if not neighbors:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        columns = np.asarray(sorted(neighbors), dtype=np.int64)
+        weights = np.asarray([neighbors[int(c)] for c in columns], dtype=np.float64)
+        return columns, weights
+
+    def _apply_structure(self, dirty_rows: np.ndarray,
+                         old_num_nodes: int) -> Dict[str, np.ndarray]:
+        """Splice dirty rows into every operator; return per-kind changed rows."""
+        new_num_nodes = self._num_nodes
+        raw_replacements: Dict[int, Tuple[np.ndarray, ...]] = {}
+        loop_replacements: Dict[int, Tuple[np.ndarray, ...]] = {}
+        rw_replacements: Dict[int, Tuple[np.ndarray, ...]] = {}
+        for row in dirty_rows.tolist():
+            columns, weights = self._row_content(row)
+            raw_replacements[row] = (columns, weights)
+            diagonal = np.searchsorted(columns, row)
+            if diagonal < columns.shape[0] and columns[diagonal] == row:
+                # A pre-existing self-loop: add_self_loops replaces its
+                # weight with 1.0 (mutations cannot create this case, but a
+                # seed graph may carry explicit diagonal entries).
+                loop_columns = columns
+                loop_weights = weights.copy()
+                loop_weights[diagonal] = 1.0
+            else:
+                loop_columns = np.insert(columns, diagonal, row)
+                loop_weights = np.insert(weights, diagonal, 1.0)
+            loop_replacements[row] = (loop_columns, loop_weights)
+        # Raw operator: structure and values change only in the dirty rows.
+        raw_indptr, raw_spliced = _splice_rows(
+            self._raw_indptr, (self._raw_indices, self._raw_data),
+            dirty_rows, raw_replacements, new_num_nodes)
+        self._raw_indptr = raw_indptr
+        self._raw_indices, self._raw_data = raw_spliced
+        old_loop_indptr = self._loop_indptr
+        old_sym = self._sym_data
+        placeholder = {row: (cols, data, data)  # sym slot recomputed below
+                       for row, (cols, data) in loop_replacements.items()}
+        loop_indptr, loop_spliced = _splice_rows(
+            old_loop_indptr, (self._loop_indices, self._loop_data, old_sym),
+            dirty_rows, placeholder, new_num_nodes)
+        self._loop_indptr = loop_indptr
+        self._loop_indices, self._loop_data, self._sym_data = loop_spliced
+        self._loop_rows = np.repeat(np.arange(new_num_nodes, dtype=np.int64),
+                                    np.diff(self._loop_indptr))
+        # Degrees change only for the dirty rows; the row-sliced sum is
+        # bit-identical to the full ``(A+I).sum(axis=1)`` of a rebuild.
+        loop = sp.csr_matrix(
+            (self._loop_data, self._loop_indices, self._loop_indptr),
+            shape=(new_num_nodes, new_num_nodes))
+        degree = np.empty(new_num_nodes, dtype=np.float64)
+        degree[:old_num_nodes] = self._degree[:old_num_nodes]
+        degree[dirty_rows] = np.asarray(loop[dirty_rows].sum(axis=1)).reshape(-1)
+        self._degree = degree
+        safe = np.maximum(degree[dirty_rows], _DEGREE_FLOOR)
+        inv_sqrt = np.empty(new_num_nodes, dtype=np.float64)
+        inv_sqrt[:old_num_nodes] = self._inv_sqrt[:old_num_nodes]
+        inv_sqrt[dirty_rows] = 1.0 / np.sqrt(safe)
+        self._inv_sqrt = inv_sqrt
+        inv = np.empty(new_num_nodes, dtype=np.float64)
+        inv[:old_num_nodes] = self._inv[:old_num_nodes]
+        inv[dirty_rows] = 1.0 / safe
+        self._inv = inv
+        # Delta re-normalisation of sym: entries in the dirty rows (row
+        # factor and possibly structure changed) plus entries whose *column*
+        # degree changed.  Everything else keeps its spliced bytes.
+        in_rows = np.isin(self._loop_rows, dirty_rows)
+        in_columns = np.isin(self._loop_indices, dirty_rows)
+        positions = np.flatnonzero(in_rows | in_columns)
+        self._sym_data[positions] = (
+            (self._inv_sqrt[self._loop_rows[positions]] * self._loop_data[positions])
+            * self._inv_sqrt[self._loop_indices[positions]])
+        sym_rows = np.unique(self._loop_rows[positions])
+        # rw depends on the row degree only: splice the dirty rows with
+        # their reversed layout, keep every other row's bytes.
+        for row in dirty_rows.tolist():
+            loop_columns, loop_weights = loop_replacements[row]
+            row_data = self._inv[row] * loop_weights
+            rw_replacements[row] = (loop_columns[::-1], row_data[::-1])
+        # The rw arrays share the loop row lengths, so splice against the
+        # *old* loop indptr (the rw arrays are still aligned to it).
+        self._rw_indices, self._rw_data = _splice_rows(
+            old_loop_indptr, (self._rw_indices, self._rw_data),
+            dirty_rows, rw_replacements, new_num_nodes)[1]
+        _freeze(self._raw_indptr, self._raw_indices, self._raw_data,
+                self._loop_indptr, self._loop_indices, self._loop_data,
+                self._loop_rows, self._sym_data, self._rw_indices, self._rw_data)
+        return {"sym": sym_rows, "rw": dirty_rows, "raw": dirty_rows}
+
+    # ------------------------------------------------------------------
+    # Views of the current state
+    # ------------------------------------------------------------------
+    def operator(self, kind: str) -> sp.csr_matrix:
+        """The current float64 master for ``kind`` (frozen, zero-copy).
+
+        ``sym``/``rw``/``raw`` match :func:`normalized_adjacency` on the
+        current adjacency bit for bit (``rw`` including its reverse-sorted
+        row layout).  Call :meth:`flush` first; this accessor refuses to
+        serve a stale view while mutations are journaled.
+        """
+        if self.dirty:
+            raise RuntimeError(
+                "graph has unflushed mutations; call flush() before reading operators")
+        num_nodes = self._raw_indptr.shape[0] - 1
+        shape = (num_nodes, num_nodes)
+        if kind == "raw":
+            matrix = sp.csr_matrix(shape, dtype=np.float64)
+            matrix.indptr = self._raw_indptr
+            matrix.indices = self._raw_indices
+            matrix.data = self._raw_data
+            return matrix
+        if kind == "sym":
+            data = self._sym_data
+            indices = self._loop_indices
+        elif kind == "rw":
+            data = self._rw_data
+            indices = self._rw_indices
+        else:
+            raise ValueError(f"unknown operator kind {kind!r}")
+        matrix = sp.csr_matrix(shape, dtype=np.float64)
+        matrix.indptr = self._loop_indptr
+        matrix.indices = indices
+        matrix.data = data
+        return matrix
+
+    def loop_structure(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """COO triplets (rows, cols, float64 weights) of ``A + I``.
+
+        This is exactly ``add_self_loops(adjacency).tocoo()`` — the
+        symmetrised edge list with self-loops the attention layers consume.
+        """
+        if self.dirty:
+            raise RuntimeError(
+                "graph has unflushed mutations; call flush() before reading structure")
+        return self._loop_rows, self._loop_indices, self._loop_data
+
+    def features64(self) -> np.ndarray:
+        """The float64 feature master (flushed nodes only; do not mutate)."""
+        if self.dirty:
+            raise RuntimeError(
+                "graph has unflushed mutations; call flush() before reading features")
+        return self._features
+
+    def snapshot(self, name: Optional[str] = None) -> Graph:
+        """An ordinary :class:`Graph` equal to the current state.
+
+        Built under a float64 compute-dtype scope so the snapshot carries
+        the lossless feature masters regardless of the ambient dtype policy
+        — scoring this snapshot from scratch is the differential-testing
+        reference the incremental operators are held to.
+        """
+        with self._lock:
+            self.flush()
+            coo = self.operator("raw").tocoo()
+            edge_index = np.vstack([coo.row.astype(np.int64),
+                                    coo.col.astype(np.int64)])
+            with compute_dtype_scope("float64"):
+                return Graph(
+                    edge_index=edge_index,
+                    features=self._features.copy(),
+                    labels=self._labels_for(self._num_nodes),
+                    edge_weight=np.asarray(coo.data, dtype=np.float64).copy(),
+                    directed=self.directed,
+                    num_classes=self.num_classes,
+                    name=name or f"{self.name}-v{self.version}",
+                )
+
+    def _labels_for(self, num_nodes: int) -> np.ndarray:
+        if self._labels.shape[0] < num_nodes:
+            grown = np.full(num_nodes, -1, dtype=np.int64)
+            grown[:self._labels.shape[0]] = self._labels
+            self._labels = grown
+        return self._labels.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (f"MutableServingGraph(name={self.name!r}, nodes={self.num_nodes}, "
+                f"entries={self.num_edges}, version={self.version})")

@@ -59,6 +59,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
     per_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def record(self, kind: str, hit: bool) -> None:
@@ -83,6 +84,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
             "per_kind": {kind: dict(counts) for kind, counts in self.per_kind.items()},
         }
@@ -148,6 +150,7 @@ class ComputeCache:
         self._nbytes: Dict[str, int] = {}
         self.total_bytes = 0
         self._stats = CacheStats()
+        self._generation = 0
         self.enabled = True
 
     # ------------------------------------------------------------------
@@ -196,7 +199,48 @@ class ComputeCache:
             snapshot = self._stats.as_dict()
             snapshot["entries"] = len(self._store)
             snapshot["resident_bytes"] = self.total_bytes
+            snapshot["generation"] = self._generation
             return snapshot
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every :meth:`invalidate` call.
+
+        Long-lived holders of cache-derived references (the streaming
+        serving engine, notably) compare generations instead of re-hashing
+        content to learn that *something* they may have cached around the
+        cache has been invalidated since they last looked.
+        """
+        with self._lock:
+            return self._generation
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop every entry derived from ``fingerprint``; return the count.
+
+        Keys are colon-joined and embed the content fingerprints of their
+        source arrays (``norm:...:<adjacency>``,
+        ``powered:<operator>:<features>:<power>``), so one call removes all
+        operators and propagation products derived from a superseded
+        adjacency or feature matrix.  This closes the latent staleness
+        hazard of content-based fingerprints: a caller that mutates an array
+        *in place* leaves the old fingerprint dangling on any wrapper that
+        memoised it (e.g. ``SparseTensor.fingerprint``), and a later lookup
+        through that wrapper would silently hit the stale entry.  Mutating
+        call sites must invalidate the superseded fingerprints instead.
+
+        Dropped entries are accounted as ``invalidations`` (not
+        ``evictions``) in :meth:`stats`, and every call — even one that
+        drops nothing — bumps :attr:`generation`.
+        """
+        with self._lock:
+            doomed = [key for key in self._store
+                      if fingerprint in key.split(":")]
+            for key in doomed:
+                del self._store[key]
+                self.total_bytes -= self._nbytes.pop(key, 0)
+            self._stats.invalidations += len(doomed)
+            self._generation += 1
+            return len(doomed)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:

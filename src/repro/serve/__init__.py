@@ -6,15 +6,20 @@ model reconstruction and weight loading), then answer any number of scoring
 requests through the raw-ndarray inference fast path — no autograd, no
 search, no training anywhere on the request path.
 
-Two entry points:
+Three entry points:
 
-* :class:`BatchScorer` — the library API.  Construct it from an artifact
-  path (or an in-memory fitted ensemble) and call :meth:`BatchScorer.score`
-  per request graph.
+* :class:`BatchScorer` — the library API for static requests.  Construct it
+  from an artifact path (or an in-memory fitted ensemble) and call
+  :meth:`BatchScorer.score` per request graph.
+* :class:`StreamingScorer` (:mod:`repro.serve.streaming`) — the long-lived
+  serving engine: wraps a mutable graph, absorbs incremental structure and
+  feature updates, and answers per-node queries with scores bit-identical
+  to a from-scratch batch rebuild.
 * ``python -m repro.serve --artifact DIR --data NAME_OR_DIR`` — the CLI
   (:mod:`repro.serve.__main__`), which loads a dataset by registry name or
   AutoGraph challenge directory, scores it and writes challenge-format
-  predictions.
+  predictions; ``--stream LOG`` replays a mutation/query log through the
+  streaming engine instead.
 """
 
 from __future__ import annotations
@@ -27,7 +32,8 @@ import numpy as np
 
 from repro.core.artifact import FittedEnsemble, GraphLike
 
-__all__ = ["BatchScorer", "ServeResult", "load_scorer"]
+__all__ = ["BatchScorer", "ServeResult", "load_scorer",
+           "StreamingScorer", "Microbatcher", "load_streaming_scorer"]
 
 
 @dataclass
@@ -114,3 +120,9 @@ class BatchScorer:
 def load_scorer(artifact_path: str) -> BatchScorer:
     """Convenience constructor mirroring ``FittedEnsemble.load``."""
     return BatchScorer(artifact_path)
+
+
+# Imported last: repro.serve.streaming consumes ServeResult from this module,
+# so the streaming engine must load after the batch surface is defined.
+from repro.serve.streaming import (  # noqa: E402
+    Microbatcher, StreamingScorer, load_streaming_scorer)

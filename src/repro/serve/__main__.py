@@ -17,11 +17,28 @@ Examples::
 
 The ``--repeat`` flag re-runs the scoring request to report a steady-state
 per-request latency (the first request pays one-off cache warm-up).
+
+``--stream LOG`` switches to the streaming engine: the dataset becomes the
+initial graph state of a :class:`~repro.serve.StreamingScorer` and ``LOG`` is
+a JSONL file of mutation/query operations replayed in order::
+
+    {"op": "add_nodes", "features": [[0.1, ...]]}
+    {"op": "add_edges", "edges": [[0, 5], [12, 3]], "weights": [1.0, 2.0]}
+    {"op": "remove_edges", "edges": [[0], [12]]}
+    {"op": "update_features", "nodes": [7], "features": [[0.3, ...]]}
+    {"op": "score", "nodes": [3, 1, 4]}
+
+``edges`` uses the ``(2, num_edges)`` convention of ``Graph.edge_index``
+(first list: sources, second list: destinations).  A ``score`` op without
+``nodes`` scores every node.  The run reports mutation/query counts and the
+p50/p99 query latency; ``--output``/``--proba-output`` write the final
+``score`` result.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -30,7 +47,7 @@ from typing import Optional
 import numpy as np
 
 from repro.graph.graph import Graph
-from repro.serve import BatchScorer
+from repro.serve import BatchScorer, StreamingScorer
 
 
 def _load_request_graph(data: str, scale: Optional[float], seed: Optional[int]) -> Graph:
@@ -79,7 +96,70 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--repeat", type=int, default=1,
                         help="score the request this many times and report the "
                              "median latency (first request warms caches)")
+    parser.add_argument("--stream", default=None, metavar="LOG",
+                        help="replay a JSONL mutation/query log through the "
+                             "streaming engine (the dataset is the initial "
+                             "graph state); see the module docstring for the "
+                             "operation schema")
     return parser
+
+
+def _run_stream(scorer: StreamingScorer, log_path: str, arguments) -> int:
+    """Replay a JSONL mutation/query log; returns the process exit code."""
+    mutations = 0
+    latencies = []
+    result = None
+    with open(log_path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                entry = json.loads(line)
+                operation = entry["op"]
+            except (json.JSONDecodeError, KeyError, TypeError) as error:
+                raise ValueError(
+                    f"{log_path}:{line_number}: not a valid operation: {error}")
+            if operation == "add_nodes":
+                scorer.add_nodes(np.asarray(entry["features"], dtype=np.float64))
+                mutations += 1
+            elif operation == "add_edges":
+                scorer.add_edges(np.asarray(entry["edges"], dtype=np.int64),
+                                 edge_weight=entry.get("weights"))
+                mutations += 1
+            elif operation == "remove_edges":
+                scorer.remove_edges(np.asarray(entry["edges"], dtype=np.int64))
+                mutations += 1
+            elif operation == "update_features":
+                scorer.update_features(np.asarray(entry["nodes"], dtype=np.int64),
+                                       np.asarray(entry["features"], dtype=np.float64))
+                mutations += 1
+            elif operation == "score":
+                nodes = entry.get("nodes")
+                result = scorer.score(
+                    None if nodes is None else np.asarray(nodes, dtype=np.int64))
+                latencies.append(result.latency_seconds)
+            else:
+                raise ValueError(
+                    f"{log_path}:{line_number}: unknown operation {operation!r}")
+    summary = scorer.describe()
+    print(f"replayed : {mutations} mutations, {len(latencies)} queries "
+          f"(graph now {summary['num_nodes']} nodes, "
+          f"version {summary['graph_version']})")
+    if latencies:
+        ordered = np.sort(np.asarray(latencies))
+        p50 = float(np.percentile(ordered, 50))
+        p99 = float(np.percentile(ordered, 99))
+        print(f"latency  : p50 {p50 * 1e3:.2f}ms  p99 {p99 * 1e3:.2f}ms  "
+              f"({summary['microbatcher']['forward_passes']} forward passes)")
+    if result is not None and arguments.output:
+        result.write(arguments.output)
+        print(f"predictions written to {arguments.output}")
+    if result is not None and arguments.proba_output:
+        os.makedirs(os.path.dirname(arguments.proba_output) or ".", exist_ok=True)
+        np.save(arguments.proba_output, result.probabilities)
+        print(f"probabilities written to {arguments.proba_output}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -89,6 +169,16 @@ def main(argv=None) -> int:
     load_start = time.perf_counter()
     graph = _load_request_graph(arguments.data, arguments.scale, arguments.seed)
     data_seconds = time.perf_counter() - load_start
+
+    if arguments.stream:
+        scorer = StreamingScorer(arguments.artifact, graph)
+        summary = scorer.ensemble.describe()
+        print(f"artifact : {arguments.artifact} "
+              f"(pool={summary['pool']}, splits={summary['splits']}, "
+              f"members={summary['members']}, dtype={summary['compute_dtype']}) "
+              f"loaded in {scorer.load_seconds:.3f}s")
+        print(f"initial  : {graph} loaded in {data_seconds:.3f}s")
+        return _run_stream(scorer, arguments.stream, arguments)
 
     scorer = BatchScorer(arguments.artifact)
     summary = scorer.ensemble.describe()

@@ -1,0 +1,492 @@
+"""Long-lived streaming scorer: incremental graph updates, batch-identical scores.
+
+:class:`~repro.serve.BatchScorer` realises "fit once, serve many" for static
+requests: every call rebuilds the propagation operators from scratch.  A
+persistent scoring service absorbing a live stream of graph mutations cannot
+afford that — adding one edge changes two degrees, so almost all of the
+normalised operators, and almost all of the cached ``A^k X`` propagation
+products, keep their exact bytes.
+
+:class:`StreamingScorer` exploits that:
+
+* a :class:`~repro.graph.streaming.MutableServingGraph` maintains the
+  ``sym``/``rw``/``raw`` operators incrementally (bit-identical to a
+  from-scratch rebuild — see that module's docstring for the guarantees);
+* the fixed propagation products ``A^k X`` consumed by SGC/SIGN-style
+  members are kept as dtype masters and *delta-propagated*: after a flush
+  only the dirty frontier rows (mutated operator rows, plus rows reading a
+  changed row of the previous power) are recomputed via ``A[dirty] @ P``,
+  which equals the same rows of the full product bit for bit.  Past a
+  configurable dirty fraction the full product is cheaper and the engine
+  falls back to it — the fallback is bitwise-idempotent, so parity holds
+  either way;
+* superseded operator/feature fingerprints are :meth:`invalidated
+  <repro.parallel.cache.ComputeCache.invalidate>` in the process-wide
+  :class:`~repro.parallel.cache.ComputeCache`, so no stale derived entry can
+  ever be served to a concurrent batch consumer;
+* a :class:`Microbatcher` coalesces concurrent ``score`` calls: the full
+  probability matrix is computed once per graph version through the
+  raw-ndarray ``forward_inference`` fast path, and every concurrent request
+  against that version slices the shared matrix.
+
+The consistency model is strict serialisability under one lock: mutations
+journal cheaply, and the next ``score`` call flushes the journal, refreshes
+the serving state and answers against the resulting version.  Every response
+therefore reflects exactly the mutations issued before some serialisation
+point of the request — never a torn intermediate state.
+
+The differential tests in ``tests/test_streaming_serve.py`` hold all of this
+to the strongest possible standard: after any mutation sequence, scores must
+be **bit-identical** to a fresh :class:`BatchScorer` on the equivalent
+rebuilt graph, in both float32 and float64.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.dtype import compute_dtype_scope
+from repro.autograd.sparse import SparseTensor
+from repro.autograd.tensor import Tensor
+from repro.core.artifact import ArtifactError, FittedEnsemble
+from repro.graph.graph import Graph
+from repro.graph.streaming import MutableServingGraph, MutationDelta, rows_touching_columns
+from repro.nn.data import GraphTensors
+from repro.parallel.cache import compute_cache
+from repro.serve import ServeResult
+
+__all__ = ["StreamingScorer", "Microbatcher"]
+
+
+class Microbatcher:
+    """Coalesces concurrent score requests into one forward pass per version.
+
+    The scorer computes the *full* probability matrix for a graph version the
+    first time any request needs it; every further request against the same
+    version — including all the concurrent callers that were queued behind
+    the computing thread — is answered by slicing the shared matrix.  The
+    caller must hold the scorer's lock around :meth:`result_for`, which is
+    what turns "many threads calling score" into "one forward pass, many
+    slices" without any torn state.
+    """
+
+    def __init__(self) -> None:
+        #: Total requests routed through the batcher.
+        self.requests = 0
+        #: Full forward passes actually executed (one per served version).
+        self.forward_passes = 0
+        #: Requests answered from an already-computed version's matrix.
+        self.coalesced = 0
+        self._version = -1
+        self._probabilities: Optional[np.ndarray] = None
+
+    def result_for(self, version: int,
+                   compute: Callable[[], np.ndarray]) -> np.ndarray:
+        """The probability matrix for ``version``, computing at most once.
+
+        ``compute`` runs only when ``version`` differs from the cached one;
+        the result is retained until the next version supersedes it.
+        """
+        self.requests += 1
+        if self._version != version:
+            self._probabilities = compute()
+            self._version = version
+            self.forward_passes += 1
+        else:
+            self.coalesced += 1
+        return self._probabilities  # type: ignore[return-value]
+
+    def stats(self) -> Dict[str, int]:
+        """Request/pass/coalescing counters (reported by ``describe``)."""
+        return {"requests": self.requests,
+                "forward_passes": self.forward_passes,
+                "coalesced": self.coalesced}
+
+
+class StreamingScorer:
+    """Serves per-node scores from a fitted ensemble over a mutating graph.
+
+    Parameters
+    ----------
+    artifact:
+        A saved artifact directory or an in-memory
+        :class:`~repro.core.artifact.FittedEnsemble` (mirrors
+        :class:`~repro.serve.BatchScorer`).
+    graph:
+        The initial graph state: a :class:`~repro.graph.graph.Graph` (wrapped
+        into a fresh :class:`~repro.graph.streaming.MutableServingGraph`) or
+        an existing mutable graph to adopt.
+    full_rebuild_fraction:
+        Dirty-fraction threshold for the ``A^k X`` delta propagation: when a
+        flush dirties more than this fraction of the rows of a cached power,
+        the engine recomputes the full product instead of slicing (a sliced
+        recompute of most rows costs more than one full pass).  Parity is
+        unaffected — the two paths produce identical bits.
+
+    The mutation API (:meth:`add_nodes`, :meth:`add_edges`,
+    :meth:`remove_edges`, :meth:`update_features`) journals cheaply; the next
+    :meth:`score` call applies the journal, refreshes the incremental serving
+    state and answers against the new version.  :meth:`flush` forces the
+    refresh eagerly (e.g. to absorb a mutation burst off the request path).
+    """
+
+    def __init__(self, artifact: Union[str, FittedEnsemble],
+                 graph: Union[Graph, MutableServingGraph],
+                 full_rebuild_fraction: float = 0.25) -> None:
+        start = time.perf_counter()
+        if isinstance(artifact, FittedEnsemble):
+            self.ensemble = artifact
+            self.artifact_path: Optional[str] = None
+        else:
+            self.ensemble = FittedEnsemble.load(artifact)
+            self.artifact_path = artifact
+        if isinstance(graph, MutableServingGraph):
+            self.graph = graph
+        else:
+            self.graph = MutableServingGraph(graph)
+        if self.graph.num_features != self.ensemble.num_features:
+            raise ArtifactError(
+                f"feature schema mismatch: the ensemble was fitted on "
+                f"{self.ensemble.num_features} node features but the serving "
+                f"graph provides {self.graph.num_features}")
+        if not 0.0 < full_rebuild_fraction <= 1.0:
+            raise ValueError("full_rebuild_fraction must be in (0, 1]")
+        self.full_rebuild_fraction = float(full_rebuild_fraction)
+        self.dtype = np.dtype(self.ensemble.compute_dtype)
+        self.batcher = Microbatcher()
+        self._lock = threading.RLock()
+        # Serving-state masters, all in the artifact's compute dtype.
+        self._operators: Dict[str, sp.csr_matrix] = {}
+        self._features_view: Optional[np.ndarray] = None
+        self._edge_index: Optional[np.ndarray] = None
+        self._edge_weight: Optional[np.ndarray] = None
+        #: kind -> list of dense masters [P_1, ..., P_K] with P_k = A^k X.
+        self._powered: Dict[str, List[np.ndarray]] = {}
+        self._carried_extras: Dict[str, object] = {}
+        self._stats = {
+            "mutations_flushed": 0,
+            "structure_refreshes": 0,
+            "feature_refreshes": 0,
+            "powered_delta_rows": 0,
+            "powered_full_rebuilds": 0,
+            "cache_invalidations": 0,
+        }
+        self.graph.flush()
+        self._rebuild_structure_state()
+        self._rebuild_feature_state()
+        self.load_seconds = time.perf_counter() - start
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Mutation API (journaling; applied on the next score/flush)
+    # ------------------------------------------------------------------
+    def add_nodes(self, features: np.ndarray) -> np.ndarray:
+        """Append isolated nodes; returns their ids (visible to later calls)."""
+        with self._lock:
+            return self.graph.add_nodes(features)
+
+    def add_edges(self, edge_index: np.ndarray,
+                  edge_weight: Optional[np.ndarray] = None) -> None:
+        """Insert edges (both directions on undirected graphs)."""
+        with self._lock:
+            self.graph.add_edges(edge_index, edge_weight=edge_weight)
+
+    def remove_edges(self, edge_index: np.ndarray) -> None:
+        """Delete existing edges (both directions on undirected graphs)."""
+        with self._lock:
+            self.graph.remove_edges(edge_index)
+
+    def update_features(self, nodes: np.ndarray, features: np.ndarray) -> None:
+        """Replace the feature rows of ``nodes``."""
+        with self._lock:
+            self.graph.update_features(nodes, features)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def flush(self) -> bool:
+        """Apply journaled mutations to the serving state now.
+
+        Returns whether anything was pending.  ``score`` flushes implicitly;
+        calling this off the request path moves the incremental-maintenance
+        cost out of the next request's latency.
+        """
+        with self._lock:
+            delta = self.graph.flush()
+            if delta is None:
+                return False
+            self._apply_delta(delta)
+            return True
+
+    def score(self, nodes: Optional[np.ndarray] = None) -> ServeResult:
+        """Score the current graph state; ``nodes`` selects the reported rows.
+
+        Flushes pending mutations first, so the response reflects every
+        mutation issued before this call (strict serialisability).  The full
+        probability matrix is computed at most once per graph version — see
+        :class:`Microbatcher` — so concurrent and repeated requests against
+        an unchanged graph cost one row-slice each.
+        """
+        start = time.perf_counter()
+        with self._lock:
+            self.flush()
+            version = self.graph.version
+            probabilities = self.batcher.result_for(
+                version, self._compute_probabilities)
+            if nodes is None:
+                nodes = np.arange(probabilities.shape[0])
+                selected = probabilities
+            else:
+                nodes = np.asarray(nodes, dtype=np.int64)
+                selected = probabilities[nodes]
+            result = ServeResult(
+                probabilities=selected,
+                predictions=selected.argmax(axis=1),
+                nodes=nodes,
+                latency_seconds=time.perf_counter() - start,
+                metadata={"artifact": self.artifact_path,
+                          "graph_version": version,
+                          "request_index": self.requests_served},
+            )
+            self.requests_served += 1
+            return result
+
+    def describe(self) -> Dict[str, object]:
+        """Ensemble summary plus streaming counters (logs/health endpoints)."""
+        with self._lock:
+            summary = self.ensemble.describe()
+            summary.update({
+                "artifact_path": self.artifact_path,
+                "load_seconds": self.load_seconds,
+                "requests_served": self.requests_served,
+                "graph_version": self.graph.version,
+                "structure_version": self.graph.structure_version,
+                "num_nodes": self.graph.num_nodes,
+                "microbatcher": self.batcher.stats(),
+                "streaming": dict(self._stats),
+            })
+            return summary
+
+    # ------------------------------------------------------------------
+    # Incremental state maintenance
+    # ------------------------------------------------------------------
+    def _apply_delta(self, delta: MutationDelta) -> None:
+        """Refresh the serving masters after one graph flush."""
+        self._stats["mutations_flushed"] += 1
+        self._invalidate_cache_entries()
+        if delta.structure_changed:
+            self._stats["structure_refreshes"] += 1
+            self._rebuild_structure_state()
+        if delta.feature_rows.size or delta.num_nodes != delta.old_num_nodes:
+            self._stats["feature_refreshes"] += 1
+            self._update_feature_state(delta)
+        self._update_powered_masters(delta)
+
+    def _invalidate_cache_entries(self) -> None:
+        """Evict process-cache entries derived from the superseded state.
+
+        Only fingerprints that were *actually computed* are invalidated —
+        hashing an operator solely to invalidate it would cost more than the
+        stale entry.  ``SparseTensor`` memoises its fingerprint lazily, so a
+        ``None`` peek means no cache entry can exist under that hash from
+        this scorer's operators.
+        """
+        cache = compute_cache()
+        fingerprints = set()
+        for tensor in self._carried_sparse_tensors():
+            memoised = tensor._fingerprint
+            if memoised is not None:
+                fingerprints.add(memoised)
+        features_fp = self._carried_extras.get("fingerprint:features")
+        if features_fp is not None:
+            fingerprints.add(features_fp)
+        for fingerprint in fingerprints:
+            self._stats["cache_invalidations"] += cache.invalidate(fingerprint)
+
+    def _carried_sparse_tensors(self) -> List[SparseTensor]:
+        tensors = []
+        for key in ("adj:sym", "adj:rw", "adj:raw"):
+            tensor = self._carried_extras.get(key)
+            if tensor is not None:
+                tensors.append(tensor)
+        return tensors
+
+    def _rebuild_structure_state(self) -> None:
+        """Re-derive the dtype operator views and edge list from the masters.
+
+        The float64 masters changed only in the flushed rows, but the dtype
+        cast is elementwise — casting the whole spliced array is bitwise
+        equal to casting row by row, and costs one O(nnz) pass.
+        """
+        for kind in ("sym", "rw", "raw"):
+            view = self.graph.operator(kind).astype(self.dtype)
+            view.data.setflags(write=False)
+            self._operators[kind] = view
+        rows, cols, weights = self.graph.loop_structure()
+        self._edge_index = np.vstack([rows, cols]).astype(np.int64)
+        self._edge_weight = weights.astype(self.dtype)
+        # Structure-derived per-view extras (edge scatter operators, memoised
+        # operator wrappers) are no longer valid.
+        with compute_dtype_scope(self.ensemble.compute_dtype):
+            self._carried_extras = {
+                f"adj:{kind}": SparseTensor(matrix)
+                for kind, matrix in self._operators.items()}
+
+    def _rebuild_feature_state(self) -> None:
+        """Full dtype cast of the feature master (init / fallback path)."""
+        self._features_view = self.graph.features64().astype(self.dtype)
+
+    def _update_feature_state(self, delta: MutationDelta) -> None:
+        """Delta dtype cast: only changed/new feature rows are re-cast."""
+        master = self.graph.features64()
+        old_view = self._features_view
+        if delta.num_nodes != delta.old_num_nodes:
+            grown = np.empty((delta.num_nodes, master.shape[1]), dtype=self.dtype)
+            grown[:delta.old_num_nodes] = old_view[:delta.old_num_nodes]
+            grown[delta.old_num_nodes:] = \
+                master[delta.old_num_nodes:].astype(self.dtype)
+            self._features_view = grown
+        else:
+            self._features_view = old_view.copy()
+        if delta.feature_rows.size:
+            self._features_view[delta.feature_rows] = \
+                master[delta.feature_rows].astype(self.dtype)
+        # A fresh fingerprint would be computed lazily on demand; the old one
+        # was invalidated in _invalidate_cache_entries.
+        self._carried_extras.pop("fingerprint:features", None)
+
+    def _changed_feature_rows(self, delta: MutationDelta) -> np.ndarray:
+        """Rows of ``X`` whose value changed in this flush (dtype view)."""
+        new_rows = np.arange(delta.old_num_nodes, delta.num_nodes, dtype=np.int64)
+        return np.union1d(delta.feature_rows, new_rows)
+
+    def _update_powered_masters(self, delta: MutationDelta) -> None:
+        """Delta-propagate the cached ``A^k X`` chains through one flush.
+
+        For each cached power the dirty frontier grows by one hop: a row of
+        ``P_k = A P_{k-1}`` changes iff its operator row changed, or it reads
+        a changed row of ``P_{k-1}``.  Dirty rows are recomputed via the
+        row-sliced product (bit-identical to the full product's rows); clean
+        rows keep their bytes.  Past ``full_rebuild_fraction`` dirty rows the
+        full product is cheaper and bitwise-idempotent, so the engine
+        switches without affecting parity.
+        """
+        if not self._powered:
+            return
+        grown = delta.num_nodes != delta.old_num_nodes
+        for kind, chain in self._powered.items():
+            operator = self._operators[kind]
+            dirty = self._changed_feature_rows(delta)
+            operator_rows = delta.operator_rows.get(
+                kind, np.empty(0, dtype=np.int64))
+            previous = self._features_view
+            for index, master in enumerate(chain):
+                dirty = np.union1d(
+                    operator_rows,
+                    rows_touching_columns(operator.indptr, operator.indices, dirty))
+                if grown or dirty.size:
+                    if dirty.size > self.full_rebuild_fraction * delta.num_nodes:
+                        updated = operator @ previous
+                        self._stats["powered_full_rebuilds"] += 1
+                    else:
+                        updated = np.empty((delta.num_nodes, master.shape[1]),
+                                           dtype=master.dtype)
+                        updated[:delta.old_num_nodes] = \
+                            master[:delta.old_num_nodes]
+                        if dirty.size:
+                            updated[dirty] = operator[dirty] @ previous
+                        self._stats["powered_delta_rows"] += int(dirty.size)
+                    chain[index] = updated
+                previous = chain[index]
+
+    # ------------------------------------------------------------------
+    # Forward pass
+    # ------------------------------------------------------------------
+    def _build_view(self) -> GraphTensors:
+        """Assemble the :class:`GraphTensors` view of the current version.
+
+        Operators alias the frozen dtype masters zero-copy; the cached
+        ``A^k X`` chains and structure-derived extras are pre-seeded so the
+        members' ``powered_features``/``edge_scatter`` lookups hit
+        immediately.  ``cache_derived=False`` keeps the per-version products
+        out of the process-wide cache — every version is served exactly once
+        from here, so global memoisation would be pure churn.
+        """
+        with compute_dtype_scope(self.ensemble.compute_dtype):
+            # Tensor() materialises under the ambient dtype policy, so the
+            # whole assembly — including the pre-seeded extras — must run
+            # inside the artifact's scope or a float32 artifact served from
+            # a float64 process would silently upcast its cached products.
+            extras: Dict[str, object] = {}
+            for key, value in self._carried_extras.items():
+                if not key.startswith("adj:"):
+                    extras[key] = value
+            for kind, chain in self._powered.items():
+                for index, master in enumerate(chain):
+                    extras[f"powered:{kind}:{index + 1}"] = Tensor(master)
+            view = GraphTensors(
+                features=Tensor(self._features_view),
+                adj_sym=self._carried_extras["adj:sym"],
+                adj_rw=self._carried_extras["adj:rw"],
+                adj_raw=self._carried_extras["adj:raw"],
+                edge_index=self._edge_index,
+                edge_weight=self._edge_weight,
+                num_nodes=int(self._features_view.shape[0]),
+                num_features=int(self._features_view.shape[1]),
+                cache_derived=False,
+                extras=extras,
+            )
+        return view
+
+    def _compute_probabilities(self) -> np.ndarray:
+        """One full forward pass, mirroring ``FittedEnsemble.predict_proba``.
+
+        The same expression tree — per-split ``predict_proba`` through the
+        raw-ndarray fast path, reduced with ``np.mean`` over the split axis
+        under the artifact's compute dtype — so the result is bit-identical
+        to scoring an equivalent from-scratch graph with a batch scorer.
+        """
+        view = self._build_view()
+        with compute_dtype_scope(self.ensemble.compute_dtype):
+            split_probabilities = [ensemble.predict_proba(view)
+                                   for ensemble in self.ensemble.ensembles]
+            probabilities = np.mean(split_probabilities, axis=0)
+        self._harvest_extras(view)
+        return probabilities
+
+    def _harvest_extras(self, view: GraphTensors) -> None:
+        """Adopt reusable per-view products computed during a forward pass.
+
+        ``A^k X`` products requested for the first time become chain masters
+        (with the intermediate powers materialised so later deltas can
+        propagate hop by hop — the chain is bitwise equal to the per-power
+        products the view computes).  Edge-scatter operators and the feature
+        fingerprint are carried until the next structural/feature flush.
+        """
+        requested: Dict[str, int] = {}
+        for key in view.extras:
+            if key.startswith("powered:"):
+                _, kind, power = key.split(":")
+                requested[kind] = max(requested.get(kind, 0), int(power))
+        for kind, max_power in requested.items():
+            chain = self._powered.setdefault(kind, [])
+            operator = self._operators[kind]
+            previous = chain[-1] if chain else self._features_view
+            while len(chain) < max_power:
+                previous = operator @ previous
+                chain.append(previous)
+        for key in ("edge_scatter:src", "edge_scatter:dst", "fingerprint:features"):
+            if key in view.extras:
+                self._carried_extras[key] = view.extras[key]
+
+
+def load_streaming_scorer(artifact_path: str,
+                          graph: Union[Graph, MutableServingGraph],
+                          **kwargs) -> StreamingScorer:
+    """Convenience constructor mirroring :func:`repro.serve.load_scorer`."""
+    return StreamingScorer(artifact_path, graph, **kwargs)

@@ -359,6 +359,65 @@ def test_compute_cache_byte_bounded_eviction():
     assert cache.total_bytes <= 2 * 2048
 
 
+def test_compute_cache_invalidate_drops_derived_entries():
+    """invalidate(fp) removes every entry derived from that fingerprint.
+
+    Keys embed the content fingerprints of their source arrays, so one call
+    must evict the normalised operators keyed on an adjacency hash and the
+    powered products keyed on operator/feature hashes — and nothing else.
+    """
+    cache = ComputeCache()
+    cache.get_or_compute("norm:sym:1:float64:aaa", lambda: np.zeros(4))
+    cache.get_or_compute("norm:rw:1:float64:aaa", lambda: np.zeros(4))
+    cache.get_or_compute("powered:aaa:feat1:2", lambda: np.zeros(4))
+    cache.get_or_compute("norm:sym:1:float64:bbb", lambda: np.zeros(4))
+    assert len(cache) == 4
+    dropped = cache.invalidate("aaa")
+    assert dropped == 3
+    assert len(cache) == 1
+    assert "norm:sym:1:float64:bbb" in cache
+    stats = cache.stats()
+    assert stats["invalidations"] == 3
+    # Invalidations are accounted separately from LRU evictions.
+    assert stats["evictions"] == 0
+    # Byte accounting shrinks with the dropped entries.
+    assert cache.total_bytes == cache.stats()["resident_bytes"]
+    assert cache.total_bytes == 32
+
+
+def test_compute_cache_invalidate_requires_exact_segment_match():
+    """A fingerprint must match a whole colon-separated key segment.
+
+    Substring matching would let the short hash "a" evict entries derived
+    from "aa"; segment matching cannot.
+    """
+    cache = ComputeCache()
+    cache.get_or_compute("norm:sym:1:float64:aa", lambda: np.zeros(2))
+    assert cache.invalidate("a") == 0
+    assert "norm:sym:1:float64:aa" in cache
+
+
+def test_compute_cache_generation_counter():
+    """Every invalidate bumps the generation, even one that drops nothing.
+
+    Long-lived holders (the streaming scorer) compare generations to learn
+    that *some* invalidation happened since they last looked, so the bump
+    must be unconditional and visible in stats().
+    """
+    cache = ComputeCache()
+    assert cache.generation == 0
+    assert cache.invalidate("missing") == 0
+    assert cache.generation == 1
+    cache.get_or_compute("norm:sym:1:float64:xyz", lambda: np.zeros(2))
+    cache.invalidate("xyz")
+    assert cache.generation == 2
+    assert cache.stats()["generation"] == 2
+    # clear() resets accounting wholesale (fresh CacheStats, generation kept
+    # monotonic is not required — a cleared cache has no stale holders).
+    cache.clear()
+    assert cache.stats()["invalidations"] == 0
+
+
 def test_graph_tensors_share_cached_operators(tiny_split_graph):
     previous = compute_cache()
     cache = set_compute_cache(ComputeCache())

@@ -85,7 +85,29 @@ class TestBatchScorer:
         assert per_request * 10 < fit_seconds, \
             f"per-request {per_request:.4f}s vs fit {fit_seconds:.2f}s"
 
-    def test_write_predictions(self, served, tmp_path):
+    def test_score_many_heterogeneous_sizes(self, served):
+        """One scorer serves graphs of different sizes back to back.
+
+        The request path must not retain per-graph shape state: a smaller
+        graph scored after a larger one (and vice versa) gets exactly its
+        own node count back, and re-scoring the original graph afterwards
+        still reproduces the fit-time probabilities bitwise.
+        """
+        graph, fitted, path, _ = served
+        smaller = load_dataset("kddcup-A", scale=0.08, seed=3)
+        assert smaller.num_nodes != graph.num_nodes
+        scorer = BatchScorer(path)
+        results = scorer.score_many([graph, smaller, graph])
+        assert [r.probabilities.shape[0] for r in results] == \
+            [graph.num_nodes, smaller.num_nodes, graph.num_nodes]
+        assert all(r.probabilities.shape[1] == fitted.num_classes
+                   for r in results)
+        np.testing.assert_array_equal(results[0].probabilities,
+                                      results[2].probabilities)
+        np.testing.assert_array_equal(results[0].probabilities,
+                                      fitted.fit_report.probabilities)
+
+    def test_write_predictions_roundtrip(self, served, tmp_path):
         graph, _, path, _ = served
         result = BatchScorer(path).score(graph, nodes=np.array([3, 1, 4]))
         out = tmp_path / "preds.tsv"
@@ -93,6 +115,37 @@ class TestBatchScorer:
         rows = [line.split("\t") for line in out.read_text().splitlines()]
         assert [int(r[0]) for r in rows] == [3, 1, 4]
         assert all(len(r) == 2 for r in rows)
+        # The TSV rows round-trip to the in-memory predictions, and the
+        # probability matrix round-trips losslessly through .npy.
+        np.testing.assert_array_equal(
+            np.array([int(r[1]) for r in rows]), result.predictions)
+        proba_path = tmp_path / "probas.npy"
+        np.save(proba_path, result.probabilities)
+        np.testing.assert_array_equal(np.load(proba_path), result.probabilities)
+
+    def test_load_scorer_missing_artifact(self, tmp_path):
+        from repro import ArtifactError
+
+        with pytest.raises(ArtifactError, match="does not exist"):
+            load_scorer(str(tmp_path / "never-saved"))
+
+    def test_load_scorer_schema_version_mismatch(self, served, tmp_path):
+        """A manifest from a different schema version must fail loudly."""
+        import json
+        import shutil
+
+        from repro import ArtifactError
+        from repro.core.artifact import MANIFEST_NAME
+
+        _, _, path, _ = served
+        copy = tmp_path / "stale-artifact"
+        shutil.copytree(path, copy)
+        manifest_path = copy / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema_version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="re-save"):
+            load_scorer(str(copy))
 
 
 class TestServeCLI:
@@ -121,6 +174,50 @@ class TestServeCLI:
         assert len(rows) == test_nodes.shape[0]
         np.testing.assert_array_equal(
             np.load(proba_out), fitted.fit_report.probabilities[test_nodes])
+
+    def test_main_stream_replays_mutation_log(self, served, tmp_path, capsys):
+        """--stream replays a JSONL log and reports latency percentiles."""
+        import json
+
+        graph, _, path, _ = served
+        num_features = graph.features.shape[1]
+        entries = [
+            {"op": "score", "nodes": [0, 1, 2]},
+            {"op": "add_nodes", "features": [[0.0] * num_features]},
+            {"op": "add_edges", "edges": [[0], [graph.num_nodes]],
+             "weights": [1.5]},
+            {"op": "update_features", "nodes": [1],
+             "features": [[0.1] * num_features]},
+            {"op": "score"},
+        ]
+        log = tmp_path / "stream.jsonl"
+        log.write_text("\n".join(["# comment line", ""]
+                                 + [json.dumps(entry) for entry in entries]))
+        out = tmp_path / "preds.tsv"
+        proba_out = tmp_path / "probas.npy"
+        code = main(["--artifact", path, "--data", "kddcup-A",
+                     "--scale", str(DATASET_ARGS["scale"]),
+                     "--seed", str(DATASET_ARGS["seed"]),
+                     "--stream", str(log),
+                     "--output", str(out), "--proba-output", str(proba_out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "replayed : 3 mutations, 2 queries" in captured
+        assert "p50" in captured and "p99" in captured
+        # The final score covers the grown graph (one node was added).
+        rows = out.read_text().splitlines()
+        assert len(rows) == graph.num_nodes + 1
+        assert np.load(proba_out).shape[0] == graph.num_nodes + 1
+
+    def test_main_stream_rejects_malformed_log(self, served, tmp_path):
+        _, _, path, _ = served
+        log = tmp_path / "bad.jsonl"
+        log.write_text('{"op": "frobnicate"}\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            main(["--artifact", path, "--data", "kddcup-A",
+                  "--scale", str(DATASET_ARGS["scale"]),
+                  "--seed", str(DATASET_ARGS["seed"]),
+                  "--stream", str(log)])
 
     def test_main_rejects_missing_artifact(self, tmp_path):
         from repro import ArtifactError

@@ -32,6 +32,8 @@ GATED_MODULES = (
     "src/repro/tasks/trainer.py",
     "src/repro/datasets/registry.py",
     "src/repro/datasets/generators.py",
+    "src/repro/graph/streaming.py",
+    "src/repro/serve/streaming.py",
 )
 
 
