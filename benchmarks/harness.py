@@ -609,6 +609,119 @@ def streaming_serve_microbenchmark(requests: int = 240,
     }
 
 
+def resilience_overhead_microbenchmark(rounds: int = 7,
+                                       epochs: int = 5) -> Dict[str, float]:
+    """Cost of the supervision machinery on the fault-free hot path.
+
+    Runs the Table VI training pool through ``backend.map`` twice per
+    round, back to back: once on the legacy path (no policy, no plan) and
+    once through the supervised dispatch loop with a default
+    :class:`~repro.resilience.ResiliencePolicy` *and* an inert
+    :class:`~repro.resilience.FaultPlan` installed (a rule keyed to a site
+    the backend never triggers, so every per-task hook runs but never
+    fires).  Each task is one candidate's training on the benchmark-scale
+    arxiv analogue — the real workload the backends dispatch — and the
+    returned probabilities are asserted bit-identical: supervision must
+    not perturb the numbers.  The **best paired ratio** is reported
+    (scheduler interference only ever inflates one side of a pair, so the
+    cleanest pair estimates the hooks' intrinsic cost — same best-of
+    aggregation as :func:`runtime_microbenchmark`); the CI gate
+    (``--check-resilience-overhead``) requires it under 2 %.
+    """
+    import time as _time
+
+    from repro.datasets import make_arxiv_dataset
+    from repro.nn.model_zoo import build_model
+    from repro.parallel.backends import SerialBackend
+    from repro.resilience import FaultPlan, FaultRule, ResiliencePolicy
+    from repro.tasks.trainer import NodeClassificationTrainer
+
+    graph = prepare_node_dataset(make_arxiv_dataset(scale=0.08, seed=0), seed=0)
+    data = GraphTensors.from_graph(graph)
+    labels = graph.labels
+    train_idx = graph.mask_indices("train")
+    val_idx = graph.mask_indices("val")
+    config = TrainConfig(lr=0.02, max_epochs=epochs, patience=epochs, seed=0)
+
+    def task(name: str) -> np.ndarray:
+        model = build_model(name, data.num_features, graph.num_classes,
+                            hidden=16, seed=0)
+        NodeClassificationTrainer(config).train(
+            model, data, labels, train_idx, val_idx)
+        return model.predict_proba(data)
+
+    items = list(TABLE6_POOL)
+    backend = SerialBackend()
+    policy = ResiliencePolicy()
+    plan = FaultPlan([FaultRule(site="benchmark.inert", kind="exception")])
+    # Warm-up pass: seeds the compute cache so the first pair is not skewed.
+    reference = backend.map(task, items).results
+
+    def run_plain() -> float:
+        start = _time.perf_counter()
+        report = backend.map(task, items)
+        elapsed = _time.perf_counter() - start
+        for expected, value in zip(reference, report.results):
+            assert expected.tobytes() == value.tobytes()
+        return elapsed
+
+    def run_supervised() -> float:
+        with plan.installed():
+            start = _time.perf_counter()
+            report = backend.map(task, items, policy=policy)
+            elapsed = _time.perf_counter() - start
+        assert report.failures == []
+        for expected, value in zip(reference, report.results):
+            assert expected.tobytes() == value.tobytes(), \
+                "supervised dispatch perturbed a fault-free result"
+        return elapsed
+
+    # The within-pair order alternates so a monotone machine-load ramp
+    # inflates half the ratios and deflates the other half instead of
+    # biasing whichever side always runs second.  Best-of-N paired ratio,
+    # like the best-of aggregation in runtime_microbenchmark: scheduler
+    # interference only ever adds time to one side of a pair, so the
+    # cleanest pair is the faithful estimate of the hooks' intrinsic cost,
+    # while a real per-task regression shifts every pair and still trips
+    # the gate.
+    pairs = []
+    for round_index in range(max(rounds, 1)):
+        if round_index % 2 == 0:
+            plain_seconds = run_plain()
+            supervised_seconds = run_supervised()
+        else:
+            supervised_seconds = run_supervised()
+            plain_seconds = run_plain()
+        pairs.append((supervised_seconds / max(plain_seconds, 1e-12),
+                      plain_seconds, supervised_seconds))
+    pairs.sort()
+    ratio, plain_seconds, supervised_seconds = pairs[0]
+    return {
+        "resilience_plain_seconds": plain_seconds,
+        "resilience_supervised_seconds": supervised_seconds,
+        "resilience_overhead_ratio": ratio,
+    }
+
+
+def check_resilience_overhead(max_overhead: float = 0.02,
+                              rounds: int = 7) -> Dict[str, float]:
+    """Fail (``SystemExit``) when supervision costs over ``max_overhead``.
+
+    The ratio is a paired measurement on this machine (see
+    :func:`resilience_overhead_microbenchmark`), so no checked-in baseline
+    is needed — the gate is absolute: supervised fault-free dispatch may
+    cost at most 2 % over the legacy path by default.
+    """
+    measured = resilience_overhead_microbenchmark(rounds=rounds)
+    print("resilience overhead gate:", measured)
+    limit = 1.0 + max_overhead
+    if measured["resilience_overhead_ratio"] > limit:
+        raise SystemExit(
+            f"resilience hooks regressed the fault-free path: paired ratio "
+            f"{measured['resilience_overhead_ratio']:.4f} > limit {limit:.4f}")
+    return measured
+
+
 def _calibration_seconds() -> float:
     """Machine-speed probe with the same profile as the training workload.
 
@@ -801,6 +914,9 @@ def _main() -> None:
                         help="allowed fractional slowdown for --check-baseline")
     parser.add_argument("--repeats", type=int, default=5,
                         help="micro-benchmark repetitions (best-of)")
+    parser.add_argument("--check-resilience-overhead", action="store_true",
+                        help="fail if fault-free supervised dispatch costs "
+                             "more than 2%% over the legacy map path")
     arguments = parser.parse_args()
     if arguments.emit_baseline:
         measured = emit_runtime_baseline(arguments.emit_baseline, repeats=arguments.repeats)
@@ -809,7 +925,10 @@ def _main() -> None:
         check_runtime_regression(arguments.check_baseline,
                                  max_regression=arguments.max_regression,
                                  repeats=arguments.repeats)
-    if not arguments.emit_baseline and not arguments.check_baseline:
+    if arguments.check_resilience_overhead:
+        check_resilience_overhead()
+    if not arguments.emit_baseline and not arguments.check_baseline \
+            and not arguments.check_resilience_overhead:
         parser.print_help()
 
 

@@ -52,8 +52,9 @@ from repro.parallel import (
     compute_cache,
     get_backend,
 )
+from repro.resilience import FailureReport, FaultPlan, FaultRule, ResiliencePolicy
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "compute_dtype",
@@ -84,5 +85,9 @@ __all__ = [
     "get_backend",
     "ComputeCache",
     "compute_cache",
+    "ResiliencePolicy",
+    "FailureReport",
+    "FaultPlan",
+    "FaultRule",
     "__version__",
 ]

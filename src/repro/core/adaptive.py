@@ -16,7 +16,7 @@ memory footprint equals a single model's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -28,6 +28,7 @@ from repro.graph.graph import Graph
 from repro.nn.data import GraphTensors
 from repro.nn.model_zoo import get_model_spec
 from repro.parallel.backends import BackendLike, get_backend
+from repro.resilience.policy import FailureReport, ResiliencePolicy
 from repro.tasks.trainer import NodeClassificationTrainer, TrainConfig
 
 
@@ -81,6 +82,10 @@ class AdaptiveSearchResult:
     layer_scores: Dict[str, List[float]]
     beta: np.ndarray
     validation_accuracies: List[float]
+    #: Grid points dropped under a ``drop`` resilience policy.  An
+    #: architecture whose *entire* depth column failed is absent from
+    #: ``chosen_layers`` (the surviving pool is ``list(chosen_layers)``).
+    failures: List[FailureReport] = field(default_factory=list)
 
 
 class AdaptiveSearch:
@@ -90,7 +95,8 @@ class AdaptiveSearch:
                  hidden: int = 64, adaptive_config: Optional[AdaptiveConfig] = None,
                  train_config: Optional[TrainConfig] = None, seed: int = 0,
                  backend: BackendLike = None,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 policy: Optional[ResiliencePolicy] = None) -> None:
         self.pool = list(pool)
         self.ensemble_size = ensemble_size
         self.max_layers = max_layers
@@ -99,6 +105,9 @@ class AdaptiveSearch:
         self.train_config = train_config or TrainConfig(lr=0.02, max_epochs=120, patience=15)
         self.seed = seed
         self.backend = get_backend(backend, max_workers=max_workers)
+        # With on_failure="drop" a failing grid point loses only that depth;
+        # an architecture survives as long as one of its depths trained.
+        self.policy = policy
 
     def close(self) -> None:
         """Release pooled workers (use the search as a context manager)."""
@@ -127,16 +136,34 @@ class AdaptiveSearch:
             for spec_name in self.pool
             for depth in range(1, self.max_layers + 1)
         ]
-        report = self.backend.map(_score_depth, tasks)
+        report = self.backend.map(_score_depth, tasks, policy=self.policy)
+        for failure in report.failures:
+            failure.context.setdefault(
+                "architecture", self.pool[failure.index // self.max_layers])
+            failure.context.setdefault(
+                "depth", failure.index % self.max_layers + 1)
         chosen_layers: Dict[str, int] = {}
         layer_scores: Dict[str, List[float]] = {}
         best_scores: List[float] = []
         for pool_index, spec_name in enumerate(self.pool):
             scores = list(report.results[pool_index * self.max_layers:
                                          (pool_index + 1) * self.max_layers])
+            if any(score is None for score in scores):
+                # Dropped grid points (resilience policy) lose only their
+                # depth; an architecture with no surviving depth is excluded
+                # from the pool entirely.
+                scores = [-np.inf if score is None else score for score in scores]
+                if not np.isfinite(max(scores)):
+                    layer_scores[spec_name] = scores
+                    continue
             chosen_layers[spec_name] = int(np.argmax(scores)) + 1
             layer_scores[spec_name] = scores
             best_scores.append(max(scores))
+        if not chosen_layers:
+            raise RuntimeError(
+                "adaptive search lost every architecture: all grid points "
+                "failed under the resilience policy "
+                f"({len(report.failures)} failures recorded)")
         beta = adaptive_beta(best_scores, graph.num_edges, graph.num_nodes,
                              self.adaptive_config)
         return AdaptiveSearchResult(
@@ -144,6 +171,7 @@ class AdaptiveSearch:
             layer_scores=layer_scores,
             beta=beta,
             validation_accuracies=best_scores,
+            failures=list(report.failures),
         )
 
     # ------------------------------------------------------------------
@@ -154,6 +182,11 @@ class AdaptiveSearch:
         """Create the (untrained) hierarchical ensemble with searched depths and β."""
         hierarchical = HierarchicalEnsemble()
         for index, spec_name in enumerate(self.pool):
+            if spec_name not in result.chosen_layers:
+                # Architecture lost every grid point under a drop policy.
+                # The enumerate index still advances so survivors keep the
+                # exact member seeds they would get in a fault-free run.
+                continue
             depth = result.chosen_layers[spec_name]
             alpha = one_hot_alpha(depth, depth)
             hierarchical.add(GraphSelfEnsemble(

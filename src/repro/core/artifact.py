@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
@@ -38,6 +39,8 @@ from repro.autograd.dtype import compute_dtype_scope
 from repro.core.hierarchical import HierarchicalEnsemble
 from repro.graph.graph import Graph
 from repro.nn.data import GraphTensors
+from repro.parallel.cache import ndarray_fingerprint
+from repro.resilience import faults as _faults
 from repro.tasks.metrics import accuracy
 
 #: Bumped whenever the on-disk layout changes incompatibly.  ``load``
@@ -184,12 +187,18 @@ class FittedEnsemble:
     def save(self, path: str) -> str:
         """Write the artifact directory (``manifest.json`` + ``weights.npz``).
 
-        ``path`` is created if needed.  Returns ``path`` so call sites can
-        chain ``FittedEnsemble.load(fitted.save(p))``.
+        The write is *atomic at the directory level*: everything is staged
+        into a sibling temp directory and swapped into place with
+        ``os.replace``-style renames, so a crash mid-save leaves either the
+        previous artifact intact or no artifact at all — never a torn mix of
+        new weights and old manifest.  Each weight blob's blake2b fingerprint
+        is recorded in the manifest and re-verified by :meth:`load`.
+
+        Returns ``path`` so call sites can chain
+        ``FittedEnsemble.load(fitted.save(p))``.
         """
         from repro import __version__
 
-        os.makedirs(path, exist_ok=True)
         arrays: Dict[str, np.ndarray] = {}
         for split_index, hierarchical in enumerate(self.ensembles):
             for gse_index, gse in enumerate(hierarchical.ensembles):
@@ -215,14 +224,45 @@ class FittedEnsemble:
             "beta": [float(b) for b in np.asarray(self.beta).ravel()],
             "chosen_layers": _jsonable(self.chosen_layers),
             "splits": [ensemble.manifest_entry() for ensemble in self.ensembles],
-            "weights": {key: {"shape": list(array.shape), "dtype": str(array.dtype)}
+            "weights": {key: {"shape": list(array.shape),
+                              "dtype": str(array.dtype),
+                              # Content fingerprint; load() rejects any blob
+                              # whose bytes no longer hash to this value.
+                              "blake2b": ndarray_fingerprint(array)}
                         for key, array in arrays.items()},
             "metadata": _jsonable(self.metadata),
         }
-        np.savez(os.path.join(path, WEIGHTS_NAME), **arrays)
-        with open(os.path.join(path, MANIFEST_NAME), "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        # Stage next to the destination (same filesystem, so the final
+        # renames are atomic) under a pid-suffixed name that cannot collide
+        # with a concurrent saver.
+        staging = f"{path}.tmp-{os.getpid()}"
+        if os.path.exists(staging):
+            shutil.rmtree(staging)
+        os.makedirs(staging)
+        try:
+            weights_path = os.path.join(staging, WEIGHTS_NAME)
+            np.savez(weights_path, **arrays)
+            # Chaos hooks: corrupt the staged blobs / die before the swap.
+            _faults.damage_file("artifact.weights", weights_path)
+            with open(os.path.join(staging, MANIFEST_NAME), "w",
+                      encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            _faults.fault_point("artifact.save")
+            if os.path.exists(path):
+                backup = f"{path}.old-{os.getpid()}"
+                if os.path.exists(backup):
+                    shutil.rmtree(backup)
+                os.rename(path, backup)
+                os.rename(staging, path)
+                shutil.rmtree(backup)
+            else:
+                os.rename(staging, path)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
         return path
 
     @classmethod
@@ -254,13 +294,32 @@ class FittedEnsemble:
                     f"missing={sorted(missing)[:5]}, unexpected={sorted(unexpected)[:5]}")
             arrays: Dict[str, np.ndarray] = {}
             for key, meta in declared.items():
-                array = archive[key]
+                try:
+                    array = archive[key]
+                except ArtifactError:
+                    raise
+                except Exception as error:
+                    # A flipped byte inside the zip stream surfaces as a CRC
+                    # or zlib error during decompression; corruption must
+                    # never escape as anything but ArtifactError.
+                    raise ArtifactError(
+                        f"weight blob {key!r} is corrupted and cannot be "
+                        f"decoded: {error}") from error
                 if list(array.shape) != list(meta["shape"]) \
                         or str(array.dtype) != meta["dtype"]:
                     raise ArtifactError(
                         f"weight blob {key!r} is corrupted: stored "
                         f"{array.dtype}{array.shape}, manifest declares "
                         f"{meta['dtype']}{tuple(meta['shape'])}")
+                declared_digest = meta.get("blake2b")
+                if declared_digest is not None \
+                        and ndarray_fingerprint(array) != declared_digest:
+                    # Absent digest = artifact from a pre-checksum release;
+                    # tolerated.  A present-but-wrong digest is corruption.
+                    raise ArtifactError(
+                        f"weight blob {key!r} failed its checksum: the stored "
+                        f"bytes do not match the fingerprint recorded at save "
+                        f"time — refusing to load a corrupted artifact")
                 arrays[key] = array
         num_features = int(manifest["num_features"])
         num_classes = int(manifest["num_classes"])

@@ -18,6 +18,7 @@ from repro.graph.graph import Graph
 from repro.graph.splits import random_split
 from repro.nn.data import GraphTensors
 from repro.parallel.backends import BackendLike, scoped_backend
+from repro.resilience.policy import FailureReport, ResiliencePolicy
 from repro.tasks.metrics import accuracy
 
 
@@ -60,21 +61,34 @@ class BaggingEnsemble:
     seed: int = 0
     probabilities: List[np.ndarray] = field(default_factory=list)
     split_descriptions: List[Dict[str, object]] = field(default_factory=list)
+    #: Splits dropped by a resilience policy in the last :meth:`fit`; the
+    #: average simply runs over the surviving splits.
+    fit_failures: List[FailureReport] = field(default_factory=list)
 
     def fit(self, graph: Graph, data: GraphTensors,
             fit_predict_fn: Callable[[Graph, GraphTensors, int], np.ndarray],
             labelled_pool: Optional[np.ndarray] = None,
             backend: BackendLike = None,
-            budget: Optional[TimeBudget] = None) -> "BaggingEnsemble":
+            budget: Optional[TimeBudget] = None,
+            policy: Optional[ResiliencePolicy] = None) -> "BaggingEnsemble":
         tasks = [
             (fit_predict_fn, graph, data, self.val_fraction, self.seed,
              labelled_pool, split_index)
             for split_index in range(self.num_splits)
         ]
         with scoped_backend(backend) as executor:
-            report = executor.map(_fit_split, tasks, budget=budget, min_results=1)
-        self.probabilities = [outcome["probabilities"] for outcome in report.results]
-        self.split_descriptions = [outcome["description"] for outcome in report.results]
+            report = executor.map(_fit_split, tasks, budget=budget, min_results=1,
+                                  policy=policy)
+        for failure in report.failures:
+            failure.context.setdefault("split", failure.index)
+        outcomes = [outcome for outcome in report.results if outcome is not None]
+        if not outcomes:
+            raise RuntimeError(
+                "bagging lost every split under the resilience policy "
+                f"({len(report.failures)} failures recorded)")
+        self.probabilities = [outcome["probabilities"] for outcome in outcomes]
+        self.split_descriptions = [outcome["description"] for outcome in outcomes]
+        self.fit_failures = list(report.failures)
         return self
 
     def predict_proba(self) -> np.ndarray:

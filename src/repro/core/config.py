@@ -15,6 +15,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.resilience.policy import ResiliencePolicy
 from repro.tasks.trainer import TrainConfig
 
 
@@ -190,6 +191,13 @@ class AutoHEnsGNNConfig:
     # record the epoch program once per training run, replay it with a
     # lifetime-planned buffer arena — bit-identical at fixed seeds.
     capture: bool = True
+    # Supervised execution (repro.resilience): None = legacy dispatch,
+    # bit-identical to a build without the resilience layer.  A
+    # ResiliencePolicy adds bounded retries with seeded backoff, per-task
+    # timeouts, broken-pool rebuild with process -> thread -> serial
+    # degradation, and — with on_failure="drop" — partial results with
+    # structured FailureReports in PipelineResult.details["failures"].
+    resilience: Optional[ResiliencePolicy] = None
 
     def validate(self) -> "AutoHEnsGNNConfig":
         """Fail fast on configurations that would only error mid-pipeline.
@@ -276,6 +284,13 @@ class AutoHEnsGNNConfig:
             if invalid:
                 problems.append(f"{stage} entries must be positive neighbour caps "
                                 f"or -1 (keep all), got {tuple(fanouts)!r}")
+        if self.resilience is not None:
+            if isinstance(self.resilience, ResiliencePolicy):
+                problems.extend(f"resilience.{problem}"
+                                for problem in self.resilience.validate())
+            else:
+                problems.append(f"resilience must be a ResiliencePolicy or None, "
+                                f"got {self.resilience!r}")
         if problems:
             details = "\n  - ".join(problems)
             raise ValueError(f"invalid AutoHEnsGNNConfig:\n  - {details}")

@@ -112,7 +112,7 @@ class GraphSelfEnsemble:
     def fit(self, data: GraphTensors, labels: np.ndarray, train_index: np.ndarray,
             val_index: np.ndarray, train_config: Optional[TrainConfig] = None,
             num_classes: Optional[int] = None,
-            backend: BackendLike = None) -> "GraphSelfEnsemble":
+            backend: BackendLike = None, policy=None) -> "GraphSelfEnsemble":
         """Train every member independently and record its validation accuracy.
 
         The K members only differ in their initialisation seed, so they can
@@ -125,7 +125,7 @@ class GraphSelfEnsemble:
         tasks = self.member_tasks(data, labels, train_index, val_index,
                                   train_config=train_config, num_classes=num_classes)
         with scoped_backend(backend) as executor:
-            report = executor.map(fit_member, tasks)
+            report = executor.map(fit_member, tasks, policy=policy)
         self.apply_member_results(report.results)
         return self
 
@@ -150,7 +150,28 @@ class GraphSelfEnsemble:
         ]
 
     def apply_member_results(self, results: Sequence[tuple]) -> None:
-        """Load :func:`fit_member` outcomes back into the members."""
+        """Load :func:`fit_member` outcomes back into the members.
+
+        A ``None`` outcome marks a member dropped by a resilience policy:
+        that member is removed from the ensemble (the survivors keep their
+        trained weights and the Eqn 3 average runs over fewer replicas).
+        The fault-free path takes the plain zip below, untouched.
+        """
+        if any(result is None for result in results):
+            survivors = []
+            scores = []
+            for member, result in zip(self.members, results):
+                if result is None:
+                    continue
+                state, val_accuracy, rng_state = result
+                member.load_state_dict(state)
+                member.rng.bit_generator.state = rng_state
+                survivors.append(member)
+                scores.append(val_accuracy)
+            self.members = survivors
+            self.num_members = len(survivors)
+            self.member_val_scores = scores
+            return
         self.member_val_scores = []
         for member, (state, val_accuracy, rng_state) in zip(self.members, results):
             member.load_state_dict(state)

@@ -10,6 +10,7 @@ import numpy as np
 from repro.core.gse import GraphSelfEnsemble, fit_member
 from repro.nn.data import GraphTensors
 from repro.parallel.backends import BackendLike, scoped_backend
+from repro.resilience.policy import FailureReport
 from repro.tasks.metrics import accuracy
 from repro.tasks.trainer import TrainConfig
 
@@ -32,6 +33,9 @@ class HierarchicalEnsemble:
 
     ensembles: List[GraphSelfEnsemble] = field(default_factory=list)
     beta: Optional[np.ndarray] = None
+    #: Member trainings dropped by a resilience policy in the last
+    #: :meth:`fit`, annotated with their GSE's architecture and member slot.
+    fit_failures: List[FailureReport] = field(default_factory=list)
 
     def add(self, ensemble: GraphSelfEnsemble) -> "HierarchicalEnsemble":
         self.ensembles.append(ensemble)
@@ -43,7 +47,7 @@ class HierarchicalEnsemble:
     def fit(self, data: GraphTensors, labels: np.ndarray, train_index: np.ndarray,
             val_index: np.ndarray, train_config: Optional[TrainConfig] = None,
             num_classes: Optional[int] = None,
-            backend: BackendLike = None) -> "HierarchicalEnsemble":
+            backend: BackendLike = None, policy=None) -> "HierarchicalEnsemble":
         """Train every member GSE (each member model is trained separately).
 
         All ``N x K`` member models across every GSE are independent, so their
@@ -62,11 +66,17 @@ class HierarchicalEnsemble:
             tasks.extend(ensemble_tasks)
             counts.append(len(ensemble_tasks))
         with scoped_backend(backend) as executor:
-            report = executor.map(fit_member, tasks)
+            report = executor.map(fit_member, tasks, policy=policy)
         offset = 0
         for ensemble, count in zip(self.ensembles, counts):
-            ensemble.apply_member_results(report.results[offset:offset + count])
+            slice_results = report.results[offset:offset + count]
+            for failure in report.failures:
+                if offset <= failure.index < offset + count:
+                    failure.context.setdefault("architecture", ensemble.spec_name)
+                    failure.context.setdefault("member", failure.index - offset)
+            ensemble.apply_member_results(slice_results)
             offset += count
+        self.fit_failures = list(report.failures)
         return self
 
     def set_beta(self, beta: Sequence[float]) -> "HierarchicalEnsemble":

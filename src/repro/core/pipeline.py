@@ -47,6 +47,7 @@ from repro.graph.graph import Graph
 from repro.graph.splits import random_split
 from repro.nn.data import GraphTensors
 from repro.parallel.backends import ExecutionBackend, get_backend
+from repro.resilience.policy import FailureReport
 from repro.tasks.metrics import accuracy
 from repro.tasks.trainer import TrainConfig
 
@@ -156,11 +157,16 @@ class AutoHEnsGNN:
         # ------------------------------------------------------------------
         proxy_start = time.time()
         proxy_ranking: List[str] = []
+        # Failure reports from every supervised stage (empty without a
+        # drop policy) end up in PipelineResult.details["failures"].
+        policy = config.resilience
+        failure_reports: List[FailureReport] = []
         if pool is None:
             evaluator = ProxyEvaluator(proxy_config, candidates=config.candidate_models,
-                                       backend=self.executor)
+                                       backend=self.executor, policy=policy)
             report = evaluator.evaluate(graph, seed=config.seed, budget=budget)
             proxy_ranking = report.ranking()
+            failure_reports.extend(report.failures)
             pool = select_top_models(report, config.pool_size)
         pool = list(pool)
         proxy_time = time.time() - proxy_start
@@ -206,12 +212,19 @@ class AutoHEnsGNN:
                 train_config=train_config.with_overrides(max_epochs=config.search_epochs),
                 seed=config.seed,
                 backend=self.executor,
+                policy=policy,
             )
             result = search.search(graph, data, search_split.labels, train_index, val_index,
                                    num_classes=graph.num_classes,
                                    hidden_fraction=config.proxy.hidden_fraction)
             beta = result.beta
             chosen_layers = result.chosen_layers
+            failure_reports.extend(result.failures)
+            if len(chosen_layers) < len(pool):
+                # Architectures that lost every grid point under the drop
+                # policy leave the pool; beta was computed over the
+                # survivors, so pool and beta stay aligned.
+                pool = [name for name in pool if name in chosen_layers]
             layer_weights = {
                 name: [one_hot_alpha(result.chosen_layers[name], result.chosen_layers[name])]
                 for name in pool
@@ -254,8 +267,28 @@ class AutoHEnsGNN:
                              split_graph.mask_indices("val"),
                              train_config=train_config,
                              num_classes=graph.num_classes,
-                             backend=self.executor)
-            hierarchical.set_beta(beta)
+                             backend=self.executor,
+                             policy=policy)
+            if hierarchical.fit_failures:
+                for failure in hierarchical.fit_failures:
+                    failure.context.setdefault("bagging_split", split_index)
+                failure_reports.extend(hierarchical.fit_failures)
+                # A GSE that lost every member cannot predict; drop it and
+                # its beta entry (set_beta renormalises the survivors).
+                keep = [position for position, ensemble
+                        in enumerate(hierarchical.ensembles) if ensemble.members]
+                if not keep:
+                    raise RuntimeError(
+                        f"bagging split {split_index} lost every ensemble "
+                        "member under the resilience policy")
+                if len(keep) < len(hierarchical.ensembles):
+                    hierarchical.ensembles = [hierarchical.ensembles[position]
+                                              for position in keep]
+                    hierarchical.set_beta(np.asarray(beta, dtype=np.float64)[keep])
+                else:
+                    hierarchical.set_beta(beta)
+            else:
+                hierarchical.set_beta(beta)
             self.hierarchical_ensembles.append(hierarchical)
             split_probabilities.append(hierarchical.predict_proba(data))
             if not budget.has_time_for_another(time.time() - train_start,
@@ -264,6 +297,9 @@ class AutoHEnsGNN:
         probabilities = np.mean(split_probabilities, axis=0)
         train_time = time.time() - train_start
         search_details["backend"] = self.executor.describe()
+        if policy is not None:
+            search_details["failures"] = [failure.describe()
+                                          for failure in failure_reports]
 
         report = PipelineResult(
             probabilities=probabilities,

@@ -30,6 +30,7 @@ from repro.graph.splits import random_split
 from repro.nn.data import GraphTensors
 from repro.nn.model_zoo import available_models, get_model_spec
 from repro.parallel.backends import BackendLike, get_backend
+from repro.resilience.policy import FailureReport, ResiliencePolicy
 from repro.tasks.metrics import kendall_tau, mean_and_std
 from repro.tasks.trainer import NodeClassificationTrainer, TrainConfig
 
@@ -61,6 +62,9 @@ class ProxyEvaluationReport:
     total_time: float
     config: ProxyConfig
     skipped: List[str] = field(default_factory=list)
+    #: Candidates dropped by a ``ResiliencePolicy(on_failure="drop")`` after
+    #: exhausting their attempts; empty without a policy (failures raise).
+    failures: List[FailureReport] = field(default_factory=list)
 
     def ranking(self) -> List[str]:
         """Candidate names sorted best-first."""
@@ -144,10 +148,14 @@ class ProxyEvaluator:
     def __init__(self, config: Optional[ProxyConfig] = None,
                  candidates: Optional[Sequence[str]] = None,
                  backend: BackendLike = None,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 policy: Optional[ResiliencePolicy] = None) -> None:
         self.config = config or ProxyConfig()
         self.candidates = list(candidates) if candidates is not None else available_models()
         self.backend = get_backend(backend, max_workers=max_workers)
+        # With on_failure="drop" a crashing candidate is recorded and
+        # excluded from the ranking instead of aborting model selection.
+        self.policy = policy
 
     def close(self) -> None:
         """Release pooled workers (use the evaluator as a context manager)."""
@@ -235,8 +243,14 @@ class ProxyEvaluator:
         # completes so a pool can be selected) and the report records who
         # was skipped.
         report = self.backend.map(_evaluate_candidate, tasks, budget=budget,
-                                  min_results=1)
-        scores: List[CandidateScore] = list(report.results)
+                                  min_results=1, policy=self.policy)
+        # Dropped candidates leave a None slot; attach their name so the
+        # failure report is meaningful outside this call.
+        for failure in report.failures:
+            failure.context.setdefault("candidate", tasks[failure.index].candidate)
+        scores: List[CandidateScore] = [score for score in report.results
+                                        if score is not None]
         skipped = [task.candidate for task in tasks[report.dispatched:]]
         return ProxyEvaluationReport(scores=scores, total_time=time.time() - start,
-                                     config=config, skipped=skipped)
+                                     config=config, skipped=skipped,
+                                     failures=list(report.failures))

@@ -47,6 +47,7 @@ import scipy.sparse as sp
 from repro.autograd.dtype import compute_dtype_scope
 from repro.graph import normalize as _norm
 from repro.graph.graph import Graph
+from repro.resilience.wal import JournalError, RecoveryReport, WriteAheadJournal
 
 __all__ = ["MutableServingGraph", "MutationDelta", "rows_touching_columns"]
 
@@ -167,7 +168,8 @@ class MutableServingGraph:
     lock around mutate+flush+score sequences).
     """
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, journal_dir: Optional[str] = None,
+                 fsync: bool = False) -> None:
         self.name = graph.name
         self.directed = bool(graph.directed)
         self.num_classes = graph.num_classes
@@ -191,6 +193,21 @@ class MutableServingGraph:
         self.version = 0
         #: Bumped only by flushes that changed structure (edges/nodes).
         self.structure_version = 0
+        # Durability (repro.resilience.wal): with a journal directory every
+        # mutation is written ahead to a CRC-framed log, and the constructor
+        # commits the seed graph as the covering snapshot, so recover() can
+        # rebuild this exact state after a crash.
+        self._journal: Optional[WriteAheadJournal] = None
+        if journal_dir is not None:
+            journal = WriteAheadJournal(journal_dir, fsync=fsync)
+            if journal.has_snapshot:
+                raise JournalError(
+                    f"journal directory {journal_dir!r} already holds a "
+                    f"committed snapshot; use MutableServingGraph.recover() "
+                    f"to resume it (or point the new graph at an empty "
+                    f"directory)")
+            journal.write_snapshot(graph, 0)
+            self._journal = journal
 
     # ------------------------------------------------------------------
     # Construction of the master arrays
@@ -291,6 +308,11 @@ class MutableServingGraph:
             self._num_nodes += count
             new_ids = np.arange(first, first + count, dtype=np.int64)
             self._pending_structure.update(new_ids.tolist())
+            if self._journal is not None:
+                # JSON round-trips Python floats exactly (repr is shortest
+                # round-tripping), so the journaled features replay to the
+                # same float64 bits.
+                self._journal.append("add_nodes", {"features": features.tolist()})
             return new_ids
 
     def _edge_pairs(self, edge_index: np.ndarray) -> List[Tuple[int, int]]:
@@ -332,6 +354,12 @@ class MutableServingGraph:
                 self._pending_structure.update((source, destination))
                 if not self.directed:
                     self._neighbors[destination][source] = weight
+            if self._journal is not None:
+                self._journal.append("add_edges", {
+                    "edges": [[source for source, _ in pairs],
+                              [destination for _, destination in pairs]],
+                    "weights": weights,
+                })
 
     def remove_edges(self, edge_index: np.ndarray) -> None:
         """Delete edges (both directions on undirected graphs).
@@ -352,6 +380,11 @@ class MutableServingGraph:
                 self._pending_structure.update((source, destination))
                 if not self.directed:
                     del self._neighbors[destination][source]
+            if self._journal is not None:
+                self._journal.append("remove_edges", {
+                    "edges": [[source for source, _ in pairs],
+                              [destination for _, destination in pairs]],
+                })
 
     def update_features(self, nodes: np.ndarray, features: np.ndarray) -> None:
         """Replace the feature rows of ``nodes`` (shape ``(len(nodes), F)``)."""
@@ -377,6 +410,11 @@ class MutableServingGraph:
                             break
                         offset -= block.shape[0]
                 self._pending_features.add(int(node))
+            if self._journal is not None:
+                self._journal.append("update_features", {
+                    "nodes": [int(node) for node in nodes],
+                    "features": features.tolist(),
+                })
 
     # ------------------------------------------------------------------
     # Flush: apply the journal incrementally
@@ -595,6 +633,78 @@ class MutableServingGraph:
                     num_classes=self.num_classes,
                     name=name or f"{self.name}-v{self.version}",
                 )
+
+    # ------------------------------------------------------------------
+    # Durability: recovery and checkpointing (repro.resilience.wal)
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(cls, journal_dir: str,
+                fsync: bool = False) -> Tuple["MutableServingGraph", RecoveryReport]:
+        """Rebuild a serving graph from its journal after a crash.
+
+        Loads the committed snapshot (checksum-verified), replays every WAL
+        record past its sequence, and re-attaches the journal for further
+        appends.  The recovered graph is **bit-identical** to the one the
+        crashed process held: incremental operator maintenance is
+        flush-batching independent, so replaying the whole tail reproduces
+        the same operator bytes the original mutation schedule did.  A torn
+        final record (crash mid-append) is dropped and reported; corruption
+        anywhere else raises :class:`~repro.resilience.wal.JournalError`.
+        """
+        journal = WriteAheadJournal(journal_dir, fsync=fsync)
+        graph, snapshot_seq = journal.read_snapshot()
+        instance = cls(graph)  # journal not yet attached: replay must not re-append
+        records, report = journal.recover_records(snapshot_seq)
+        for record in records:
+            instance._apply_record(record)
+        instance._journal = journal
+        return instance, report
+
+    def _apply_record(self, record: Dict[str, object]) -> None:
+        """Replay one WAL record through the public mutation API."""
+        op = record.get("op")
+        if op == "add_nodes":
+            self.add_nodes(np.asarray(record["features"], dtype=np.float64))
+        elif op == "add_edges":
+            sources, destinations = record["edges"]
+            self.add_edges(
+                np.asarray([sources, destinations], dtype=np.int64),
+                np.asarray(record["weights"], dtype=np.float64))
+        elif op == "remove_edges":
+            sources, destinations = record["edges"]
+            self.remove_edges(np.asarray([sources, destinations], dtype=np.int64))
+        elif op == "update_features":
+            self.update_features(
+                np.asarray(record["nodes"], dtype=np.int64),
+                np.asarray(record["features"], dtype=np.float64))
+        else:
+            raise JournalError(
+                f"journal record seq {record.get('seq')} carries unknown "
+                f"op {op!r}")
+
+    def checkpoint(self) -> None:
+        """Fold the WAL into a fresh snapshot and truncate it.
+
+        Bounds recovery time after long uptimes; crash-safe in every window
+        (see :meth:`WriteAheadJournal.checkpoint
+        <repro.resilience.wal.WriteAheadJournal.checkpoint>`).
+        """
+        if self._journal is None:
+            raise RuntimeError("this graph has no journal to checkpoint")
+        with self._lock:
+            self._journal.checkpoint(self.snapshot())
+
+    def journal_info(self) -> Optional[Dict[str, object]]:
+        """Health view of the journal (``None`` when durability is off)."""
+        if self._journal is None:
+            return None
+        return {"directory": self._journal.directory,
+                "fsync": self._journal.fsync}
+
+    def close(self) -> None:
+        """Release the journal's append handle (no-op without a journal)."""
+        if self._journal is not None:
+            self._journal.close()
 
     def _labels_for(self, num_nodes: int) -> np.ndarray:
         if self._labels.shape[0] < num_nodes:

@@ -25,6 +25,19 @@ Three implementations ship:
   graph per task; an executor-initializer path that ships shared state once
   per worker is the natural next optimisation if IPC ever dominates.
 
+Supervision (``repro.resilience``): passing a
+:class:`~repro.resilience.policy.ResiliencePolicy` turns ``map`` into a
+supervised dispatch loop — bounded retries with seeded exponential backoff,
+per-task timeouts on the pooled backends, structured
+:class:`~repro.resilience.policy.FailureReport` records under
+``on_failure="drop"``, and (for the process backend) broken-pool detection
+with rebuild and a process → thread → serial degradation chain.  With
+``policy=None`` the exact legacy dispatch code runs, so the no-fault path
+stays bit-identical to a build without the resilience layer.  The
+``"backend.task"`` fault-injection site wraps every dispatched task; it is a
+single ``None`` check unless a :class:`~repro.resilience.faults.FaultPlan`
+is installed.
+
 Determinism contract: tasks must derive all randomness from explicit seeds in
 their arguments.  Under that contract every backend produces bit-for-bit the
 same results, which the test suite asserts.
@@ -34,10 +47,19 @@ from __future__ import annotations
 
 import concurrent.futures
 import contextlib
+import heapq
 import os
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.resilience import faults as _faults
+from repro.resilience.policy import (
+    FailureReport,
+    ResiliencePolicy,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: automl.budget -> core -> nn -> parallel
     from repro.automl.budget import TimeBudget
@@ -53,12 +75,35 @@ class MapReport:
     elapsed: float
     backend: str
     details: dict = field(default_factory=dict)
+    #: Tasks that exhausted their attempts under a ``drop`` policy; their
+    #: slot in ``results`` holds ``None``.  Empty for unsupervised maps.
+    failures: List[FailureReport] = field(default_factory=list)
 
     def __iter__(self):
         return iter(self.results)
 
     def __len__(self) -> int:
         return len(self.results)
+
+
+def _call_with_faults(fn, plan, backend_name, index, attempt, item):
+    """Run one task through the ``"backend.task"`` fault-injection site.
+
+    Module-level (picklable) so the plan ships to process workers with each
+    task: a ``crash`` rule then ``os._exit``\\ s the *actual* worker process,
+    producing a genuine ``BrokenProcessPool`` in the parent.
+    """
+    plan.trigger("backend.task", index=index, attempt=attempt,
+                 backend=backend_name)
+    return fn(item)
+
+
+def _failure_kind(error: BaseException) -> str:
+    if isinstance(error, (WorkerCrashError, concurrent.futures.BrokenExecutor)):
+        return "worker_crash"
+    if isinstance(error, TaskTimeoutError):
+        return "timeout"
+    return "exception"
 
 
 class ExecutionBackend:
@@ -74,7 +119,8 @@ class ExecutionBackend:
     # The one entry point
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[object], object], items: Sequence[object],
-            budget: Optional["TimeBudget"] = None, min_results: int = 1) -> MapReport:
+            budget: Optional["TimeBudget"] = None, min_results: int = 1,
+            policy: Optional[ResiliencePolicy] = None) -> MapReport:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -115,25 +161,101 @@ class ExecutionBackend:
             return not budget.exhausted() and budget.remaining_fraction() > 0.1
         return budget.has_time_for_another(cost_observed, completed)
 
+    # ------------------------------------------------------------------
+    # Supervision helpers shared by the implementations
+    # ------------------------------------------------------------------
+    def _fallback_backend(self) -> Optional["ExecutionBackend"]:
+        """Next backend in the degradation chain (``None`` = end of chain)."""
+        return None
+
+    @staticmethod
+    def _make_failure(index: int, error: BaseException, attempts: int,
+                      backend: str, elapsed: float) -> FailureReport:
+        return FailureReport(
+            index=index,
+            error_type=type(error).__name__,
+            message=str(error),
+            attempts=attempts,
+            kind=_failure_kind(error),
+            backend=backend,
+            elapsed=elapsed,
+        )
+
 
 class SerialBackend(ExecutionBackend):
-    """Run tasks in the calling thread, in order."""
+    """Run tasks in the calling thread, in order.
+
+    Supervision caveat: the serial backend cannot pre-empt a running task,
+    so ``policy.task_timeout`` is documented as unsupported here (retries,
+    backoff and the drop contract all apply normally).
+    """
 
     name = "serial"
 
     def map(self, fn: Callable[[object], object], items: Sequence[object],
-            budget: Optional["TimeBudget"] = None, min_results: int = 1) -> MapReport:
+            budget: Optional["TimeBudget"] = None, min_results: int = 1,
+            policy: Optional[ResiliencePolicy] = None) -> MapReport:
+        if policy is not None:
+            return self._supervised_map(fn, list(items), budget, min_results,
+                                        policy.check())
         items = list(items)
         start = time.time()
         results: List[object] = []
+        plan = _faults.active_plan()
         for index, item in enumerate(items):
             if not self._may_dispatch(budget, time.time() - start, len(results),
                                       index, min_results):
                 break
+            if plan is not None:
+                plan.trigger("backend.task", index=index, attempt=0,
+                             backend=self.name)
             results.append(fn(item))
         return MapReport(results=results, dispatched=len(results),
                          skipped=len(items) - len(results),
                          elapsed=time.time() - start, backend=self.name)
+
+    def _supervised_map(self, fn, items, budget, min_results,
+                        policy: ResiliencePolicy) -> MapReport:
+        start = time.time()
+        plan = _faults.active_plan()
+        results: List[object] = [None] * len(items)
+        failures: List[FailureReport] = []
+        completed = 0
+        retries = 0
+        dispatched = 0
+        for index, item in enumerate(items):
+            if not self._may_dispatch(budget, time.time() - start, completed,
+                                      index, min_results):
+                break
+            dispatched = index + 1
+            attempt = 0
+            task_start = time.time()
+            while True:
+                try:
+                    if plan is not None:
+                        plan.trigger("backend.task", index=index,
+                                     attempt=attempt, backend=self.name)
+                    results[index] = fn(item)
+                    completed += 1
+                    break
+                except Exception as error:
+                    attempt += 1
+                    if attempt >= policy.max_attempts:
+                        if policy.on_failure == "raise":
+                            raise
+                        failures.append(self._make_failure(
+                            index, error, attempt, self.name,
+                            time.time() - task_start))
+                        break
+                    retries += 1
+                    delay = policy.backoff_for(index, attempt)
+                    if delay:
+                        time.sleep(delay)
+        details = {"retries": retries}
+        return MapReport(results=results[:dispatched], dispatched=dispatched,
+                         skipped=len(items) - dispatched,
+                         elapsed=time.time() - start, backend=self.name,
+                         details=details, failures=failures)
 
 
 class _PoolBackend(ExecutionBackend):
@@ -148,7 +270,8 @@ class _PoolBackend(ExecutionBackend):
     and reused by subsequent ones — a pipeline issues one map per stage
     (proxy, adaptive grid, each bagging split), and re-spawning worker
     processes per stage would pay the interpreter/NumPy import cost every
-    time.  :meth:`close` (or use as a context manager) releases the workers.
+    time.  :meth:`close` (or use as a context manager) releases the workers;
+    it is idempotent and never raises, even after a broken pool.
     """
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
@@ -164,19 +287,33 @@ class _PoolBackend(ExecutionBackend):
         return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown(wait=True)
+        except Exception:
+            # Shutting down a broken pool (dead workers, torn queues) can
+            # itself raise; close() is a cleanup path and must stay safe to
+            # call from finally blocks and __exit__.
+            pass
 
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown path
         try:
-            if self._pool is not None:
-                self._pool.shutdown(wait=False)
-        except Exception:
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=False)
+        except BaseException:
+            # Interpreter teardown may have dismantled the executor's
+            # machinery already; __del__ must never propagate.
             pass
 
     def map(self, fn: Callable[[object], object], items: Sequence[object],
-            budget: Optional["TimeBudget"] = None, min_results: int = 1) -> MapReport:
+            budget: Optional["TimeBudget"] = None, min_results: int = 1,
+            policy: Optional[ResiliencePolicy] = None) -> MapReport:
+        if policy is not None:
+            return self._supervised_map(fn, list(items), budget, min_results,
+                                        policy.check())
         items = list(items)
         start = time.time()
         if not items:
@@ -189,6 +326,14 @@ class _PoolBackend(ExecutionBackend):
         pool = self._ensure_pool()
         pending = {}
         submit_times = {}
+        plan = _faults.active_plan()
+
+        def submit(index: int) -> "concurrent.futures.Future":
+            if plan is None:
+                return pool.submit(fn, items[index])
+            return pool.submit(_call_with_faults, fn, plan, self.name,
+                               index, 0, items[index])
+
         try:
             # The initial fill consults the budget too, so a nearly-exhausted
             # budget dispatches (close to) the min_results prefix the serial
@@ -196,7 +341,7 @@ class _PoolBackend(ExecutionBackend):
             while next_index < len(items) and next_index < self.max_workers \
                     and self._may_dispatch(budget, total_latency, completed,
                                            next_index, min_results):
-                future = pool.submit(fn, items[next_index])
+                future = submit(next_index)
                 pending[future] = next_index
                 submit_times[future] = time.time()
                 next_index += 1
@@ -217,7 +362,7 @@ class _PoolBackend(ExecutionBackend):
                 while next_index < len(items) and len(pending) < self.max_workers \
                         and self._may_dispatch(budget, total_latency, completed,
                                                next_index, min_results):
-                    submitted = pool.submit(fn, items[next_index])
+                    submitted = submit(next_index)
                     pending[submitted] = next_index
                     submit_times[submitted] = time.time()
                     next_index += 1
@@ -236,6 +381,233 @@ class _PoolBackend(ExecutionBackend):
                          skipped=len(items) - next_index,
                          elapsed=time.time() - start, backend=self.name)
 
+    # ------------------------------------------------------------------
+    # Supervised dispatch
+    # ------------------------------------------------------------------
+    def _supervised_map(self, fn, items, budget, min_results,
+                        policy: ResiliencePolicy) -> MapReport:
+        """Retry/timeout/rebuild-aware dispatch loop (``policy`` is not None).
+
+        Invariants: every admitted item ends *resolved* — a success, a
+        recorded :class:`FailureReport` (``on_failure="drop"``) or the cause
+        of the re-raised error (``on_failure="raise"``).  A broken pool is
+        rebuilt up to ``policy.max_pool_rebuilds`` times, re-dispatching only
+        unfinished items; past that the unresolved remainder is delegated to
+        the next backend in the degradation chain (process → thread →
+        serial) when ``policy.degrade`` allows.
+        """
+        start = time.time()
+        count = len(items)
+        if count == 0:
+            return MapReport(results=[], dispatched=0, skipped=0, elapsed=0.0,
+                             backend=self.name)
+        plan = _faults.active_plan()
+        results: List[object] = [None] * count
+        failures: List[FailureReport] = []
+        attempts = [0] * count
+        resolved = [False] * count
+        first_submit = [0.0] * count
+        completed = 0
+        retries = 0
+        rebuilds = 0
+        admitted = 0            # contiguous admission prefix of `items`
+        total_latency = 0.0
+        pending: Dict["concurrent.futures.Future", int] = {}
+        submit_times: Dict["concurrent.futures.Future", float] = {}
+        deadlines: Dict["concurrent.futures.Future", float] = {}
+        retry_queue: List = []  # heap of (due_time, index)
+        details: dict = {}
+        pool = self._ensure_pool()
+
+        def submit(index: int) -> None:
+            if plan is None:
+                future = pool.submit(fn, items[index])
+            else:
+                future = pool.submit(_call_with_faults, fn, plan, self.name,
+                                     index, attempts[index], items[index])
+            now = time.time()
+            pending[future] = index
+            submit_times[future] = now
+            if attempts[index] == 0:
+                first_submit[index] = now
+            if policy.task_timeout is not None:
+                deadlines[future] = now + policy.task_timeout
+
+        def resolve_failure(index: int, error: BaseException) -> None:
+            nonlocal retries
+            attempts[index] += 1
+            if attempts[index] >= policy.max_attempts:
+                if policy.on_failure == "raise":
+                    raise error
+                failures.append(self._make_failure(
+                    index, error, attempts[index], self.name,
+                    time.time() - first_submit[index]))
+                resolved[index] = True
+            else:
+                retries += 1
+                due = time.time() + policy.backoff_for(index, attempts[index])
+                heapq.heappush(retry_queue, (due, index))
+
+        def refill() -> None:
+            nonlocal admitted
+            now = time.time()
+            while retry_queue and retry_queue[0][0] <= now \
+                    and len(pending) < self.max_workers:
+                _, index = heapq.heappop(retry_queue)
+                submit(index)
+            while admitted < count and len(pending) < self.max_workers \
+                    and self._may_dispatch(budget, total_latency, completed,
+                                           admitted, min_results):
+                submit(admitted)
+                admitted += 1
+
+        try:
+            refill()
+            while pending or retry_queue:
+                if not pending:
+                    # Only backoff timers left: sleep until the earliest one.
+                    delay = retry_queue[0][0] - time.time()
+                    if delay > 0:
+                        time.sleep(min(delay, 0.25))
+                    refill()
+                    continue
+                now = time.time()
+                waits = []
+                if deadlines:
+                    waits.append(max(0.0, min(deadlines.values()) - now))
+                if retry_queue:
+                    waits.append(max(0.0, retry_queue[0][0] - now))
+                timeout = min(waits) + 1e-3 if waits else None
+                done, _ = concurrent.futures.wait(
+                    pending, timeout=timeout,
+                    return_when=concurrent.futures.FIRST_COMPLETED)
+                broken: Optional[BaseException] = None
+                for future in done:
+                    index = pending.pop(future)
+                    submitted_at = submit_times.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        value = future.result()
+                    except concurrent.futures.BrokenExecutor as error:
+                        broken = error
+                        resolve_failure(index, error)
+                        continue
+                    except Exception as error:
+                        resolve_failure(index, error)
+                        continue
+                    results[index] = value
+                    resolved[index] = True
+                    total_latency += time.time() - submitted_at
+                    completed += 1
+                if broken is not None:
+                    # The pool is dead: every still-pending future is lost
+                    # with it.  Re-queue the in-flight items and rebuild.
+                    for future, index in list(pending.items()):
+                        submit_times.pop(future, None)
+                        deadlines.pop(future, None)
+                        resolve_failure(index, broken)
+                    pending.clear()
+                    rebuilds += 1
+                    self.close()
+                    if rebuilds > policy.max_pool_rebuilds:
+                        return self._degrade_remaining(
+                            fn, items, budget, min_results, policy, results,
+                            failures, resolved, admitted, retries, rebuilds,
+                            start, broken)
+                    pool = self._ensure_pool()
+                elif policy.task_timeout is not None:
+                    now = time.time()
+                    for future, deadline in list(deadlines.items()):
+                        if deadline > now:
+                            continue
+                        index = pending.pop(future)
+                        submit_times.pop(future, None)
+                        deadlines.pop(future)
+                        # cancel() only helps if the task never started; a
+                        # running future is abandoned — its worker finishes
+                        # (or hangs) in the background and the result is
+                        # discarded.
+                        future.cancel()
+                        resolve_failure(index, TaskTimeoutError(
+                            f"task {index} exceeded the per-task timeout of "
+                            f"{policy.task_timeout}s (attempt "
+                            f"{attempts[index]})"))
+                refill()
+        except BaseException as exc:
+            for future in pending:
+                future.cancel()
+            if pending and not isinstance(exc, concurrent.futures.BrokenExecutor):
+                concurrent.futures.wait(list(pending))
+            if isinstance(exc, concurrent.futures.BrokenExecutor):
+                self.close()
+            raise
+        details["retries"] = retries
+        if rebuilds:
+            details["pool_rebuilds"] = rebuilds
+        return MapReport(results=results[:admitted], dispatched=admitted,
+                         skipped=count - admitted,
+                         elapsed=time.time() - start, backend=self.name,
+                         details=details, failures=failures)
+
+    def _degrade_remaining(self, fn, items, budget, min_results,
+                           policy: ResiliencePolicy, results, failures,
+                           resolved, admitted, retries, rebuilds, start,
+                           cause: BaseException) -> MapReport:
+        """Delegate every unresolved item to the next backend in the chain."""
+        fallback = self._fallback_backend() if policy.degrade else None
+        if fallback is None:
+            if policy.on_failure == "raise":
+                raise cause
+            # No chain left: fail whatever is still unresolved.
+            for index in range(len(items)):
+                if index < admitted and not resolved[index]:
+                    failures.append(self._make_failure(
+                        index, cause, policy.max_attempts, self.name, 0.0))
+                    resolved[index] = True
+            return MapReport(results=results[:admitted], dispatched=admitted,
+                             skipped=len(items) - admitted,
+                             elapsed=time.time() - start, backend=self.name,
+                             details={"retries": retries,
+                                      "pool_rebuilds": rebuilds},
+                             failures=failures)
+        sub_indices = [index for index in range(len(items))
+                       if not resolved[index]]
+        sub_items = [items[index] for index in sub_indices]
+        try:
+            # Fresh attempt budget on the fallback: the crashes that broke
+            # this pool say nothing about how the tasks behave elsewhere.
+            sub_report = fallback.map(fn, sub_items, budget=budget,
+                                      min_results=min_results, policy=policy)
+        finally:
+            fallback.close()
+        for position, value in enumerate(sub_report.results):
+            original = sub_indices[position]
+            results[original] = value
+            resolved[original] = True
+        for failure in sub_report.failures:
+            failures.append(FailureReport(
+                index=sub_indices[failure.index],
+                error_type=failure.error_type,
+                message=failure.message,
+                attempts=failure.attempts,
+                kind=failure.kind,
+                backend=failure.backend,
+                elapsed=failure.elapsed,
+                context=dict(failure.context),
+            ))
+        if sub_report.skipped:
+            cut = sub_indices[len(sub_report.results)]
+        else:
+            cut = max(admitted, (sub_indices[-1] + 1) if sub_indices else 0)
+        details = {"retries": retries + sub_report.details.get("retries", 0),
+                   "pool_rebuilds": rebuilds,
+                   "degraded_to": sub_report.details.get("degraded_to",
+                                                         fallback.name)}
+        return MapReport(results=results[:cut], dispatched=cut,
+                         skipped=len(items) - cut,
+                         elapsed=time.time() - start, backend=self.name,
+                         details=details, failures=failures)
+
 
 class ThreadBackend(_PoolBackend):
     """Thread-pool execution; best default for NumPy-heavy training."""
@@ -244,6 +616,9 @@ class ThreadBackend(_PoolBackend):
 
     def _make_executor(self) -> concurrent.futures.Executor:
         return concurrent.futures.ThreadPoolExecutor(max_workers=self.max_workers)
+
+    def _fallback_backend(self) -> Optional[ExecutionBackend]:
+        return SerialBackend(max_workers=1)
 
 
 def _init_process_worker(dtype_name: str) -> None:
@@ -269,6 +644,9 @@ class ProcessBackend(_PoolBackend):
             max_workers=self.max_workers,
             initializer=_init_process_worker,
             initargs=(compute_dtype_name(),))
+
+    def _fallback_backend(self) -> Optional[ExecutionBackend]:
+        return ThreadBackend(max_workers=self.max_workers)
 
 
 BACKENDS = {

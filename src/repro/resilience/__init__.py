@@ -1,0 +1,55 @@
+"""Fault tolerance for execution and serving: the repo's failure model.
+
+Three pieces, threaded through all tiers of the stack (see
+``docs/RESILIENCE.md`` for the full model):
+
+* :mod:`repro.resilience.policy` — :class:`ResiliencePolicy` and
+  :class:`FailureReport`: bounded retries with seeded exponential backoff,
+  per-task timeouts and the ``on_failure="raise"|"drop"`` partial-results
+  contract consumed by :meth:`ExecutionBackend.map
+  <repro.parallel.backends.ExecutionBackend.map>` and every AutoML stage.
+* :mod:`repro.resilience.wal` — :class:`WriteAheadJournal`: checksummed
+  snapshot + JSONL write-ahead log giving
+  :class:`~repro.graph.streaming.MutableServingGraph` crash-durable state
+  with bit-identical recovery.
+* :mod:`repro.resilience.faults` — :class:`FaultPlan`: deterministic fault
+  injection (worker crash, hang, transient exception, file corruption,
+  truncated WAL) behind zero-cost hooks, driving the chaos suite in
+  ``tests/test_resilience.py``.
+"""
+
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    damage_file,
+    fault_point,
+    install_plan,
+    uninstall_plan,
+)
+from repro.resilience.policy import (
+    FailureReport,
+    ResiliencePolicy,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.resilience.wal import JournalError, RecoveryReport, WriteAheadJournal
+
+__all__ = [
+    "FailureReport",
+    "ResiliencePolicy",
+    "TaskTimeoutError",
+    "WorkerCrashError",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "install_plan",
+    "uninstall_plan",
+    "fault_point",
+    "damage_file",
+    "JournalError",
+    "RecoveryReport",
+    "WriteAheadJournal",
+]

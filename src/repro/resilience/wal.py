@@ -1,0 +1,351 @@
+"""Durable write-ahead journal for the streaming serving graph.
+
+Layout of a journal directory::
+
+    journal/
+      snapshot.json        # committed snapshot reference + checksum + seq
+      snapshot-<seq>.npz   # graph arrays (edge_index, features, labels, ...)
+      wal.jsonl            # CRC-framed mutation records appended since
+
+Every record is one line, ``<crc32-hex> <canonical-json>\\n``, carrying a
+strictly increasing ``seq``.  A snapshot at sequence ``S`` covers every
+record with ``seq <= S``; recovery loads the snapshot, replays the remaining
+records in order, and reaches a graph **bit-identical** to the uninterrupted
+process — the incremental operator maintenance of
+:class:`~repro.graph.streaming.MutableServingGraph` is flush-batching
+independent, so replaying the whole tail in one flush reproduces the same
+bytes the original flush schedule did (JSON round-trips Python floats
+exactly, so feature values survive the journal losslessly).
+
+Failure semantics are asymmetric on purpose:
+
+* a **torn tail** — an unterminated final line, or a final record whose CRC
+  does not match — is what a crash mid-append legitimately leaves behind;
+  it is dropped and reported in :class:`RecoveryReport`;
+* corruption anywhere *before* the tail, a sequence gap, or a snapshot
+  whose checksum disagrees with ``snapshot.json`` means the journal cannot
+  be trusted and raises :class:`JournalError` — a damaged journal is never
+  silently loaded.
+
+All snapshot writes go through temp-file + ``os.replace`` so a crash during
+:meth:`WriteAheadJournal.checkpoint` leaves either the old committed
+snapshot (plus a full WAL) or the new one — never a half-written state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.resilience import faults as _faults
+
+__all__ = ["JournalError", "RecoveryReport", "WriteAheadJournal"]
+
+SNAPSHOT_META = "snapshot.json"
+WAL_NAME = "wal.jsonl"
+
+#: Format marker of ``snapshot.json`` (refuse to recover foreign files).
+JOURNAL_FORMAT = "autohensgnn-serving-journal"
+
+
+class JournalError(RuntimeError):
+    """The on-disk journal is missing, corrupted or incompatible."""
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`WriteAheadJournal.recover_records` found on disk."""
+
+    snapshot_seq: int
+    replayed: int
+    last_seq: int
+    dropped_tail: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe summary for logs and health endpoints."""
+        return {
+            "snapshot_seq": self.snapshot_seq,
+            "replayed": self.replayed,
+            "last_seq": self.last_seq,
+            "dropped_tail": self.dropped_tail,
+            "notes": list(self.notes),
+        }
+
+
+def _file_checksum(path: str) -> str:
+    import hashlib
+
+    digest = hashlib.blake2b(digest_size=16)
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _atomic_write_bytes(path: str, payload: bytes, fsync: bool) -> None:
+    temporary = f"{path}.tmp.{os.getpid()}"
+    with open(temporary, "wb") as handle:
+        handle.write(payload)
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+    os.replace(temporary, path)
+
+
+class WriteAheadJournal:
+    """Snapshot + JSONL write-ahead log under one directory.
+
+    ``fsync=True`` makes every append durable against power loss at the cost
+    of one ``fsync`` per record; the default only guarantees durability
+    against process crashes (the OS page cache holds the tail).
+    """
+
+    def __init__(self, directory: str, fsync: bool = False) -> None:
+        self.directory = directory
+        self.fsync = bool(fsync)
+        os.makedirs(directory, exist_ok=True)
+        self._wal_path = os.path.join(directory, WAL_NAME)
+        self._meta_path = os.path.join(directory, SNAPSHOT_META)
+        self._handle = None
+        self._next_seq = 1
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    @property
+    def has_snapshot(self) -> bool:
+        """Whether a committed snapshot exists in the directory."""
+        return os.path.isfile(self._meta_path)
+
+    def write_snapshot(self, graph: Graph, seq: int) -> None:
+        """Persist ``graph`` as the snapshot covering records up to ``seq``.
+
+        The npz lands first (temp + rename), then ``snapshot.json`` commits
+        it atomically; a crash in between leaves the previous snapshot
+        authoritative and the new npz as garbage to be overwritten later.
+        """
+        arrays = {
+            "edge_index": np.asarray(graph.edge_index, dtype=np.int64),
+            "features": np.asarray(graph.features, dtype=np.float64),
+            "labels": np.asarray(graph.labels, dtype=np.int64),
+        }
+        if graph.edge_weight is not None:
+            arrays["edge_weight"] = np.asarray(graph.edge_weight, dtype=np.float64)
+        snapshot_name = f"snapshot-{seq}.npz"
+        snapshot_path = os.path.join(self.directory, snapshot_name)
+        temporary = f"{snapshot_path}.tmp.{os.getpid()}"
+        with open(temporary, "wb") as handle:
+            np.savez(handle, **arrays)
+            if self.fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(temporary, snapshot_path)
+        meta = {
+            "format": JOURNAL_FORMAT,
+            "seq": int(seq),
+            "snapshot": snapshot_name,
+            "checksum": _file_checksum(snapshot_path),
+            "graph": {
+                "name": graph.name,
+                "directed": bool(graph.directed),
+                "num_classes": None if graph.num_classes is None
+                else int(graph.num_classes),
+                "num_nodes": int(graph.features.shape[0]),
+            },
+        }
+        payload = (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        _atomic_write_bytes(self._meta_path, payload, self.fsync)
+        self._next_seq = max(self._next_seq, seq + 1)
+        # Best-effort cleanup of superseded snapshot blobs.
+        for name in os.listdir(self.directory):
+            if name.startswith("snapshot-") and name.endswith(".npz") \
+                    and name != snapshot_name:
+                try:
+                    os.remove(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+
+    def read_snapshot(self) -> Tuple[Graph, int]:
+        """Load the committed snapshot; verify its checksum first.
+
+        A checksum mismatch (or unreadable blob) raises :class:`JournalError`
+        — a corrupted snapshot is never silently loaded.
+        """
+        if not self.has_snapshot:
+            raise JournalError(
+                f"journal at {self.directory!r} has no committed snapshot")
+        try:
+            with open(self._meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise JournalError(
+                f"could not parse {self._meta_path!r}: {error}") from error
+        if not isinstance(meta, dict) or meta.get("format") != JOURNAL_FORMAT:
+            raise JournalError(
+                f"{self._meta_path!r} is not a serving-journal snapshot reference")
+        snapshot_path = os.path.join(self.directory, str(meta["snapshot"]))
+        if not os.path.isfile(snapshot_path):
+            raise JournalError(
+                f"snapshot blob {meta['snapshot']!r} referenced by "
+                f"{self._meta_path!r} is missing")
+        checksum = _file_checksum(snapshot_path)
+        if checksum != meta.get("checksum"):
+            raise JournalError(
+                f"snapshot {meta['snapshot']!r} is corrupted: checksum "
+                f"{checksum} does not match the committed {meta.get('checksum')!r}")
+        try:
+            with np.load(snapshot_path) as archive:
+                edge_index = archive["edge_index"]
+                features = archive["features"]
+                labels = archive["labels"]
+                edge_weight = archive["edge_weight"] if "edge_weight" in archive.files \
+                    else None
+        except JournalError:
+            raise
+        except Exception as error:
+            raise JournalError(
+                f"could not read snapshot blob {snapshot_path!r}: {error}") from error
+        graph_meta = meta.get("graph", {})
+        graph = Graph(
+            edge_index=edge_index,
+            features=features,
+            labels=labels,
+            edge_weight=edge_weight,
+            directed=bool(graph_meta.get("directed", False)),
+            num_classes=graph_meta.get("num_classes"),
+            name=str(graph_meta.get("name", "recovered")),
+        )
+        seq = int(meta["seq"])
+        self._next_seq = max(self._next_seq, seq + 1)
+        return graph, seq
+
+    # ------------------------------------------------------------------
+    # The log
+    # ------------------------------------------------------------------
+    def append(self, op: str, payload: Dict[str, object]) -> int:
+        """Append one mutation record; returns its sequence number."""
+        seq = self._next_seq
+        record = {"seq": seq, "op": op}
+        record.update(payload)
+        encoded = json.dumps(record, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+        line = b"%08x %s\n" % (zlib.crc32(encoded), encoded)
+        if self._handle is None:
+            self._handle = open(self._wal_path, "ab")
+        self._handle.write(line)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._next_seq = seq + 1
+        # Chaos hook: a "truncate"/"corrupt" rule at this site damages the
+        # WAL exactly as a crash mid-append would.
+        if _faults.active_plan() is not None:
+            _faults.damage_file("wal.append", self._wal_path)
+        return seq
+
+    def recover_records(self, after_seq: int) -> Tuple[List[Dict[str, object]],
+                                                       RecoveryReport]:
+        """Read and verify every record with ``seq > after_seq``.
+
+        Returns the records in order plus a :class:`RecoveryReport`.  A torn
+        tail is dropped and reported; any earlier damage (bad CRC, malformed
+        JSON, sequence gap) raises :class:`JournalError`.
+        """
+        report = RecoveryReport(snapshot_seq=after_seq, replayed=0,
+                                last_seq=after_seq)
+        if not os.path.isfile(self._wal_path):
+            return [], report
+        with open(self._wal_path, "rb") as handle:
+            raw = handle.read()
+        if not raw:
+            return [], report
+        lines = raw.split(b"\n")
+        trailing = lines[-1]
+        complete = lines[:-1]
+        if trailing:
+            report.dropped_tail = True
+            report.notes.append(
+                f"dropped unterminated trailing record ({len(trailing)} bytes)")
+        records: List[Dict[str, object]] = []
+        expected_seq: Optional[int] = None
+        for position, line in enumerate(complete):
+            if not line:
+                continue
+            record = self._parse_line(line)
+            if record is None:
+                if position == len(complete) - 1 and not trailing:
+                    report.dropped_tail = True
+                    report.notes.append("dropped final record with bad checksum")
+                    break
+                raise JournalError(
+                    f"{self._wal_path!r}: corrupted record at line "
+                    f"{position + 1} (not at the tail) — journal cannot be trusted")
+            seq = int(record["seq"])
+            if expected_seq is not None and seq != expected_seq:
+                raise JournalError(
+                    f"{self._wal_path!r}: sequence gap at line {position + 1} "
+                    f"(expected seq {expected_seq}, found {seq})")
+            expected_seq = seq + 1
+            if seq <= after_seq:
+                continue
+            records.append(record)
+            report.replayed += 1
+            report.last_seq = seq
+        self._next_seq = max(self._next_seq, report.last_seq + 1)
+        return records, report
+
+    @staticmethod
+    def _parse_line(line: bytes) -> Optional[Dict[str, object]]:
+        """Decode one framed record; ``None`` for any damage."""
+        if len(line) < 10 or line[8:9] != b" ":
+            return None
+        try:
+            declared = int(line[:8], 16)
+        except ValueError:
+            return None
+        payload = line[9:]
+        if zlib.crc32(payload) != declared:
+            return None
+        try:
+            record = json.loads(payload)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(record, dict) or "seq" not in record or "op" not in record:
+            return None
+        return record
+
+    def truncate(self) -> None:
+        """Reset the WAL (after a snapshot made its records redundant)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        _atomic_write_bytes(self._wal_path, b"", self.fsync)
+
+    def checkpoint(self, graph: Graph) -> None:
+        """Snapshot the current graph state and truncate the WAL.
+
+        Crash-safe in every window: before the meta commit the old snapshot
+        plus the full WAL recover the same state; after it the WAL records
+        covered by the new snapshot are skipped by their sequence numbers.
+        """
+        self.write_snapshot(graph, self._next_seq - 1)
+        self.truncate()
+
+    def close(self) -> None:
+        """Close the append handle (recovery re-opens lazily)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

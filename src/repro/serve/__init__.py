@@ -33,7 +33,8 @@ import numpy as np
 from repro.core.artifact import FittedEnsemble, GraphLike
 
 __all__ = ["BatchScorer", "ServeResult", "load_scorer",
-           "StreamingScorer", "Microbatcher", "load_streaming_scorer"]
+           "StreamingScorer", "Microbatcher", "OverloadedError",
+           "load_streaming_scorer"]
 
 
 @dataclass
@@ -125,4 +126,4 @@ def load_scorer(artifact_path: str) -> BatchScorer:
 # Imported last: repro.serve.streaming consumes ServeResult from this module,
 # so the streaming engine must load after the batch surface is defined.
 from repro.serve.streaming import (  # noqa: E402
-    Microbatcher, StreamingScorer, load_streaming_scorer)
+    Microbatcher, OverloadedError, StreamingScorer, load_streaming_scorer)

@@ -33,6 +33,11 @@ a JSONL file of mutation/query operations replayed in order::
 ``nodes`` scores every node.  The run reports mutation/query counts and the
 p50/p99 query latency; ``--output``/``--proba-output`` write the final
 ``score`` result.
+
+Exit codes are stable so supervisors can react without scraping stderr:
+``0`` success, ``2`` argument errors (argparse), ``3`` the artifact or the
+initial dataset failed to load, ``4`` the stream replay failed (malformed
+log line — reported with its line number — or a failing operation).
 """
 
 from __future__ import annotations
@@ -48,6 +53,15 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.serve import BatchScorer, StreamingScorer
+
+#: Stable process exit codes (argparse owns 2 for usage errors).
+EXIT_OK = 0
+EXIT_LOAD_ERROR = 3
+EXIT_REPLAY_ERROR = 4
+
+
+class ReplayError(ValueError):
+    """A streaming-log replay failed; the message pins ``path:line``."""
 
 
 def _load_request_graph(data: str, scale: Optional[float], seed: Optional[int]) -> Graph:
@@ -118,30 +132,36 @@ def _run_stream(scorer: StreamingScorer, log_path: str, arguments) -> int:
                 entry = json.loads(line)
                 operation = entry["op"]
             except (json.JSONDecodeError, KeyError, TypeError) as error:
-                raise ValueError(
+                raise ReplayError(
                     f"{log_path}:{line_number}: not a valid operation: {error}")
-            if operation == "add_nodes":
-                scorer.add_nodes(np.asarray(entry["features"], dtype=np.float64))
-                mutations += 1
-            elif operation == "add_edges":
-                scorer.add_edges(np.asarray(entry["edges"], dtype=np.int64),
-                                 edge_weight=entry.get("weights"))
-                mutations += 1
-            elif operation == "remove_edges":
-                scorer.remove_edges(np.asarray(entry["edges"], dtype=np.int64))
-                mutations += 1
-            elif operation == "update_features":
-                scorer.update_features(np.asarray(entry["nodes"], dtype=np.int64),
-                                       np.asarray(entry["features"], dtype=np.float64))
-                mutations += 1
-            elif operation == "score":
-                nodes = entry.get("nodes")
-                result = scorer.score(
-                    None if nodes is None else np.asarray(nodes, dtype=np.int64))
-                latencies.append(result.latency_seconds)
-            else:
-                raise ValueError(
-                    f"{log_path}:{line_number}: unknown operation {operation!r}")
+            try:
+                if operation == "add_nodes":
+                    scorer.add_nodes(np.asarray(entry["features"], dtype=np.float64))
+                    mutations += 1
+                elif operation == "add_edges":
+                    scorer.add_edges(np.asarray(entry["edges"], dtype=np.int64),
+                                     edge_weight=entry.get("weights"))
+                    mutations += 1
+                elif operation == "remove_edges":
+                    scorer.remove_edges(np.asarray(entry["edges"], dtype=np.int64))
+                    mutations += 1
+                elif operation == "update_features":
+                    scorer.update_features(np.asarray(entry["nodes"], dtype=np.int64),
+                                           np.asarray(entry["features"], dtype=np.float64))
+                    mutations += 1
+                elif operation == "score":
+                    nodes = entry.get("nodes")
+                    result = scorer.score(
+                        None if nodes is None else np.asarray(nodes, dtype=np.int64))
+                    latencies.append(result.latency_seconds)
+                else:
+                    raise ReplayError(
+                        f"{log_path}:{line_number}: unknown operation {operation!r}")
+            except ReplayError:
+                raise
+            except Exception as error:
+                raise ReplayError(
+                    f"{log_path}:{line_number}: {operation!r} failed: {error}")
     summary = scorer.describe()
     print(f"replayed : {mutations} mutations, {len(latencies)} queries "
           f"(graph now {summary['num_nodes']} nodes, "
@@ -163,24 +183,43 @@ def _run_stream(scorer: StreamingScorer, log_path: str, arguments) -> int:
 
 
 def main(argv=None) -> int:
-    """Entry point; returns a process exit code (0 on success)."""
+    """Entry point; returns a stable process exit code (see module docstring)."""
     arguments = build_parser().parse_args(argv)
 
     load_start = time.perf_counter()
-    graph = _load_request_graph(arguments.data, arguments.scale, arguments.seed)
+    try:
+        graph = _load_request_graph(arguments.data, arguments.scale, arguments.seed)
+    except Exception as error:
+        print(f"error: failed to load dataset {arguments.data!r}: {error}",
+              file=sys.stderr)
+        return EXIT_LOAD_ERROR
     data_seconds = time.perf_counter() - load_start
 
     if arguments.stream:
-        scorer = StreamingScorer(arguments.artifact, graph)
+        try:
+            scorer = StreamingScorer(arguments.artifact, graph)
+        except Exception as error:
+            print(f"error: failed to load artifact {arguments.artifact!r}: "
+                  f"{error}", file=sys.stderr)
+            return EXIT_LOAD_ERROR
         summary = scorer.ensemble.describe()
         print(f"artifact : {arguments.artifact} "
               f"(pool={summary['pool']}, splits={summary['splits']}, "
               f"members={summary['members']}, dtype={summary['compute_dtype']}) "
               f"loaded in {scorer.load_seconds:.3f}s")
         print(f"initial  : {graph} loaded in {data_seconds:.3f}s")
-        return _run_stream(scorer, arguments.stream, arguments)
+        try:
+            return _run_stream(scorer, arguments.stream, arguments)
+        except (ReplayError, OSError) as error:
+            print(f"error: stream replay failed: {error}", file=sys.stderr)
+            return EXIT_REPLAY_ERROR
 
-    scorer = BatchScorer(arguments.artifact)
+    try:
+        scorer = BatchScorer(arguments.artifact)
+    except Exception as error:
+        print(f"error: failed to load artifact {arguments.artifact!r}: "
+              f"{error}", file=sys.stderr)
+        return EXIT_LOAD_ERROR
     summary = scorer.ensemble.describe()
     print(f"artifact : {arguments.artifact} "
           f"(pool={summary['pool']}, splits={summary['splits']}, "

@@ -58,9 +58,14 @@ from repro.graph.graph import Graph
 from repro.graph.streaming import MutableServingGraph, MutationDelta, rows_touching_columns
 from repro.nn.data import GraphTensors
 from repro.parallel.cache import compute_cache
+from repro.resilience.wal import RecoveryReport
 from repro.serve import ServeResult
 
-__all__ = ["StreamingScorer", "Microbatcher"]
+__all__ = ["StreamingScorer", "Microbatcher", "OverloadedError"]
+
+
+class OverloadedError(RuntimeError):
+    """A score request was shed: the queue is full or its deadline expired."""
 
 
 class Microbatcher:
@@ -73,17 +78,73 @@ class Microbatcher:
     caller must hold the scorer's lock around :meth:`result_for`, which is
     what turns "many threads calling score" into "one forward pass, many
     slices" without any torn state.
+
+    Overload protection: ``max_pending`` bounds how many requests may queue
+    behind the computing thread (:meth:`admit` rejects the excess with
+    :class:`OverloadedError` *before* they block on the scorer lock), and
+    ``deadline_seconds`` sheds requests that waited longer than their
+    deadline for the lock (:meth:`check_deadline`) — a stale answer served
+    late is worse than a fast rejection the client can retry against a
+    less-loaded replica.  Counters are guarded by an internal lock, so
+    :meth:`stats` is consistent even when callers race :meth:`result_for`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_pending: Optional[int] = None,
+                 deadline_seconds: Optional[float] = None) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be a positive integer or None")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive or None")
+        self.max_pending = max_pending
+        self.deadline_seconds = deadline_seconds
         #: Total requests routed through the batcher.
         self.requests = 0
         #: Full forward passes actually executed (one per served version).
         self.forward_passes = 0
         #: Requests answered from an already-computed version's matrix.
         self.coalesced = 0
+        #: Requests rejected by admission control or deadline shedding.
+        self.shed = 0
+        #: Requests admitted and not yet released.
+        self.pending = 0
         self._version = -1
         self._probabilities: Optional[np.ndarray] = None
+        self._counter_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Admission control / load shedding
+    # ------------------------------------------------------------------
+    def admit(self) -> float:
+        """Reserve a queue slot; returns the admission timestamp.
+
+        Raises :class:`OverloadedError` when ``max_pending`` slots are taken.
+        Callers must pair every successful admit with :meth:`release`.
+        """
+        with self._counter_lock:
+            if self.max_pending is not None and self.pending >= self.max_pending:
+                self.shed += 1
+                raise OverloadedError(
+                    f"request shed: {self.pending} requests already pending "
+                    f"(max_pending={self.max_pending})")
+            self.pending += 1
+        return time.perf_counter()
+
+    def check_deadline(self, admitted_at: float) -> None:
+        """Shed a request that waited past its deadline for the lock."""
+        if self.deadline_seconds is None:
+            return
+        waited = time.perf_counter() - admitted_at
+        if waited > self.deadline_seconds:
+            with self._counter_lock:
+                self.shed += 1
+            raise OverloadedError(
+                f"request shed: waited {waited:.3f}s for the scorer, past the "
+                f"deadline of {self.deadline_seconds}s")
+
+    def release(self) -> None:
+        """Free the slot reserved by :meth:`admit` (call from ``finally``)."""
+        with self._counter_lock:
+            self.pending -= 1
 
     def result_for(self, version: int,
                    compute: Callable[[], np.ndarray]) -> np.ndarray:
@@ -92,20 +153,27 @@ class Microbatcher:
         ``compute`` runs only when ``version`` differs from the cached one;
         the result is retained until the next version supersedes it.
         """
-        self.requests += 1
+        with self._counter_lock:
+            self.requests += 1
         if self._version != version:
             self._probabilities = compute()
             self._version = version
-            self.forward_passes += 1
+            with self._counter_lock:
+                self.forward_passes += 1
         else:
-            self.coalesced += 1
+            with self._counter_lock:
+                self.coalesced += 1
         return self._probabilities  # type: ignore[return-value]
 
     def stats(self) -> Dict[str, int]:
-        """Request/pass/coalescing counters (reported by ``describe``)."""
-        return {"requests": self.requests,
-                "forward_passes": self.forward_passes,
-                "coalesced": self.coalesced}
+        """Request/pass/coalescing/shedding counters (reported by ``describe``)."""
+        with self._counter_lock:
+            return {"requests": self.requests,
+                    "forward_passes": self.forward_passes,
+                    "coalesced": self.coalesced,
+                    "shed": self.shed,
+                    "pending": self.pending,
+                    "max_pending": self.max_pending}
 
 
 class StreamingScorer:
@@ -127,6 +195,17 @@ class StreamingScorer:
         the engine recomputes the full product instead of slicing (a sliced
         recompute of most rows costs more than one full pass).  Parity is
         unaffected — the two paths produce identical bits.
+    journal_dir / fsync:
+        When ``journal_dir`` is given (and ``graph`` is a plain
+        :class:`~repro.graph.graph.Graph`), the mutable graph persists a
+        checksummed snapshot plus a write-ahead journal there, so a crashed
+        scorer can be rebuilt bit-identically via :meth:`recover`.  ``fsync``
+        trades append latency for durability across power loss.
+    max_pending / deadline_seconds:
+        Overload protection, forwarded to the :class:`Microbatcher`:
+        requests beyond ``max_pending`` concurrent in-flight calls, or that
+        waited longer than ``deadline_seconds`` for the scorer lock, are
+        shed with :class:`OverloadedError` instead of being served late.
 
     The mutation API (:meth:`add_nodes`, :meth:`add_edges`,
     :meth:`remove_edges`, :meth:`update_features`) journals cheaply; the next
@@ -137,7 +216,11 @@ class StreamingScorer:
 
     def __init__(self, artifact: Union[str, FittedEnsemble],
                  graph: Union[Graph, MutableServingGraph],
-                 full_rebuild_fraction: float = 0.25) -> None:
+                 full_rebuild_fraction: float = 0.25,
+                 journal_dir: Optional[str] = None,
+                 fsync: bool = False,
+                 max_pending: Optional[int] = None,
+                 deadline_seconds: Optional[float] = None) -> None:
         start = time.perf_counter()
         if isinstance(artifact, FittedEnsemble):
             self.ensemble = artifact
@@ -146,9 +229,15 @@ class StreamingScorer:
             self.ensemble = FittedEnsemble.load(artifact)
             self.artifact_path = artifact
         if isinstance(graph, MutableServingGraph):
+            if journal_dir is not None:
+                raise ValueError(
+                    "journal_dir only applies when constructing from a plain "
+                    "Graph; the adopted MutableServingGraph already owns its "
+                    "journal configuration")
             self.graph = graph
         else:
-            self.graph = MutableServingGraph(graph)
+            self.graph = MutableServingGraph(graph, journal_dir=journal_dir,
+                                             fsync=fsync)
         if self.graph.num_features != self.ensemble.num_features:
             raise ArtifactError(
                 f"feature schema mismatch: the ensemble was fitted on "
@@ -158,7 +247,8 @@ class StreamingScorer:
             raise ValueError("full_rebuild_fraction must be in (0, 1]")
         self.full_rebuild_fraction = float(full_rebuild_fraction)
         self.dtype = np.dtype(self.ensemble.compute_dtype)
-        self.batcher = Microbatcher()
+        self.batcher = Microbatcher(max_pending=max_pending,
+                                    deadline_seconds=deadline_seconds)
         self._lock = threading.RLock()
         # Serving-state masters, all in the artifact's compute dtype.
         self._operators: Dict[str, sp.csr_matrix] = {}
@@ -231,30 +321,39 @@ class StreamingScorer:
         probability matrix is computed at most once per graph version — see
         :class:`Microbatcher` — so concurrent and repeated requests against
         an unchanged graph cost one row-slice each.
+
+        Raises :class:`OverloadedError` when the request is shed by the
+        bounded queue or its lock-wait deadline (overloaded scorer); shed
+        requests never partially execute.
         """
         start = time.perf_counter()
-        with self._lock:
-            self.flush()
-            version = self.graph.version
-            probabilities = self.batcher.result_for(
-                version, self._compute_probabilities)
-            if nodes is None:
-                nodes = np.arange(probabilities.shape[0])
-                selected = probabilities
-            else:
-                nodes = np.asarray(nodes, dtype=np.int64)
-                selected = probabilities[nodes]
-            result = ServeResult(
-                probabilities=selected,
-                predictions=selected.argmax(axis=1),
-                nodes=nodes,
-                latency_seconds=time.perf_counter() - start,
-                metadata={"artifact": self.artifact_path,
-                          "graph_version": version,
-                          "request_index": self.requests_served},
-            )
-            self.requests_served += 1
-            return result
+        admitted_at = self.batcher.admit()
+        try:
+            with self._lock:
+                self.batcher.check_deadline(admitted_at)
+                self.flush()
+                version = self.graph.version
+                probabilities = self.batcher.result_for(
+                    version, self._compute_probabilities)
+                if nodes is None:
+                    nodes = np.arange(probabilities.shape[0])
+                    selected = probabilities
+                else:
+                    nodes = np.asarray(nodes, dtype=np.int64)
+                    selected = probabilities[nodes]
+                result = ServeResult(
+                    probabilities=selected,
+                    predictions=selected.argmax(axis=1),
+                    nodes=nodes,
+                    latency_seconds=time.perf_counter() - start,
+                    metadata={"artifact": self.artifact_path,
+                              "graph_version": version,
+                              "request_index": self.requests_served},
+                )
+                self.requests_served += 1
+                return result
+        finally:
+            self.batcher.release()
 
     def describe(self) -> Dict[str, object]:
         """Ensemble summary plus streaming counters (logs/health endpoints)."""
@@ -269,8 +368,53 @@ class StreamingScorer:
                 "num_nodes": self.graph.num_nodes,
                 "microbatcher": self.batcher.stats(),
                 "streaming": dict(self._stats),
+                "health": self._health_view(),
             })
             return summary
+
+    def _health_view(self) -> Dict[str, object]:
+        """Readiness snapshot: queue saturation, shed count, journal status."""
+        stats = self.batcher.stats()
+        saturated = (stats["max_pending"] is not None
+                     and stats["pending"] >= stats["max_pending"])
+        return {
+            "status": "overloaded" if saturated else "ok",
+            "pending": stats["pending"],
+            "max_pending": stats["max_pending"],
+            "shed": stats["shed"],
+            "deadline_seconds": self.batcher.deadline_seconds,
+            "journal": self.graph.journal_info(),
+        }
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(cls, artifact: Union[str, FittedEnsemble], journal_dir: str,
+                fsync: bool = False,
+                **kwargs: object) -> Tuple["StreamingScorer", RecoveryReport]:
+        """Rebuild a scorer from a crashed instance's journal directory.
+
+        Reads the checksummed snapshot, replays the intact prefix of the
+        write-ahead journal (a torn trailing record from a mid-append crash
+        is dropped and reported; see
+        :meth:`~repro.graph.streaming.MutableServingGraph.recover`), and
+        serves scores **bit-identical** to the pre-crash instance.  Returns
+        the scorer together with the :class:`RecoveryReport`.
+        """
+        graph, report = MutableServingGraph.recover(journal_dir, fsync=fsync)
+        scorer = cls(artifact, graph, **kwargs)  # type: ignore[arg-type]
+        return scorer, report
+
+    def checkpoint(self) -> None:
+        """Compact the journal: flush, snapshot the live state, truncate.
+
+        Bounds recovery time after long mutation streams.  Requires the
+        scorer to have been constructed with ``journal_dir`` (or recovered).
+        """
+        with self._lock:
+            self.flush()
+            self.graph.checkpoint()
 
     # ------------------------------------------------------------------
     # Incremental state maintenance

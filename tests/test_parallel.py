@@ -491,3 +491,118 @@ def test_spmm_gradient_uses_cached_transpose(tiny_data):
     out.backward(np.ones_like(out.data))
     expected = tiny_data.adj_sym.matrix.T.tocsr() @ np.ones((tiny_data.num_nodes, 2))
     assert np.allclose(dense.grad, expected)
+
+
+# ----------------------------------------------------------------------
+# Pool shutdown hardening (resilience PR)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ("thread", "process"))
+def test_pool_close_is_idempotent(name):
+    backend = get_backend(name, max_workers=2)
+    assert backend.map(_square, [1, 2, 3]).results == [1, 4, 9]
+    backend.close()
+    backend.close()  # second close must be a no-op, not an error
+    # A closed backend lazily re-creates its pool on the next map.
+    assert backend.map(_square, [4]).results == [16]
+    backend.close()
+
+
+def test_close_after_broken_pool_never_raises():
+    """Shutting down a pool whose workers died must stay silent.
+
+    ``close()`` runs from ``finally`` blocks and ``__exit__`` — an exception
+    there would mask the original error that broke the pool.
+    """
+    from repro.resilience import FaultPlan, FaultRule
+
+    backend = get_backend("process", max_workers=2)
+    plan = FaultPlan([FaultRule(site="backend.task", kind="crash",
+                                backends=("process",))])
+    with plan.installed():
+        with pytest.raises(Exception):
+            backend.map(_square, [1, 2, 3, 4])
+    backend.close()  # pool is broken: close still must not raise
+    backend.close()
+    # And the backend recovers: a fresh pool serves the next map.
+    assert backend.map(_square, [5]).results == [25]
+    backend.close()
+
+
+def test_keyboard_interrupt_mid_map_leaves_backend_closable():
+    """A ^C between submissions must not wedge or raise out of cleanup."""
+    backend = get_backend("thread", max_workers=2)
+
+    calls = []
+
+    def interrupting(x):
+        calls.append(x)
+        if len(calls) == 2:
+            raise KeyboardInterrupt
+        return x
+
+    with pytest.raises(KeyboardInterrupt):
+        backend.map(interrupting, list(range(6)))
+    backend.close()
+    backend.close()
+    assert backend.map(_square, [3]).results == [9]
+    backend.close()
+
+
+def test_pool_del_never_raises():
+    backend = get_backend("thread", max_workers=1)
+    backend.map(_square, [1])
+    backend.__del__()  # live pool: shutdown(wait=False)
+    backend.__del__()  # already-released pool: no-op
+    closed = get_backend("thread", max_workers=1)
+    closed.close()
+    closed.__del__()
+
+
+def test_compute_cache_invalidate_racing_eviction_accounting():
+    """invalidate() racing LRU eviction never corrupts byte accounting.
+
+    A tiny cache forces evictions on almost every insert while another
+    thread invalidates fingerprints; whatever interleaving occurs, the
+    resident byte total must equal the sum of the surviving entries' sizes
+    and never go negative.
+    """
+    cache = ComputeCache(max_items=4, max_bytes=1 << 16)
+    stop = threading.Event()
+    errors = []
+
+    def inserter(worker):
+        try:
+            step = 0
+            while not stop.is_set():
+                fingerprint = f"fp{(worker * 7 + step) % 5}"
+                cache.get_or_compute(
+                    f"norm:sym:{step % 13}:float64:{fingerprint}",
+                    lambda: np.zeros(8))
+                step += 1
+        except Exception as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+
+    def invalidator():
+        try:
+            step = 0
+            while not stop.is_set():
+                cache.invalidate(f"fp{step % 5}")
+                assert cache.total_bytes >= 0
+                step += 1
+        except Exception as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+
+    threads = [threading.Thread(target=inserter, args=(i,)) for i in range(3)]
+    threads.append(threading.Thread(target=invalidator))
+    for thread in threads:
+        thread.start()
+    time.sleep(0.4)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert errors == []
+    stats = cache.stats()
+    assert cache.total_bytes >= 0
+    assert cache.total_bytes == sum(cache._nbytes.values())
+    assert stats["entries"] == len(cache._nbytes)
+    assert stats["entries"] <= 4

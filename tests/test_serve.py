@@ -209,29 +209,52 @@ class TestServeCLI:
         assert len(rows) == graph.num_nodes + 1
         assert np.load(proba_out).shape[0] == graph.num_nodes + 1
 
-    def test_main_stream_rejects_malformed_log(self, served, tmp_path):
+    def test_main_stream_rejects_malformed_log(self, served, tmp_path, capsys):
+        """A malformed log line exits 4 and pins the offending line number."""
         _, _, path, _ = served
         log = tmp_path / "bad.jsonl"
         log.write_text('{"op": "frobnicate"}\n')
-        with pytest.raises(ValueError, match="bad.jsonl:1"):
-            main(["--artifact", path, "--data", "kddcup-A",
-                  "--scale", str(DATASET_ARGS["scale"]),
-                  "--seed", str(DATASET_ARGS["seed"]),
-                  "--stream", str(log)])
+        code = main(["--artifact", path, "--data", "kddcup-A",
+                     "--scale", str(DATASET_ARGS["scale"]),
+                     "--seed", str(DATASET_ARGS["seed"]),
+                     "--stream", str(log)])
+        assert code == 4
+        assert "bad.jsonl:1" in capsys.readouterr().err
 
-    def test_main_rejects_missing_artifact(self, tmp_path):
-        from repro import ArtifactError
+    def test_main_stream_missing_log_exits_replay_code(self, served, tmp_path,
+                                                       capsys):
+        _, _, path, _ = served
+        code = main(["--artifact", path, "--data", "kddcup-A",
+                     "--scale", str(DATASET_ARGS["scale"]),
+                     "--seed", str(DATASET_ARGS["seed"]),
+                     "--stream", str(tmp_path / "absent.jsonl")])
+        assert code == 4
+        assert "stream replay failed" in capsys.readouterr().err
 
-        with pytest.raises(ArtifactError):
-            main(["--artifact", str(tmp_path / "missing"), "--data", "kddcup-A",
-                  "--scale", "0.15"])
+    def test_main_rejects_missing_artifact(self, tmp_path, capsys):
+        code = main(["--artifact", str(tmp_path / "missing"),
+                     "--data", "kddcup-A", "--scale", "0.15"])
+        assert code == 3
+        assert "failed to load artifact" in capsys.readouterr().err
 
-    def test_unsupported_dataset_knob_fails_loudly(self, served):
+    def test_main_stream_rejects_missing_artifact(self, tmp_path, capsys):
+        log = tmp_path / "ops.jsonl"
+        log.write_text('{"op": "score"}\n')
+        code = main(["--artifact", str(tmp_path / "missing"),
+                     "--data", "kddcup-A", "--scale", "0.15",
+                     "--stream", str(log)])
+        assert code == 3
+        assert "failed to load artifact" in capsys.readouterr().err
+
+    def test_unsupported_dataset_knob_fails_loudly(self, served, capsys):
         """An explicit --scale a factory cannot honour must not be dropped.
 
         ``sbm-large`` has no ``scale`` knob: silently retrying without it
-        would score a different graph than the one the user asked for.
+        would score a different graph than the one the user asked for —
+        the run must die with the dataset-load exit code instead.
         """
         _, _, path, _ = served
-        with pytest.raises(TypeError, match="scale"):
-            main(["--artifact", path, "--data", "sbm-large", "--scale", "0.5"])
+        code = main(["--artifact", path, "--data", "sbm-large",
+                     "--scale", "0.5"])
+        assert code == 3
+        assert "scale" in capsys.readouterr().err

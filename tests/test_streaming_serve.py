@@ -311,7 +311,8 @@ class TestMicrobatcher:
         third = batcher.result_for(1, compute)
         assert len(calls) == 2 and third[0] == 2
         assert batcher.stats() == {"requests": 3, "forward_passes": 2,
-                                   "coalesced": 1}
+                                   "coalesced": 1, "shed": 0, "pending": 0,
+                                   "max_pending": None}
 
 
 # ----------------------------------------------------------------------

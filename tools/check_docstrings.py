@@ -34,6 +34,10 @@ GATED_MODULES = (
     "src/repro/datasets/generators.py",
     "src/repro/graph/streaming.py",
     "src/repro/serve/streaming.py",
+    "src/repro/resilience/__init__.py",
+    "src/repro/resilience/policy.py",
+    "src/repro/resilience/faults.py",
+    "src/repro/resilience/wal.py",
 )
 
 
