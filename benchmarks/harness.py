@@ -609,6 +609,74 @@ def streaming_serve_microbenchmark(requests: int = 240,
     }
 
 
+def sharded_scaling_microbenchmark(partitions: Sequence[int] = (1, 2, 4),
+                                   workers: Sequence[int] = (1, 2),
+                                   requests: int = 5,
+                                   prefit=None) -> Dict[str, float]:
+    """Partition-parallel scoring over a partitions × workers grid.
+
+    Scores the shared serving workload through ``BatchScorer`` at every
+    partition count (serial shard execution, plus the thread backend at each
+    worker count for multi-partition plans), asserting each configuration
+    bit-identical to the unsharded reference before timing it.  Also records
+    the halo-exchange overhead — the fraction of replicated (halo) rows each
+    partition carries on top of its owned rows, which is exactly the extra
+    propagation work sharding pays for bitwise parity.
+
+    The headline baseline field is ``sharded_overhead``: the paired ratio of
+    the largest serial sharded grid point to the unsharded score on the same
+    machine and graph.  Like the other paired gates it normalizes runner
+    speed away, so the CI regression gate can hold the cost of sharding
+    (slicing + halo recompute) to a bounded multiple of a plain score.
+    """
+    import time as _time
+
+    from repro.serve import BatchScorer
+
+    graph, fitted, _ = prefit or _serving_workload()
+    reference = fitted.predict_proba(graph)
+    results: Dict[str, float] = {}
+    for num_partitions in partitions:
+        worker_grid = tuple(workers) if num_partitions > 1 else (1,)
+        for num_workers in worker_grid:
+            backend = "serial" if num_workers == 1 else "thread"
+            scorer = BatchScorer(fitted, num_partitions=num_partitions,
+                                 shard_backend=backend, max_workers=num_workers)
+            try:
+                warm = scorer.score(graph)
+                assert np.array_equal(warm.probabilities, reference), \
+                    (f"sharded scoring diverged at P={num_partitions} "
+                     f"workers={num_workers}")
+                latencies = []
+                for _ in range(max(requests, 1)):
+                    start = _time.perf_counter()
+                    scorer.score(graph)
+                    latencies.append(_time.perf_counter() - start)
+            finally:
+                scorer.close()
+            key = f"sharded_p{num_partitions}_w{num_workers}_seconds"
+            results[key] = float(np.median(latencies))
+    # Halo-exchange overhead of the largest grid plan: replicated rows per
+    # owned row (the extra memory traffic and propagation work per shard).
+    from repro.graph.partition import partition_graph
+
+    largest = max(partitions)
+    if largest > 1:
+        plan = partition_graph(graph, largest,
+                               halo_hops=fitted.receptive_field(), seed=0)
+        summary = plan.describe()
+        halo = float(np.sum(summary["halo_sizes"]))
+        owned = float(np.sum(summary["owned_sizes"]))
+        results[f"sharded_halo_fraction_p{largest}"] = halo / max(owned, 1.0)
+        results["sharded_edge_cut"] = float(summary["edge_cut"])
+        baseline_key = "sharded_p1_w1_seconds"
+        grid_key = f"sharded_p{largest}_w1_seconds"
+        if baseline_key in results and grid_key in results:
+            results["sharded_overhead"] = \
+                results[grid_key] / max(results[baseline_key], 1e-9)
+    return results
+
+
 def resilience_overhead_microbenchmark(rounds: int = 7,
                                        epochs: int = 5) -> Dict[str, float]:
     """Cost of the supervision machinery on the fault-free hot path.
@@ -819,6 +887,7 @@ def emit_runtime_baseline(path: str, repeats: int = 5) -> Dict[str, float]:
     prefit = _serving_workload()
     payload.update(serve_latency_microbenchmark(prefit=prefit))
     payload.update(streaming_serve_microbenchmark(prefit=prefit))
+    payload.update(sharded_scaling_microbenchmark(prefit=prefit))
     payload.update(capture_speedup_study())
     engine = capture_engine_microbenchmark()
     payload["engine_speedup"] = engine["engine_speedup"]
@@ -899,6 +968,25 @@ def check_runtime_regression(path: str, max_regression: float = 0.25,
                 f"{required:.2f}x (baseline {baseline['streaming_speedup']:.2f}x "
                 f"-{max_regression:.0%})")
         report.update(streaming_report)
+
+    if "sharded_overhead" in baseline:
+        # Sharded gate: the paired sharded-vs-unsharded score ratio, measured
+        # fresh (runner speed cancels).  Holds the cost of partition-parallel
+        # scoring — view slicing plus halo recompute — near the baseline.
+        sharded = sharded_scaling_microbenchmark()
+        sharded_limit = baseline["sharded_overhead"] * (1.0 + max_regression)
+        sharded_report = {
+            "sharded_overhead": sharded["sharded_overhead"],
+            "sharded_edge_cut": sharded["sharded_edge_cut"],
+        }
+        print("sharded regression gate:", sharded_report)
+        if sharded["sharded_overhead"] > sharded_limit:
+            raise SystemExit(
+                f"sharded scoring regressed: overhead vs unsharded "
+                f"{sharded['sharded_overhead']:.2f}x > limit "
+                f"{sharded_limit:.2f}x (baseline "
+                f"{baseline['sharded_overhead']:.2f}x +{max_regression:.0%})")
+        report.update(sharded_report)
     return report
 
 

@@ -1,0 +1,98 @@
+"""Partitioned (sharded) training and serving on one machine.
+
+Graphs that outgrow a worker's working set are split by
+``repro.graph.partition`` into ``P`` disjoint *owned* node blocks plus halo
+rings — the k-hop fringe each shard needs read-only so k-hop propagation at
+the owned nodes is exact.  Scoring then runs partition-parallel and stays
+**bit-for-bit identical** to the serial pass.  This example walks the whole
+surface on a mid-sized synthetic graph:
+
+1. partition the graph and inspect the plan (balance, halo overhead, cut),
+2. fit with ``shared_graph=True`` — process workers map the graph tensors
+   from shared memory instead of unpickling a copy per task,
+3. serve sharded via ``BatchScorer(num_partitions=...)`` and verify the
+   scores equal the unsharded reference bitwise,
+4. survive a lost shard: a crashed partition worker retries and the
+   result does not change by one bit.
+
+Run with::
+
+    python examples/sharded_graph.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AutoHEnsGNN, AutoHEnsGNNConfig
+from repro.core.config import ProxyConfig
+from repro.datasets.generators import make_large_sbm
+from repro.graph.partition import partition_graph
+from repro.graph.splits import random_split
+from repro.resilience import FaultPlan, FaultRule, ResiliencePolicy
+from repro.serve import BatchScorer
+from repro.tasks.trainer import TrainConfig
+
+
+def main() -> None:
+    graph = make_large_sbm(num_nodes=4_000, num_classes=5, num_features=24,
+                           average_degree=8.0, seed=0, name="sbm-sharded")
+    graph = random_split(graph, val_fraction=0.2, seed=0)
+    print(f"Dataset: {graph}")
+
+    # ------------------------------------------------------------------
+    # 1. Partition the raw adjacency: owned blocks + halo rings.
+    # ------------------------------------------------------------------
+    plan = partition_graph(graph, num_partitions=4, halo_hops=2, seed=0)
+    summary = plan.describe()
+    print(f"\nPartition plan: {summary['num_partitions']} shards, "
+          f"owned sizes {summary['owned_sizes']}, "
+          f"halo sizes {summary['halo_sizes']}, "
+          f"edge cut {summary['edge_cut']:.2%}")
+
+    # ------------------------------------------------------------------
+    # 2. Fit with shared-memory graph publication for process workers.
+    # ------------------------------------------------------------------
+    config = AutoHEnsGNNConfig(
+        pool_size=2, ensemble_size=2, max_layers=2, search_epochs=6,
+        bagging_splits=1, hidden=24, candidate_models=["gcn", "sgc"],
+        proxy=ProxyConfig(dataset_fraction=0.4, bagging_rounds=1,
+                          hidden_fraction=0.5, max_epochs=6),
+        backend="process", max_workers=2, shared_graph=True, seed=0)
+    config.train = TrainConfig(lr=0.02, max_epochs=10, patience=5)
+    fitted = AutoHEnsGNN(config).fit(graph, pool=["gcn", "sgc"])
+    print(f"\nFitted: pool={fitted.pool}, members={fitted.num_members}, "
+          f"receptive field={fitted.receptive_field()} hops")
+
+    # ------------------------------------------------------------------
+    # 3. Sharded serving: bitwise-identical to the serial pass.
+    # ------------------------------------------------------------------
+    reference = fitted.predict_proba(graph)
+    with BatchScorer(fitted, num_partitions=4, shard_backend="thread",
+                     max_workers=2) as scorer:
+        result = scorer.score(graph)
+    identical = np.array_equal(result.probabilities, reference)
+    print(f"\nSharded scoring: {result.metadata['sharding']}")
+    print(f"bit-identical to serial: {identical}")
+    assert identical
+
+    # ------------------------------------------------------------------
+    # 4. Lose a shard worker mid-request; the retry changes nothing.
+    # ------------------------------------------------------------------
+    crash_once = FaultPlan([FaultRule(site="backend.task", kind="crash",
+                                      indices=(1,), attempts=(0,))])
+    with BatchScorer(fitted, num_partitions=4,
+                     resilience=ResiliencePolicy(max_retries=2,
+                                                 backoff_seconds=0.0)) as scorer:
+        with crash_once.installed():
+            recovered = scorer.score(graph)
+    print(f"\nAfter one injected shard crash: bit-identical="
+          f"{np.array_equal(recovered.probabilities, reference)} "
+          f"(fault fired {crash_once.fires(crash_once.rules[0])}x)")
+    assert np.array_equal(recovered.probabilities, reference)
+    print("\nDone: partitioned execution is an implementation detail — "
+          "same bits, bounded per-worker footprint.")
+
+
+if __name__ == "__main__":
+    main()

@@ -168,6 +168,23 @@ class FittedEnsemble:
         return sum(len(gse.members) for ensemble in self.ensembles
                    for gse in ensemble.ensembles)
 
+    def receptive_field(self) -> int:
+        """Widest propagation depth (hops) over every member model.
+
+        This is the halo width a sharded scorer needs: with halo rings out
+        to this distance, every owned node's k-hop neighbourhood is complete
+        inside its partition view, so partition-local propagation reproduces
+        the global forward pass bitwise at owned rows (see
+        :mod:`repro.graph.partition`).
+        """
+        hops = 1
+        for ensemble in self.ensembles:
+            for gse in ensemble.ensembles:
+                for member in gse.members:
+                    hops = max(hops, int(getattr(member, "receptive_field",
+                                                 member.num_layers)))
+        return hops
+
     def describe(self) -> Dict[str, object]:
         """JSON-safe summary of the fitted ensemble (pool, β, size, dtype)."""
         return {

@@ -142,6 +142,22 @@ class AutoHEnsGNNConfig:
         on by default and bit-identical to the dynamic engine at fixed
         seeds.  ``False`` forces the dynamic engine pipeline-wide (stage
         configs are ANDed with this switch).
+    num_partitions : int, optional
+        With a value ``> 1``, minibatch training stages group their seed
+        batches per edge-cut partition
+        (:func:`repro.graph.partition.partition_graph`) — see
+        ``TrainConfig.num_partitions`` for the locality/trajectory
+        trade-off.  Inherited by ``train`` wherever its own
+        ``num_partitions`` is ``None``.  Ignored in full-batch mode.
+    shared_graph : bool
+        On the ``"process"`` backend, publish the graph tensors once to a
+        shared-memory store (:mod:`repro.graph.shm`) and hand workers a
+        small handle: each worker maps the CSR operators and feature
+        blocks read-only instead of receiving a pickled copy, so per-worker
+        RSS stays near the model size rather than the graph size.
+        Bit-identical — the mapped bytes are exactly the published ones.
+        No effect on in-process backends (they already share by
+        reference).
     seed : int
         Master seed for every stage.
     verbose : bool
@@ -187,6 +203,12 @@ class AutoHEnsGNNConfig:
     # full-batch everywhere (bit-for-bit the historical behaviour).
     batch_size: Optional[int] = None
     fanouts: Optional[Tuple[int, ...]] = None
+    # Partition-local minibatch seed batching (repro.graph.partition): None =
+    # globally-shuffled batches (the historical trajectory).
+    num_partitions: Optional[int] = None
+    # Shared-memory graph publication for process workers (repro.graph.shm):
+    # map-read-only instead of unpickling; bit-identical either way.
+    shared_graph: bool = False
     # Capture-and-replay full-batch training (repro.autograd.capture):
     # record the epoch program once per training run, replay it with a
     # lifetime-planned buffer arena — bit-identical at fixed seeds.
@@ -284,6 +306,15 @@ class AutoHEnsGNNConfig:
             if invalid:
                 problems.append(f"{stage} entries must be positive neighbour caps "
                                 f"or -1 (keep all), got {tuple(fanouts)!r}")
+        for stage, partitions in (("num_partitions", self.num_partitions),
+                                  ("train.num_partitions",
+                                   self.train.num_partitions)):
+            if partitions is not None and numeric(stage, partitions) \
+                    and partitions < 0:
+                problems.append(f"{stage} must be None (global shuffle), 0/1 "
+                                f"(ditto) or a partition count, got {partitions!r}")
+        if not isinstance(self.shared_graph, bool):
+            problems.append(f"shared_graph must be a bool, got {self.shared_graph!r}")
         if self.resilience is not None:
             if isinstance(self.resilience, ResiliencePolicy):
                 problems.extend(f"resilience.{problem}"

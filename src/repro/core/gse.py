@@ -33,8 +33,16 @@ def fit_member(task) -> tuple:
     member's generator (dropout masks), and without restoring it a *second*
     ``fit`` on the same members would draw different masks under the process
     backend than under serial/thread — breaking the bit-for-bit contract.
+
+    ``data`` may arrive as a :class:`~repro.graph.shm.SharedGraphHandle`
+    (pipeline ``shared_graph`` mode): the worker then maps the published
+    graph tensors read-only from shared memory — identical bytes, so
+    training stays bit-for-bit the unpickled behaviour.
     """
+    from repro.graph.shm import resolve_graph_data
+
     member, alpha, data, labels, train_index, val_index, config = task
+    data = resolve_graph_data(data)
     trainer = NodeClassificationTrainer(config)
     result = trainer.train(member, data, labels, train_index, val_index,
                            layer_weights=alpha)

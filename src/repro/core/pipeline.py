@@ -46,7 +46,7 @@ from repro.core.selection import select_top_models
 from repro.graph.graph import Graph
 from repro.graph.splits import random_split
 from repro.nn.data import GraphTensors
-from repro.parallel.backends import ExecutionBackend, get_backend
+from repro.parallel.backends import ExecutionBackend, ProcessBackend, get_backend
 from repro.resilience.policy import FailureReport
 from repro.tasks.metrics import accuracy
 from repro.tasks.trainer import TrainConfig
@@ -81,6 +81,9 @@ class AutoHEnsGNN:
         self.hierarchical_ensembles: List[HierarchicalEnsemble] = []
         self.executor: ExecutionBackend = get_backend(self.config.backend,
                                                       max_workers=self.config.max_workers)
+        # Shared-memory graph store (config.shared_graph on the process
+        # backend); created per fit() run, closed in its finally.
+        self._shared_store = None
 
     # ------------------------------------------------------------------
     # Fit / predict
@@ -113,6 +116,9 @@ class AutoHEnsGNN:
             # Release pooled workers (process backends hold live interpreter
             # processes); the executor is re-created lazily on the next call.
             self.executor.close()
+            if self._shared_store is not None:
+                self._shared_store.close()
+                self._shared_store = None
 
     def fit_predict(self, graph: Graph, pool: Optional[Sequence[str]] = None) -> PipelineResult:
         """Fit on ``graph`` and return the fit-time predictions for every node.
@@ -143,6 +149,8 @@ class AutoHEnsGNN:
             if config.train.batch_size is not None else config.batch_size,
             fanouts=config.train.fanouts
             if config.train.fanouts is not None else config.fanouts,
+            num_partitions=config.train.num_partitions
+            if config.train.num_partitions is not None else config.num_partitions,
             capture=config.train.capture and config.capture)
         proxy_config = dataclasses_replace(
             config.proxy,
@@ -163,7 +171,8 @@ class AutoHEnsGNN:
         failure_reports: List[FailureReport] = []
         if pool is None:
             evaluator = ProxyEvaluator(proxy_config, candidates=config.candidate_models,
-                                       backend=self.executor, policy=policy)
+                                       backend=self.executor, policy=policy,
+                                       shared_graph=config.shared_graph)
             report = evaluator.evaluate(graph, seed=config.seed, budget=budget)
             proxy_ranking = report.ranking()
             failure_reports.extend(report.failures)
@@ -237,6 +246,23 @@ class AutoHEnsGNN:
         # 3. Re-training with bagging over data splits
         # ------------------------------------------------------------------
         train_start = time.time()
+        # shared_graph: publish the graph tensors once to a shared-memory
+        # store and hand process workers a small handle — every worker then
+        # maps the CSR operators and feature blocks read-only instead of
+        # unpickling its own copy of the graph.  The mapped bytes are the
+        # published bytes, so training is bit-identical either way.  Only
+        # the bagged re-training fans the full graph out per task (proxy
+        # evaluation ships its own sub-graph and publishes it itself; the
+        # adaptive search shares this executor but trains on grid-point
+        # sub-problems of the same data object in-process).
+        fanout_data: object = data
+        if config.shared_graph and isinstance(self.executor, ProcessBackend):
+            from repro.graph.shm import SharedGraphStore
+            # Closed (files unlinked) by fit()'s finally alongside the
+            # executor — the workers' existing mappings stay valid on Linux
+            # until they unmap, so closing cannot race a straggling task.
+            self._shared_store = SharedGraphStore()
+            fanout_data = self._shared_store.put_tensors(data)
         self.hierarchical_ensembles = []
         split_probabilities: List[np.ndarray] = []
         for split_index in range(max(config.bagging_splits, 1)):
@@ -262,7 +288,10 @@ class AutoHEnsGNN:
             # The N x K member models of this split train concurrently on the
             # configured backend; the split loop itself stays sequential so the
             # budget heuristic below can react to observed per-split cost.
-            hierarchical.fit(data, split_graph.labels,
+            # ``fanout_data`` is the shared-memory handle in shared_graph
+            # mode (workers resolve it); predictions below keep the real
+            # in-process ``data``.
+            hierarchical.fit(fanout_data, split_graph.labels,
                              split_graph.mask_indices("train"),
                              split_graph.mask_indices("val"),
                              train_config=train_config,

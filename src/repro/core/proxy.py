@@ -90,11 +90,16 @@ class ProxyEvaluationReport:
 
 @dataclass
 class _CandidateTask:
-    """Picklable description of one candidate evaluation (for process workers)."""
+    """Picklable description of one candidate evaluation (for process workers).
+
+    ``data``/``proxy_graph`` are the materialised objects, or
+    :class:`~repro.graph.shm.SharedGraphHandle` stand-ins in shared-graph
+    mode (resolved by :func:`_evaluate_candidate` in the worker).
+    """
 
     candidate: str
-    data: GraphTensors
-    proxy_graph: Graph
+    data: object       # GraphTensors | SharedGraphHandle
+    proxy_graph: object  # Graph | SharedGraphHandle
     num_classes: int
     hidden_fraction: float
     bagging_rounds: int
@@ -110,20 +115,27 @@ def _evaluate_candidate(task: _CandidateTask) -> CandidateScore:
     process pool, can run it; all randomness comes from the explicit seeds,
     so serial and parallel runs produce identical scores.
     """
+    from repro.graph.shm import resolve_graph, resolve_graph_data
+
     spec = get_model_spec(task.candidate)
     trainer = NodeClassificationTrainer(task.train_config)
+    # In shared-graph mode the task carries shared-memory handles instead of
+    # pickled copies; workers map the published proxy sub-graph read-only
+    # (identical bytes, so scores are unchanged).
+    task_data = resolve_graph_data(task.data)
+    proxy_graph = resolve_graph(task.proxy_graph)
     candidate_start = time.time()
     bag_scores: List[float] = []
     for bag in range(max(task.bagging_rounds, 1)):
-        split = random_split(task.proxy_graph, val_fraction=task.val_fraction,
+        split = random_split(proxy_graph, val_fraction=task.val_fraction,
                              seed=task.seed + 97 * bag)
         model = spec.build(
-            in_features=task.data.num_features,
+            in_features=task_data.num_features,
             num_classes=task.num_classes,
             hidden_fraction=task.hidden_fraction,
             seed=task.seed + bag,
         )
-        result = trainer.train(model, task.data, split.labels,
+        result = trainer.train(model, task_data, split.labels,
                                split.mask_indices("train"), split.mask_indices("val"))
         bag_scores.append(result.best_val_accuracy)
     mean, std = mean_and_std(bag_scores)
@@ -149,13 +161,18 @@ class ProxyEvaluator:
                  candidates: Optional[Sequence[str]] = None,
                  backend: BackendLike = None,
                  max_workers: Optional[int] = None,
-                 policy: Optional[ResiliencePolicy] = None) -> None:
+                 policy: Optional[ResiliencePolicy] = None,
+                 shared_graph: bool = False) -> None:
         self.config = config or ProxyConfig()
         self.candidates = list(candidates) if candidates is not None else available_models()
         self.backend = get_backend(backend, max_workers=max_workers)
         # With on_failure="drop" a crashing candidate is recorded and
         # excluded from the ranking instead of aborting model selection.
         self.policy = policy
+        # Publish the proxy sub-graph to shared memory for process workers
+        # (repro.graph.shm) instead of pickling it into every task; no
+        # effect on in-process backends.
+        self.shared_graph = shared_graph
 
     def close(self) -> None:
         """Release pooled workers (use the evaluator as a context manager)."""
@@ -212,6 +229,20 @@ class ProxyEvaluator:
         proxy_graph = sample_proxy_subgraph(graph, dataset_fraction, seed=seed)
         data = GraphTensors.from_graph(proxy_graph)
 
+        # Shared-graph mode (process backend only): every candidate task
+        # carries two small handles instead of a pickled sub-graph + tensor
+        # view per task; workers map the published bytes read-only.
+        store = None
+        task_data: object = data
+        task_graph: object = proxy_graph
+        if self.shared_graph:
+            from repro.graph.shm import SharedGraphStore
+            from repro.parallel.backends import ProcessBackend
+            if isinstance(self.backend, ProcessBackend):
+                store = SharedGraphStore()
+                task_data = store.put_tensors(data)
+                task_graph = store.put_graph(proxy_graph)
+
         train_config = TrainConfig(
             lr=config.lr,
             max_epochs=config.max_epochs,
@@ -227,8 +258,8 @@ class ProxyEvaluator:
         tasks = [
             _CandidateTask(
                 candidate=candidate,
-                data=data,
-                proxy_graph=proxy_graph,
+                data=task_data,
+                proxy_graph=task_graph,
                 num_classes=graph.num_classes,
                 hidden_fraction=hidden_fraction,
                 bagging_rounds=bagging_rounds,
@@ -242,8 +273,12 @@ class ProxyEvaluator:
         # backend stops launching further candidates (at least one always
         # completes so a pool can be selected) and the report records who
         # was skipped.
-        report = self.backend.map(_evaluate_candidate, tasks, budget=budget,
-                                  min_results=1, policy=self.policy)
+        try:
+            report = self.backend.map(_evaluate_candidate, tasks, budget=budget,
+                                      min_results=1, policy=self.policy)
+        finally:
+            if store is not None:
+                store.close()
         # Dropped candidates leave a None slot; attach their name so the
         # failure report is meaningful outside this call.
         for failure in report.failures:

@@ -15,6 +15,12 @@ This package is the substrate underneath every GNN in the repository:
 * :mod:`~repro.graph.batching` — block-diagonal batching of many small graphs
   for graph classification, and the :class:`~repro.graph.batching.SubgraphBatch`
   carrier for neighbour-sampled minibatches.
+* :mod:`~repro.graph.partition` — deterministic seeded edge-cut partitioning
+  with exact k-hop halo rings (:func:`~repro.graph.partition.partition_graph`),
+  the substrate for sharded scoring and per-partition minibatch locality.
+* :mod:`~repro.graph.shm` — shared-memory graph publication
+  (:class:`~repro.graph.shm.SharedGraphStore`): process-backend workers map
+  the CSR operators and feature blocks read-only instead of unpickling them.
 """
 
 from repro.graph.graph import Graph
@@ -36,6 +42,18 @@ from repro.graph.splits import (
     stratified_label_split,
 )
 from repro.graph.batching import GraphBatch, SubgraphBatch, collate_graphs
+from repro.graph.partition import (
+    Partition,
+    PartitionedGraph,
+    partition_graph,
+)
+from repro.graph.shm import (
+    SharedGraphHandle,
+    SharedGraphStore,
+    resolve_graph,
+    resolve_graph_data,
+    shared_store_paths,
+)
 
 __all__ = [
     "Graph",
@@ -53,4 +71,12 @@ __all__ = [
     "stratified_label_split",
     "GraphBatch",
     "collate_graphs",
+    "Partition",
+    "PartitionedGraph",
+    "partition_graph",
+    "SharedGraphHandle",
+    "SharedGraphStore",
+    "resolve_graph",
+    "resolve_graph_data",
+    "shared_store_paths",
 ]

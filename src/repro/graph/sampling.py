@@ -128,6 +128,14 @@ class NeighborSampler:
     def __init__(self, adjacency: Union[sp.spmatrix, Graph],
                  fanouts: Sequence[int], batch_size: int = 1024,
                  seed: int = 0) -> None:
+        # A PartitionedGraph (duck-typed: sampling is imported *by*
+        # repro.graph.partition, so naming the class here would cycle)
+        # contributes both its CSR and its ownership assignment, making it
+        # the natural argument for partition-local batching.
+        self._assignment: Optional[np.ndarray] = None
+        if hasattr(adjacency, "csr") and hasattr(adjacency, "assignment"):
+            self._assignment = np.asarray(adjacency.assignment)
+            adjacency = adjacency.csr
         if isinstance(adjacency, Graph):
             adjacency = self._cached_adjacency(adjacency)
         csr = adjacency.tocsr() if not isinstance(adjacency, sp.csr_matrix) else adjacency
@@ -203,6 +211,52 @@ class NeighborSampler:
             seed_nodes = rng.permutation(seed_nodes)
         for start in range(0, seed_nodes.shape[0], self.batch_size):
             yield self.sample(seed_nodes[start:start + self.batch_size], rng)
+
+    def iter_partition_batches(self, seed_nodes: np.ndarray,
+                               partitions: Union["np.ndarray", object, None] = None,
+                               epoch: int = 0,
+                               shuffle: bool = True) -> Iterator[SubgraphBatch]:
+        """Yield batches whose seeds all share one partition (locality batching).
+
+        Seeds are grouped by their owning partition before batching, so each
+        batch's fanout expansion stays inside (or near) one partition's
+        neighbourhood — the sampled sub-graphs overlap the partition's CSR
+        rows, which is what makes minibatch training cache- and
+        shard-friendly on partitioned graphs.  Within a partition the seeds
+        are shuffled and the epoch RNG contract of :meth:`iter_batches`
+        carries over: a fixed ``(seed, epoch)`` replays the exact same
+        batches.
+
+        ``partitions`` is a :class:`~repro.graph.partition.PartitionedGraph`
+        (or a raw per-node assignment array); it may be omitted when the
+        sampler was constructed *from* a ``PartitionedGraph``.  Partitions
+        are visited in ascending index order.
+
+        Note: this changes the *composition* of batches relative to
+        :meth:`iter_batches` — it is an opt-in locality feature, and the
+        resulting training trajectory is deterministic but not bit-identical
+        to globally-shuffled minibatching.
+        """
+        assignment = partitions if partitions is not None else self._assignment
+        if assignment is None:
+            raise ValueError(
+                "no partition assignment: pass a PartitionedGraph/assignment "
+                "array, or construct the sampler from a PartitionedGraph")
+        assignment = np.asarray(getattr(assignment, "assignment", assignment))
+        if assignment.shape[0] != self.num_nodes:
+            raise ValueError(
+                f"assignment covers {assignment.shape[0]} nodes but the "
+                f"sampler's graph has {self.num_nodes}")
+        seed_nodes = np.asarray(seed_nodes, dtype=np.int64)
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=(self.seed, int(epoch), 0x517A)))
+        owners = assignment[seed_nodes]
+        for part in np.unique(owners):
+            members = seed_nodes[owners == part]
+            if shuffle:
+                members = rng.permutation(members)
+            for start in range(0, members.shape[0], self.batch_size):
+                yield self.sample(members[start:start + self.batch_size], rng)
 
     # ------------------------------------------------------------------
     # One batch

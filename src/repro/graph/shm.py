@@ -1,0 +1,337 @@
+"""Shared-memory ``mmap`` graph blocks for process-backend workers.
+
+The process backend's known cost is that every submitted task pickles its
+full argument tuple — for graph workloads that means serialising the feature
+matrix and three normalised CSR operators *per task*.  This module removes
+that cost: the parent publishes the arrays once as ``.npy`` files under
+``/dev/shm`` (tmpfs; falls back to the regular temp dir), and workers map
+them read-only with ``np.load(mmap_mode="r")``.  A task then carries a tiny
+:class:`SharedGraphHandle` instead of the graph, and every worker process
+resolves the handle through a per-process cache, so the physical pages are
+shared between all workers on the machine instead of being copied ``P``
+times.
+
+Bitwise contract: the published bytes are exactly the parent's arrays, and
+read-only memmaps satisfy :class:`~repro.autograd.sparse.SparseTensor`'s
+zero-copy aliasing rule, so a worker's reconstructed
+:class:`~repro.nn.data.GraphTensors` computes bit-for-bit what the parent's
+in-memory view computes.
+
+Lifecycle: the parent owns the store — :meth:`SharedGraphStore.close`
+unlinks the backing files (idempotent, also via context manager / GC), and
+on Linux unlinking while workers still hold mappings is safe; the pages die
+with the last mapping.  A crashed worker therefore never leaks files: the
+owner's ``finally`` still removes the directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["SharedGraphStore", "SharedGraphHandle", "default_shm_dir",
+           "shared_store_paths", "resolve_graph_data", "resolve_graph",
+           "clear_shared_cache", "STORE_PREFIX"]
+
+#: Directory-name prefix of every store; the leak-check fixture and
+#: :func:`shared_store_paths` scan for it.
+STORE_PREFIX = "repro-graph-"
+
+
+def default_shm_dir() -> str:
+    """``/dev/shm`` when usable (tmpfs — pages, not disk), else the temp dir."""
+    candidate = "/dev/shm"
+    if os.path.isdir(candidate) and os.access(candidate, os.W_OK):
+        return candidate
+    return tempfile.gettempdir()
+
+
+def shared_store_paths(directory: Optional[str] = None) -> Tuple[str, ...]:
+    """Every store directory currently present under ``directory`` (sorted)."""
+    directory = directory or default_shm_dir()
+    try:
+        entries = sorted(os.listdir(directory))
+    except OSError:
+        return ()
+    return tuple(os.path.join(directory, entry) for entry in entries
+                 if entry.startswith(STORE_PREFIX))
+
+
+class SharedGraphStore:
+    """Writer side: publish arrays/CSR blocks/graph views once, owner-unlinked.
+
+    Typical use::
+
+        with SharedGraphStore() as store:
+            handle = store.put_tensors(data)
+            backend.map(fit_member, [(member, ..., handle, ...), ...])
+        # exiting unlinks the blocks; worker mappings stay valid until
+        # the workers drop them (Linux unlink semantics)
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        root = directory or default_shm_dir()
+        self.path = tempfile.mkdtemp(prefix=STORE_PREFIX, dir=root)
+        #: Distinguishes a re-created store at a recycled path in the
+        #: per-process resolution cache.
+        self.uid = uuid.uuid4().hex
+        self.meta: Dict[str, dict] = {}
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def _require_open(self) -> None:
+        if self.closed:
+            raise RuntimeError("shared graph store is closed")
+
+    def put_array(self, name: str, array: np.ndarray) -> None:
+        """Publish one ndarray as ``<name>.npy`` (bytes exactly as given)."""
+        self._require_open()
+        np.save(os.path.join(self.path, f"{name}.npy"),
+                np.ascontiguousarray(array))
+
+    def put_csr(self, name: str, matrix: sp.csr_matrix) -> None:
+        """Publish one CSR matrix as three arrays plus shape metadata."""
+        self._require_open()
+        matrix = matrix.tocsr()
+        self.put_array(f"{name}.data", matrix.data)
+        self.put_array(f"{name}.indices", matrix.indices)
+        self.put_array(f"{name}.indptr", matrix.indptr)
+        self.meta[name] = {"kind": "csr", "shape": list(matrix.shape),
+                           "sorted": bool(matrix.has_sorted_indices)}
+
+    def put_pickle(self, name: str, value: object) -> None:
+        """Publish one small picklable object (scalars/metadata, not arrays)."""
+        self._require_open()
+        with open(os.path.join(self.path, f"{name}.pkl"), "wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def put_tensors(self, data, name: str = "tensors") -> "SharedGraphHandle":
+        """Publish a :class:`~repro.nn.data.GraphTensors` view's blocks.
+
+        Stores the three normalised operators, the feature matrix and the
+        symmetrised edge structure — everything
+        :meth:`SharedGraphHandle.tensors` needs to rebuild a bit-equivalent
+        view in a worker.
+        """
+        self._require_open()
+        self.put_csr(f"{name}.sym", data.adj_sym.matrix)
+        self.put_csr(f"{name}.rw", data.adj_rw.matrix)
+        self.put_csr(f"{name}.raw", data.adj_raw.matrix)
+        self.put_array(f"{name}.features", data.features.data)
+        self.put_array(f"{name}.edge_index", data.edge_index)
+        self.put_array(f"{name}.edge_weight", data.edge_weight)
+        self.meta[name] = {
+            "kind": "tensors",
+            "num_nodes": int(data.num_nodes),
+            "num_features": int(data.num_features),
+            "dtype": str(data.features.data.dtype),
+        }
+        self._write_meta()
+        return self.handle()
+
+    def put_graph(self, graph, name: str = "graph") -> "SharedGraphHandle":
+        """Publish a :class:`~repro.graph.graph.Graph` (arrays + small remainder)."""
+        self._require_open()
+        self.put_array(f"{name}.edge_index", graph.edge_index)
+        self.put_array(f"{name}.edge_weight", graph.edge_weight)
+        self.put_array(f"{name}.features", graph.features)
+        self.put_array(f"{name}.labels", graph.labels)
+        masks = []
+        for mask_name in ("train_mask", "val_mask", "test_mask"):
+            mask = getattr(graph, mask_name)
+            if mask is not None:
+                self.put_array(f"{name}.{mask_name}", mask)
+                masks.append(mask_name)
+        self.put_pickle(f"{name}.attrs", {
+            "directed": bool(graph.directed),
+            "num_classes": graph.num_classes,
+            "name": graph.name,
+            "metadata": dict(graph.metadata),
+        })
+        self.meta[name] = {"kind": "graph", "masks": masks}
+        self._write_meta()
+        return self.handle()
+
+    def _write_meta(self) -> None:
+        with open(os.path.join(self.path, "meta.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(self.meta, handle, indent=2, sort_keys=True)
+
+    def handle(self) -> "SharedGraphHandle":
+        """A tiny picklable reference workers resolve via the process cache."""
+        self._require_open()
+        return SharedGraphHandle(path=self.path, uid=self.uid,
+                                 meta=dict(self.meta))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unlink every published block (idempotent).
+
+        Existing worker mappings stay readable until dropped; no new handle
+        resolutions are possible afterwards.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        shutil.rmtree(self.path, ignore_errors=True)
+        # The owner's own cached resolutions (thread/serial consumers) go too.
+        _PROCESS_CACHE.pop((self.path, self.uid), None)
+
+    def __enter__(self) -> "SharedGraphStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# Per-process resolution cache: (path, uid) -> {name: resolved object}.
+# Workers are long-lived pool members, so each maps a given store once no
+# matter how many tasks reference it.
+_PROCESS_CACHE: Dict[Tuple[str, str], Dict[str, object]] = {}
+
+
+def clear_shared_cache() -> None:
+    """Drop every cached handle resolution in this process (tests/benchmarks)."""
+    _PROCESS_CACHE.clear()
+
+
+def _mapped(path: str, name: str) -> np.ndarray:
+    """Map one published array read-only (writes raise, satisfying aliasing)."""
+    return np.load(os.path.join(path, f"{name}.npy"), mmap_mode="r")
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """Picklable reference to a published store; resolves via mmap per process."""
+
+    path: str
+    uid: str
+    meta: Dict[str, dict] = field(default_factory=dict)
+
+    # The GSE/hierarchical task builders read these off the training data
+    # object, so a handle can stand in for GraphTensors when building tasks.
+    @property
+    def num_nodes(self) -> int:
+        return int(self.meta["tensors"]["num_nodes"])
+
+    @property
+    def num_features(self) -> int:
+        return int(self.meta["tensors"]["num_features"])
+
+    def _cache(self) -> Dict[str, object]:
+        return _PROCESS_CACHE.setdefault((self.path, self.uid), {})
+
+    def array(self, name: str) -> np.ndarray:
+        cache = self._cache()
+        if name not in cache:
+            cache[name] = _mapped(self.path, name)
+        return cache[name]  # type: ignore[return-value]
+
+    def csr(self, name: str) -> sp.csr_matrix:
+        """Zero-copy CSR over the mapped blocks (read-only buffers)."""
+        cache = self._cache()
+        key = f"csr:{name}"
+        if key not in cache:
+            entry = self.meta[name]
+            matrix = sp.csr_matrix(tuple(entry["shape"]))
+            matrix.data = _mapped(self.path, f"{name}.data")
+            matrix.indices = _mapped(self.path, f"{name}.indices")
+            matrix.indptr = _mapped(self.path, f"{name}.indptr")
+            if entry.get("sorted"):
+                matrix.has_sorted_indices = True
+            cache[key] = matrix
+        return cache[key]  # type: ignore[return-value]
+
+    def tensors(self, name: str = "tensors"):
+        """Rebuild the published :class:`GraphTensors` view (cached per process).
+
+        The operators alias the mapped read-only CSRs zero-copy and the
+        features wrap the mapped matrix directly, so the view computes
+        bit-for-bit like the parent's — with no per-task deserialisation.
+        """
+        cache = self._cache()
+        key = f"tensors:{name}"
+        if key not in cache:
+            # Imported lazily: repro.nn.data imports repro.graph, so a
+            # module-level import here would cycle during package init.
+            from repro.autograd.sparse import SparseTensor
+            from repro.autograd.tensor import Tensor
+            from repro.nn.data import GraphTensors
+
+            entry = self.meta[name]
+            cache[key] = GraphTensors(
+                features=Tensor(self.array(f"{name}.features")),
+                adj_sym=SparseTensor(self.csr(f"{name}.sym")),
+                adj_rw=SparseTensor(self.csr(f"{name}.rw")),
+                adj_raw=SparseTensor(self.csr(f"{name}.raw")),
+                edge_index=self.array(f"{name}.edge_index"),
+                edge_weight=self.array(f"{name}.edge_weight"),
+                num_nodes=int(entry["num_nodes"]),
+                num_features=int(entry["num_features"]),
+            )
+        return cache[key]
+
+    def graph(self, name: str = "graph"):
+        """Rebuild the published :class:`Graph` (cached per process)."""
+        cache = self._cache()
+        key = f"graph:{name}"
+        if key not in cache:
+            from repro.graph.graph import Graph
+
+            with open(os.path.join(self.path, f"{name}.attrs.pkl"), "rb") as fh:
+                attrs = pickle.load(fh)
+            masks = {mask_name: self.array(f"{name}.{mask_name}")
+                     for mask_name in self.meta[name]["masks"]}
+            cache[key] = Graph(
+                edge_index=self.array(f"{name}.edge_index"),
+                features=self.array(f"{name}.features"),
+                labels=self.array(f"{name}.labels"),
+                edge_weight=self.array(f"{name}.edge_weight"),
+                directed=attrs["directed"],
+                num_classes=attrs["num_classes"],
+                train_mask=masks.get("train_mask"),
+                val_mask=masks.get("val_mask"),
+                test_mask=masks.get("test_mask"),
+                name=attrs["name"],
+                metadata=attrs["metadata"],
+            )
+        return cache[key]
+
+
+def resolve_graph_data(data):
+    """``GraphTensors`` pass-through; a :class:`SharedGraphHandle` is mapped.
+
+    The one-line hook the process-backend task functions call on their
+    ``data`` argument, so the same task tuple works whether the pipeline
+    shipped the view by value (serial/thread, or ``shared_graph=False``) or
+    by handle.
+    """
+    if isinstance(data, SharedGraphHandle):
+        return data.tensors()
+    return data
+
+
+def resolve_graph(graph):
+    """``Graph`` pass-through; a :class:`SharedGraphHandle` is mapped."""
+    if isinstance(graph, SharedGraphHandle):
+        return graph.graph()
+    return graph

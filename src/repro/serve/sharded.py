@@ -1,0 +1,271 @@
+"""Partition-parallel scoring: shard a request graph, score shards, reassemble.
+
+A fitted ensemble's forward pass is transductive over the request graph, so
+the naive serving cost is one full-graph propagation per request — and on the
+process backend every worker additionally unpickles the whole graph.  This
+module shards that forward pass over an edge-cut partition
+(:mod:`repro.graph.partition`) so each worker touches only its partition's
+owned nodes plus a halo, and (on the process backend) maps the published
+graph read-only from shared memory (:mod:`repro.graph.shm`) instead of
+receiving a pickled copy.
+
+Bitwise parity
+--------------
+The sharded path reproduces the serial ``FittedEnsemble.predict_proba``
+**bit for bit** at every node.  The argument, in layers:
+
+* **Halo sufficiency.**  Each partition view contains its owned nodes plus
+  halo rings out to the ensemble's widest receptive field ``k``
+  (:meth:`~repro.core.artifact.FittedEnsemble.receptive_field`).  A ``k``-hop
+  propagation at an owned node reads exactly its distance-``<=k``
+  neighbourhood, which the rings make complete — see the halo-exactness
+  theorem in :mod:`repro.graph.partition`.
+* **Slice, never re-normalise.**  The globally *normalised* operators are
+  sliced (``op[L][:, L]``), so each retained entry keeps its global bytes;
+  re-normalising the local sub-matrix would change degree sums and break
+  parity.  Local node ids sort ascending by global id, so the relabelling is
+  monotone: sliced CSR rows preserve entry order, and scipy's CSR matvec
+  therefore accumulates each owned row's products in exactly the serial
+  order.
+* **Dense ops are row-local.**  ``X @ W``, biases and activations are
+  elementwise per row, so extra halo rows cannot perturb owned rows.
+* **The reduction is unchanged.**  Owned rows are scattered back into one
+  ``(num_nodes, num_classes)`` matrix and averaged over bagging splits with
+  the same ``np.mean`` expression the serial path uses.
+
+Fault tolerance: the shard map runs through
+:meth:`repro.parallel.backends.ExecutionBackend.map` under an optional
+:class:`~repro.resilience.ResiliencePolicy`, so a crashed partition worker is
+retried (and the pool rebuilt) exactly like a lost training task.  A shard
+that still fails after all retries raises — a probability matrix with holes
+is never served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.dtype import compute_dtype_scope
+from repro.autograd.sparse import SparseTensor
+from repro.autograd.tensor import Tensor
+from repro.core.artifact import FittedEnsemble, GraphLike
+from repro.graph.partition import Partition, PartitionedGraph, induced_csr, partition_graph
+from repro.graph.shm import SharedGraphHandle, SharedGraphStore
+from repro.nn.data import GraphTensors
+from repro.parallel.backends import ExecutionBackend, ProcessBackend, get_backend
+
+__all__ = ["ShardScoreError", "ShardTask", "build_partition_plan",
+           "sharded_predict_proba", "slice_view"]
+
+
+class ShardScoreError(RuntimeError):
+    """A partition could not be scored after every configured retry."""
+
+
+def build_partition_plan(data: GraphTensors, num_partitions: int,
+                         halo_hops: int, seed: int = 0,
+                         method: str = "bfs") -> PartitionedGraph:
+    """Partition a view's raw connectivity for sharded scoring.
+
+    The plan partitions the *structure* only (the raw no-self-loop CSR);
+    operator values never influence ownership, so the same plan serves both
+    dtypes of the same graph.
+    """
+    return partition_graph(data.adj_raw.matrix, num_partitions,
+                           halo_hops=halo_hops, seed=seed, method=method)
+
+
+def slice_view(view: GraphTensors, nodes: np.ndarray) -> GraphTensors:
+    """The induced :class:`GraphTensors` over ``nodes`` (sorted global ids).
+
+    Operators are sliced from the globally normalised matrices (bytes
+    preserved — see the module docstring); features are the selected rows;
+    the edge list is the global self-looped list restricted to retained
+    endpoints, in global edge order (monotone relabelling keeps the
+    row-major order the scatter operators rely on).  Any ``powered:*``
+    products already on ``view`` (e.g. a streaming scorer's delta-maintained
+    ``A^k X`` masters) are sliced too, so shard workers reuse them instead
+    of re-propagating.
+
+    Must run under the owning artifact's ``compute_dtype_scope``.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    operators = {}
+    for kind in ("sym", "rw", "raw"):
+        local = induced_csr(view.propagation(kind).matrix, nodes)
+        # Freeze so SparseTensor aliases the slice zero-copy.
+        local.data.setflags(write=False)
+        operators[kind] = SparseTensor(local)
+    keep = np.zeros(view.num_nodes, dtype=bool)
+    keep[nodes] = True
+    src, dst = view.edge_index
+    mask = keep[src] & keep[dst]
+    local_edges = np.searchsorted(nodes, view.edge_index[:, mask])
+    features = view.features.data[nodes]
+    extras: Dict[str, object] = {}
+    for key, value in view.extras.items():
+        if key.startswith("powered:") and isinstance(value, Tensor):
+            extras[key] = Tensor(value.data[nodes])
+    return GraphTensors(
+        features=Tensor(features),
+        adj_sym=operators["sym"],
+        adj_rw=operators["rw"],
+        adj_raw=operators["raw"],
+        edge_index=local_edges,
+        edge_weight=view.edge_weight[mask],
+        num_nodes=int(nodes.shape[0]),
+        num_features=view.num_features,
+        # Every slice is structurally unique; global memoisation would be
+        # pure churn (and would evict genuinely shared full-graph entries).
+        cache_derived=False,
+        extras=extras,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard workers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardTask:
+    """One partition's scoring work order (picklable for the process backend).
+
+    ``source`` is a :class:`~repro.graph.shm.SharedGraphHandle` on the
+    process backend (workers map the published view read-only) or the parent
+    process's :class:`GraphTensors` on in-process backends (shared by
+    reference — threads slice the same arrays).
+    """
+
+    source: Union[SharedGraphHandle, GraphTensors]
+    ensemble: Union[str, FittedEnsemble]
+    owned: np.ndarray
+    local_nodes: np.ndarray
+
+
+#: Per-process artifact cache: shard tasks of one scorer share one load.
+_ARTIFACT_CACHE: Dict[str, FittedEnsemble] = {}
+#: Per-process view cache keyed by the shared store's identity, so the
+#: mapped GraphTensors assembly (zero-copy, but not free) happens once per
+#: worker process rather than once per shard task.
+_VIEW_CACHE: Dict[Tuple[str, str], GraphTensors] = {}
+
+
+def clear_shard_caches() -> None:
+    """Drop the per-process artifact/view caches (tests and long-lived workers)."""
+    _ARTIFACT_CACHE.clear()
+    _VIEW_CACHE.clear()
+
+
+def _resolve_ensemble(ensemble: Union[str, FittedEnsemble]) -> FittedEnsemble:
+    if isinstance(ensemble, FittedEnsemble):
+        return ensemble
+    cached = _ARTIFACT_CACHE.get(ensemble)
+    if cached is None:
+        cached = _ARTIFACT_CACHE[ensemble] = FittedEnsemble.load(ensemble)
+    return cached
+
+
+def _resolve_view(source: Union[SharedGraphHandle, GraphTensors]) -> GraphTensors:
+    if isinstance(source, SharedGraphHandle):
+        key = (source.path, source.uid)
+        view = _VIEW_CACHE.get(key)
+        if view is None:
+            view = _VIEW_CACHE[key] = source.tensors()
+        return view
+    return source
+
+
+def _score_shard(task: ShardTask) -> np.ndarray:
+    """Score one partition; returns the owned rows of the local probabilities.
+
+    Module-level so the process backend can pickle it by reference.  Runs
+    under the artifact's compute dtype: the shared view's bytes were
+    published under that scope, so mapping + slicing reconstructs the exact
+    serial operands.
+    """
+    ensemble = _resolve_ensemble(task.ensemble)
+    with compute_dtype_scope(ensemble.compute_dtype):
+        view = _resolve_view(task.source)
+        local = slice_view(view, task.local_nodes)
+        probabilities = ensemble.predict_proba(local)
+    positions = np.searchsorted(task.local_nodes, task.owned)
+    return probabilities[positions]
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def sharded_predict_proba(ensemble: FittedEnsemble, graph: GraphLike,
+                          plan: PartitionedGraph,
+                          backend: Optional[ExecutionBackend] = None,
+                          policy: Optional[object] = None,
+                          artifact_path: Optional[str] = None,
+                          store_dir: Optional[str] = None,
+                          data: Optional[GraphTensors] = None) -> np.ndarray:
+    """Class probabilities for every node, sharded over ``plan``'s partitions.
+
+    Bit-identical to ``ensemble.predict_proba(graph)`` (module docstring).
+    ``plan.halo_hops`` must cover the ensemble's receptive field — validated
+    here, because an under-provisioned halo silently truncates propagation.
+
+    On a :class:`~repro.parallel.backends.ProcessBackend` the view is
+    published once to shared memory for the duration of the map (workers map
+    it read-only) and ``artifact_path`` must point at a saved artifact so
+    workers can load-and-cache the ensemble instead of unpickling it per
+    task.  In-process backends share ``data`` by reference.  A shard lost
+    after every retry raises :class:`ShardScoreError`.
+    """
+    required = ensemble.receptive_field()
+    if plan.halo_hops < required:
+        raise ValueError(
+            f"partition plan has halo_hops={plan.halo_hops} but the ensemble "
+            f"propagates {required} hops; owned rows would read incomplete "
+            f"neighbourhoods. Rebuild the plan with halo_hops>={required}.")
+    if backend is None:
+        backend = get_backend("serial")
+    with compute_dtype_scope(ensemble.compute_dtype):
+        if data is None:
+            data = ensemble._as_tensors(graph)
+    if data.num_nodes != plan.num_nodes:
+        raise ValueError(
+            f"partition plan covers {plan.num_nodes} nodes but the request "
+            f"graph has {data.num_nodes}")
+
+    store: Optional[SharedGraphStore] = None
+    try:
+        if isinstance(backend, ProcessBackend):
+            if artifact_path is None:
+                raise ValueError(
+                    "sharded scoring on the process backend needs "
+                    "artifact_path: workers load the artifact from disk "
+                    "(cached per process) instead of unpickling the ensemble "
+                    "per task")
+            store = SharedGraphStore(directory=store_dir)
+            source: Union[SharedGraphHandle, GraphTensors] = store.put_tensors(data)
+            member: Union[str, FittedEnsemble] = artifact_path
+        else:
+            source = data
+            member = ensemble
+        tasks = [ShardTask(source=source, ensemble=member,
+                           owned=part.owned, local_nodes=part.local_nodes)
+                 for part in plan.partitions]
+        report = backend.map(_score_shard, tasks,
+                             min_results=len(tasks), policy=policy)
+        lost = [index for index, result in enumerate(report.results)
+                if result is None]
+        if lost:
+            raise ShardScoreError(
+                f"partitions {lost} were lost after retries; refusing to "
+                f"serve a probability matrix with holes "
+                f"(failures: {report.failures})")
+        first = report.results[0]
+        probabilities = np.empty((plan.num_nodes, first.shape[1]),
+                                 dtype=first.dtype)
+        for part, owned_rows in zip(plan.partitions, report.results):
+            probabilities[part.owned] = owned_rows
+        return probabilities
+    finally:
+        if store is not None:
+            store.close()

@@ -206,6 +206,20 @@ class StreamingScorer:
         requests beyond ``max_pending`` concurrent in-flight calls, or that
         waited longer than ``deadline_seconds`` for the scorer lock, are
         shed with :class:`OverloadedError` instead of being served late.
+    num_partitions / shard_backend / halo_hops / max_workers / resilience:
+        With ``num_partitions > 1`` each forward pass runs partition-parallel
+        (:mod:`repro.serve.sharded`): the graph is edge-cut partitioned with
+        halo rings out to the ensemble's receptive field, each shard
+        propagates its local slice, and owned rows are reassembled —
+        bit-identical to the unsharded pass.  The plan is cached per
+        structure version, so feature-only mutation streams never re-run the
+        partitioner.  Only in-process backends (``"serial"``/``"thread"``)
+        are supported: the incremental serving masters live in this
+        process's memory, which process workers cannot map — use
+        :class:`~repro.serve.BatchScorer` with ``shard_backend="process"``
+        for multi-process sharding.  Cached ``A^k X`` masters (harvested
+        from unsharded passes) are row-sliced into the shards; shards
+        otherwise recompute powers locally — either way parity holds.
 
     The mutation API (:meth:`add_nodes`, :meth:`add_edges`,
     :meth:`remove_edges`, :meth:`update_features`) journals cheaply; the next
@@ -220,7 +234,12 @@ class StreamingScorer:
                  journal_dir: Optional[str] = None,
                  fsync: bool = False,
                  max_pending: Optional[int] = None,
-                 deadline_seconds: Optional[float] = None) -> None:
+                 deadline_seconds: Optional[float] = None,
+                 num_partitions: int = 1,
+                 shard_backend: str = "serial",
+                 halo_hops: Optional[int] = None,
+                 max_workers: Optional[int] = None,
+                 resilience: Optional[object] = None) -> None:
         start = time.perf_counter()
         if isinstance(artifact, FittedEnsemble):
             self.ensemble = artifact
@@ -246,6 +265,22 @@ class StreamingScorer:
         if not 0.0 < full_rebuild_fraction <= 1.0:
             raise ValueError("full_rebuild_fraction must be in (0, 1]")
         self.full_rebuild_fraction = float(full_rebuild_fraction)
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be a positive integer")
+        if num_partitions > 1 and shard_backend == "process":
+            raise ValueError(
+                "streaming sharding supports in-process backends only "
+                "('serial'/'thread'): the incremental serving masters live in "
+                "this process and cannot be mapped by process workers — use "
+                "BatchScorer with shard_backend='process' instead")
+        self.num_partitions = int(num_partitions)
+        self.shard_backend = shard_backend
+        self.halo_hops = halo_hops
+        self.max_workers = max_workers
+        self.resilience = resilience
+        self._shard_executor = None
+        self._shard_plan = None
+        self._shard_plan_version = -1
         self.dtype = np.dtype(self.ensemble.compute_dtype)
         self.batcher = Microbatcher(max_pending=max_pending,
                                     deadline_seconds=deadline_seconds)
@@ -370,6 +405,13 @@ class StreamingScorer:
                 "streaming": dict(self._stats),
                 "health": self._health_view(),
             })
+            if self.num_partitions > 1:
+                summary["sharding"] = {
+                    "num_partitions": self.num_partitions,
+                    "backend": self.shard_backend,
+                    "halo_hops": self.halo_hops,
+                    "plan_version": self._shard_plan_version,
+                }
             return summary
 
     def _health_view(self) -> Dict[str, object]:
@@ -594,14 +636,63 @@ class StreamingScorer:
         raw-ndarray fast path, reduced with ``np.mean`` over the split axis
         under the artifact's compute dtype — so the result is bit-identical
         to scoring an equivalent from-scratch graph with a batch scorer.
+        With ``num_partitions > 1`` the pass is sharded over the cached
+        partition plan instead; parity is unchanged
+        (:mod:`repro.serve.sharded`).
         """
         view = self._build_view()
+        if self.num_partitions > 1:
+            return self._sharded_pass(view)
         with compute_dtype_scope(self.ensemble.compute_dtype):
             split_probabilities = [ensemble.predict_proba(view)
                                    for ensemble in self.ensemble.ensembles]
             probabilities = np.mean(split_probabilities, axis=0)
         self._harvest_extras(view)
         return probabilities
+
+    def _sharded_pass(self, view: GraphTensors) -> np.ndarray:
+        """Partition-parallel forward pass over the current version's view.
+
+        The partition plan depends only on the graph *structure*, so it is
+        rebuilt only when the structure version moves (or node growth makes
+        the cached plan stale); feature-only mutation bursts — the common
+        streaming workload — reuse it.  Powered masters already on the view
+        are row-sliced into each shard by :func:`repro.serve.sharded.slice_view`;
+        nothing is harvested back, because shard-local products cover only
+        partition rows.
+        """
+        from repro.serve.sharded import build_partition_plan, sharded_predict_proba
+
+        structure_version = self.graph.structure_version
+        if (self._shard_plan is None
+                or self._shard_plan_version != structure_version
+                or self._shard_plan.num_nodes != view.num_nodes):
+            halo = self.halo_hops
+            if halo is None:
+                halo = self.ensemble.receptive_field()
+            self._shard_plan = build_partition_plan(
+                view, self.num_partitions, halo)
+            self._shard_plan_version = structure_version
+        if self._shard_executor is None:
+            from repro.parallel.backends import get_backend
+            self._shard_executor = get_backend(self.shard_backend,
+                                               max_workers=self.max_workers)
+        return sharded_predict_proba(
+            self.ensemble, None, self._shard_plan,
+            backend=self._shard_executor, policy=self.resilience, data=view)
+
+    def close(self) -> None:
+        """Release the shard worker pool (no-op for unsharded scorers)."""
+        backend = self._shard_executor
+        self._shard_executor = None
+        if backend is not None:
+            backend.close()
+
+    def __enter__(self) -> "StreamingScorer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def _harvest_extras(self, view: GraphTensors) -> None:
         """Adopt reusable per-view products computed during a forward pass.

@@ -76,6 +76,18 @@ class TrainConfig:
         standard neighbour-sampling trade-off; pass explicit ``fanouts``
         to cover more hops deliberately.  Ignored when ``batch_size`` is
         ``None``.
+    num_partitions : int, optional
+        With a value ``> 1`` (and ``batch_size`` set), minibatch seeds are
+        grouped per partition of a seeded edge-cut partition plan
+        (:func:`repro.graph.partition.partition_graph`) before batching, so
+        each step's fanout expansion stays inside one partition's
+        neighbourhood — the locality that makes minibatch epochs
+        shard-friendly on partitioned graphs.  Deterministic at a fixed
+        seed, but an *opt-in trajectory change*: batch composition differs
+        from globally-shuffled minibatching, so it is deliberately outside
+        the serial==sharded bitwise-parity contract (which covers storage
+        sharding, not batch order).  ``None``/``0``/``1`` keep the global
+        shuffle.  Ignored for full-batch training.
     capture : bool
         Capture-and-replay execution (:mod:`repro.autograd.capture`) for
         full-batch training, on by default: the first epoch runs (and is
@@ -101,6 +113,7 @@ class TrainConfig:
     evaluate_every: int = 1
     batch_size: Optional[int] = None
     fanouts: Optional[Tuple[int, ...]] = None
+    num_partitions: Optional[int] = None
     capture: bool = True
     extra_model_kwargs: Dict[str, object] = field(default_factory=dict)
 
@@ -248,6 +261,20 @@ class NodeClassificationTrainer:
                 seed=config.seed,
             )
             features = data.features.data
+            partition_plan = None
+            if config.num_partitions and config.num_partitions > 1:
+                from repro.graph.partition import partition_graph
+                # Ownership only (halo_hops=0): the sampler expands its own
+                # fanout neighbourhood, the plan just groups the seeds.
+                partition_plan = partition_graph(
+                    data.adj_raw.matrix, config.num_partitions,
+                    halo_hops=0, seed=config.seed)
+
+            def iter_epoch_batches(epoch: int):
+                if partition_plan is not None:
+                    return sampler.iter_partition_batches(
+                        train_index, partition_plan, epoch=epoch)
+                return sampler.iter_batches(train_index, epoch=epoch)
 
             def run_epoch(epoch: int) -> float:
                 # One optimiser step per seed batch; the loss reported for
@@ -255,7 +282,7 @@ class NodeClassificationTrainer:
                 model.train()
                 loss_sum = 0.0
                 seeds_seen = 0
-                for batch in sampler.iter_batches(train_index, epoch=epoch):
+                for batch in iter_epoch_batches(epoch):
                     local_data = batch.tensors(features)
                     optimizer.zero_grad()
                     logits = model(local_data, layer_weights=layer_weights)

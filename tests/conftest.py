@@ -2,20 +2,53 @@
 
 Everything is session-scoped and tiny (a few hundred nodes) so the complete
 suite runs on a CPU in a couple of minutes while still exercising every code
-path of the library.
+path of the library.  Besides the graph builders this module provides
+
+* ``fast_ensemble_config`` / ``serving_config`` — the throw-away pipeline
+  configurations every integration test used to re-declare,
+* ``served`` — one fitted ensemble + saved artifact shared across the
+  serving, streaming and sharded-scoring suites,
+* ``any_backend`` — parametrizes a test over every execution backend,
+* ``artifact_dir`` — a factory for per-test artifact directories,
+* a session-wide guard asserting no shared-memory graph stores leak.
+
+Unmarked tests are auto-marked ``tier1``; large campaigns carry ``slow``
+(excluded by default via ``pytest.ini``, run with ``-m slow``).
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
+from repro import AutoHEnsGNN, AutoHEnsGNNConfig, load_dataset
+from repro.core.config import ProxyConfig
 from repro.datasets import make_citation_dataset, make_kddcup_dataset, make_proteins_dataset
-from repro.datasets.generators import SBMConfig, make_attributed_sbm
+from repro.datasets.generators import SBMConfig, make_attributed_sbm, make_large_sbm
 from repro.graph import Graph
+from repro.graph.shm import shared_store_paths
+from repro.graph.splits import holdout_test_split, random_split
 from repro.nn import GraphTensors
+from repro.parallel.backends import BACKENDS
+from repro.tasks.trainer import TrainConfig
+
+POOL = ["gcn", "sgc"]
+DATASET_ARGS = {"scale": 0.15, "seed": 0}
+ALL_BACKENDS = tuple(sorted(BACKENDS))
 
 
+def pytest_collection_modifyitems(config, items):
+    """Every test that is not part of a ``slow`` campaign belongs to tier 1."""
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.tier1)
+
+
+# ----------------------------------------------------------------------
+# Graph builders
+# ----------------------------------------------------------------------
 @pytest.fixture(scope="session")
 def tiny_graph() -> Graph:
     """A deterministic ~120-node attributed SBM with 3 classes."""
@@ -27,8 +60,6 @@ def tiny_graph() -> Graph:
 @pytest.fixture(scope="session")
 def tiny_split_graph(tiny_graph: Graph) -> Graph:
     """The tiny graph with random train/val masks and a held-out test mask."""
-    from repro.graph.splits import holdout_test_split, random_split
-
     graph = holdout_test_split(tiny_graph, test_fraction=0.2, seed=3)
     graph = random_split(graph, val_fraction=0.25, seed=3,
                          labelled_pool=graph.metadata["labelled_pool"])
@@ -38,6 +69,19 @@ def tiny_split_graph(tiny_graph: Graph) -> Graph:
 @pytest.fixture(scope="session")
 def tiny_data(tiny_split_graph: Graph) -> GraphTensors:
     return GraphTensors.from_graph(tiny_split_graph)
+
+
+@pytest.fixture(scope="session")
+def medium_graph() -> Graph:
+    """A ~900-node SBM — large enough for minibatch and partition tests."""
+    graph = make_large_sbm(num_nodes=900, num_classes=4, num_features=12,
+                           average_degree=6.0, seed=11, name="mini-medium")
+    return random_split(graph, val_fraction=0.2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def medium_data(medium_graph: Graph) -> GraphTensors:
+    return GraphTensors.from_graph(medium_graph)
 
 
 @pytest.fixture(scope="session")
@@ -65,3 +109,76 @@ def proteins_small():
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(0)
+
+
+# ----------------------------------------------------------------------
+# Pipeline configurations and fitted artifacts
+# ----------------------------------------------------------------------
+def fast_ensemble_config(**overrides) -> AutoHEnsGNNConfig:
+    """The smallest configuration that still runs the full pipeline."""
+    config = AutoHEnsGNNConfig(
+        pool_size=2, ensemble_size=2, max_layers=2, search_epochs=4,
+        bagging_splits=2, hidden=16,
+        candidate_models=["gcn", "sgc", "mlp"],
+        proxy=ProxyConfig(dataset_fraction=0.5, bagging_rounds=1,
+                          hidden_fraction=0.5, max_epochs=4),
+        seed=0,
+    )
+    config.train = TrainConfig(lr=0.02, max_epochs=6, patience=5)
+    for name, value in overrides.items():
+        setattr(config, name, value)
+    return config
+
+
+def serving_config() -> AutoHEnsGNNConfig:
+    """Single-split variant used by the serving/streaming/sharded suites."""
+    config = fast_ensemble_config(bagging_splits=1, candidate_models=list(POOL))
+    return config
+
+
+@pytest.fixture(scope="session")
+def served(tmp_path_factory):
+    """One fitted ensemble + saved artifact + the graph it was fitted on."""
+    graph = load_dataset("kddcup-A", **DATASET_ARGS)
+    start = time.perf_counter()
+    fitted = AutoHEnsGNN(serving_config()).fit(graph, pool=POOL)
+    fit_seconds = time.perf_counter() - start
+    path = fitted.save(str(tmp_path_factory.mktemp("serve") / "artifact"))
+    return graph, fitted, path, fit_seconds
+
+
+@pytest.fixture()
+def artifact_dir(tmp_path_factory):
+    """Factory for fresh artifact directories: ``artifact_dir("name")``."""
+    def factory(name: str = "artifact") -> str:
+        return str(tmp_path_factory.mktemp("artifacts") / name)
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# Execution backends
+# ----------------------------------------------------------------------
+@pytest.fixture(params=ALL_BACKENDS)
+def any_backend(request) -> str:
+    """Parametrize a test over every registered execution backend."""
+    return request.param
+
+
+# ----------------------------------------------------------------------
+# Shared-memory hygiene
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session", autouse=True)
+def _no_leaked_shared_stores():
+    """Fail the session if any shared-memory graph store survives the suite.
+
+    Stores are created under ``/dev/shm`` (or the tmpdir fallback); every
+    code path that publishes one must unlink it — scorer ``close()``,
+    pipeline ``fit()`` finalisers, and the sharded scoring path — even when
+    workers crash.  Pre-existing stores (e.g. from a concurrently running
+    process) are tolerated; only stores created during this session count.
+    """
+    before = set(shared_store_paths())
+    yield
+    leaked = set(shared_store_paths()) - before
+    assert not leaked, f"leaked shared graph stores: {sorted(leaked)}"

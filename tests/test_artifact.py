@@ -27,24 +27,10 @@ from repro.autograd.dtype import compute_dtype_scope
 from repro.core.artifact import MANIFEST_NAME, SCHEMA_VERSION, WEIGHTS_NAME
 from repro.core.config import ProxyConfig
 from repro.nn.data import GraphTensors
-from repro.tasks.trainer import TrainConfig
+
+from conftest import fast_ensemble_config as fast_config
 
 POOL = ["gcn", "sgc"]
-
-
-def fast_config(**overrides) -> AutoHEnsGNNConfig:
-    config = AutoHEnsGNNConfig(
-        pool_size=2, ensemble_size=2, max_layers=2, search_epochs=4,
-        bagging_splits=2, hidden=16,
-        candidate_models=["gcn", "sgc", "mlp"],
-        proxy=ProxyConfig(dataset_fraction=0.5, bagging_rounds=1,
-                          hidden_fraction=0.5, max_epochs=4),
-        seed=0,
-    )
-    config.train = TrainConfig(lr=0.02, max_epochs=6, patience=5)
-    for name, value in overrides.items():
-        setattr(config, name, value)
-    return config
 
 
 @pytest.fixture(scope="module")

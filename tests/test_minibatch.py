@@ -16,23 +16,13 @@ import pytest
 
 from repro.core import AutoHEnsGNN, AutoHEnsGNNConfig
 from repro.datasets.generators import make_large_sbm
-from repro.graph import Graph, NeighborSampler, SubgraphBatch
+from repro.graph import NeighborSampler, SubgraphBatch
 from repro.graph.splits import holdout_test_split, random_split
 from repro.nn.data import GraphTensors
 from repro.nn.model_zoo import get_model_spec
 from repro.tasks.trainer import NodeClassificationTrainer, TrainConfig
 
-
-@pytest.fixture(scope="module")
-def medium_graph() -> Graph:
-    graph = make_large_sbm(num_nodes=900, num_classes=4, num_features=12,
-                           average_degree=6.0, seed=11, name="mini-medium")
-    return random_split(graph, val_fraction=0.2, seed=0)
-
-
-@pytest.fixture(scope="module")
-def medium_data(medium_graph) -> GraphTensors:
-    return GraphTensors.from_graph(medium_graph)
+# medium_graph / medium_data come from the shared conftest fixtures.
 
 
 def _batches(sampler, seeds, epoch):

@@ -1,0 +1,223 @@
+"""Property-based invariants of ``repro.graph.partition``.
+
+The partitioner underpins the bitwise-parity claim of sharded scoring, so
+its structural contracts are checked against independent implementations on
+randomly drawn SBM graphs:
+
+* every node (and therefore every CSR row / stored edge) is assigned to
+  exactly one partition,
+* halo ring ``h`` is exactly the set of nodes at shortest-path distance
+  ``h`` from the owned block (verified against a naive Python BFS),
+* the per-partition owned row blocks reassemble the input CSR
+  byte-for-byte,
+* the result is a pure function of ``(structure, P, halo, seed, method)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.generators import SBMConfig, make_attributed_sbm
+from repro.graph.partition import (
+    PartitionedGraph,
+    halo_rings,
+    induced_csr,
+    partition_graph,
+)
+
+# One drawn tuple fully determines the graph and the partition request.
+partition_cases = st.tuples(
+    st.integers(min_value=24, max_value=140),   # num_nodes
+    st.integers(min_value=2, max_value=5),      # num_partitions
+    st.integers(min_value=0, max_value=3),      # halo_hops
+    st.integers(min_value=0, max_value=2 ** 16),  # seed
+    st.sampled_from(["bfs", "block"]),
+)
+
+
+def _sbm_csr(num_nodes: int, seed: int) -> sp.csr_matrix:
+    """The raw adjacency of a small random SBM (what adj_raw partitions)."""
+    config = SBMConfig(num_nodes=num_nodes, num_classes=3, num_features=4,
+                      average_degree=4.0, seed=seed, name="part-prop")
+    graph = make_attributed_sbm(config)
+    return graph.adjacency(normalization="none", self_loops=False).tocsr()
+
+
+def _naive_distance_rings(csr: sp.csr_matrix, owned: np.ndarray, hops: int):
+    """Reference BFS: ring h = nodes at shortest-path distance h from owned."""
+    dense_neighbors = [set(csr.indices[csr.indptr[v]:csr.indptr[v + 1]])
+                       for v in range(csr.shape[0])]
+    visited = set(int(v) for v in owned)
+    frontier = set(visited)
+    rings = []
+    for _ in range(hops):
+        ring = set()
+        for node in frontier:
+            ring |= dense_neighbors[node]
+        ring -= visited
+        visited |= ring
+        rings.append(np.asarray(sorted(ring), dtype=np.int64))
+        frontier = ring
+    return rings
+
+
+class TestPartitionInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(partition_cases)
+    def test_every_node_and_edge_assigned_exactly_once(self, case):
+        num_nodes, parts, halo, seed, method = case
+        csr = _sbm_csr(num_nodes, seed % 97)
+        plan = partition_graph(csr, parts, halo_hops=halo, seed=seed,
+                               method=method)
+        assert plan.num_partitions == parts
+        # Node ownership tiles [0, n): disjoint, sorted, covering.
+        owned_union = np.concatenate([p.owned for p in plan.partitions])
+        assert owned_union.shape[0] == num_nodes
+        np.testing.assert_array_equal(np.sort(owned_union), np.arange(num_nodes))
+        for part in plan.partitions:
+            np.testing.assert_array_equal(part.owned, np.sort(part.owned))
+            np.testing.assert_array_equal(plan.assignment[part.owned], part.index)
+        # Row ownership ⇒ every stored edge appears in exactly one partition.
+        row_nnz = np.diff(csr.indptr)
+        per_part = sum(int(row_nnz[p.owned].sum()) for p in plan.partitions)
+        assert per_part == csr.nnz
+        # Node balance: block sizes differ by at most one... for "block";
+        # BFS balances through quotas, same guarantee.
+        sizes = [p.num_owned for p in plan.partitions]
+        assert max(sizes) - min(sizes) <= 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(partition_cases)
+    def test_halo_rings_are_exactly_the_khop_fringe(self, case):
+        num_nodes, parts, halo, seed, method = case
+        csr = _sbm_csr(num_nodes, seed % 89)
+        plan = partition_graph(csr, parts, halo_hops=halo, seed=seed,
+                               method=method)
+        for part in plan.partitions:
+            assert len(part.halo_rings) == (halo if halo else 0)
+            reference = _naive_distance_rings(csr, part.owned, halo)
+            for ring, expected in zip(part.halo_rings, reference):
+                np.testing.assert_array_equal(ring, expected)
+            # local_nodes = owned ∪ halo, sorted, no duplicates.
+            local = part.local_nodes
+            assert np.all(np.diff(local) > 0)
+            np.testing.assert_array_equal(
+                local, np.unique(np.concatenate([part.owned, part.halo])))
+            # Owned positions index back to the owned global ids.
+            np.testing.assert_array_equal(local[part.owned_positions()],
+                                          part.owned)
+
+    @settings(max_examples=15, deadline=None)
+    @given(partition_cases)
+    def test_partition_union_reconstructs_csr_byte_for_byte(self, case):
+        num_nodes, parts, halo, seed, method = case
+        csr = _sbm_csr(num_nodes, seed % 83)
+        plan = partition_graph(csr, parts, halo_hops=halo, seed=seed,
+                               method=method)
+        rebuilt = plan.reconstruct_csr()
+        for name in ("indptr", "indices", "data"):
+            ours, theirs = getattr(csr, name), getattr(rebuilt, name)
+            assert ours.dtype == theirs.dtype
+            assert ours.tobytes() == theirs.tobytes()
+
+    @settings(max_examples=10, deadline=None)
+    @given(partition_cases)
+    def test_pure_function_of_inputs(self, case):
+        num_nodes, parts, halo, seed, method = case
+        csr = _sbm_csr(num_nodes, seed % 79)
+        first = partition_graph(csr, parts, halo_hops=halo, seed=seed,
+                                method=method)
+        second = partition_graph(csr, parts, halo_hops=halo, seed=seed,
+                                 method=method)
+        np.testing.assert_array_equal(first.assignment, second.assignment)
+        for a, b in zip(first.partitions, second.partitions):
+            np.testing.assert_array_equal(a.owned, b.owned)
+            for ra, rb in zip(a.halo_rings, b.halo_rings):
+                np.testing.assert_array_equal(ra, rb)
+
+
+class TestPartitionBehaviour:
+    def test_seed_changes_bfs_assignment(self):
+        csr = _sbm_csr(120, 5)
+        a = partition_graph(csr, 4, seed=0).assignment
+        b = partition_graph(csr, 4, seed=1).assignment
+        assert not np.array_equal(a, b)
+
+    def test_block_method_is_contiguous_ranges(self):
+        csr = _sbm_csr(50, 3)
+        plan = partition_graph(csr, 3, method="block")
+        assert np.all(np.diff(plan.assignment) >= 0)
+        np.testing.assert_array_equal(np.bincount(plan.assignment), [17, 17, 16])
+
+    def test_single_partition_owns_everything(self):
+        csr = _sbm_csr(40, 2)
+        plan = partition_graph(csr, 1, halo_hops=2)
+        np.testing.assert_array_equal(plan.partitions[0].owned, np.arange(40))
+        assert plan.partitions[0].num_halo == 0
+        assert plan.edge_cut() == 0.0
+
+    def test_accepts_graph_objects(self, medium_graph):
+        plan = partition_graph(medium_graph, 3, halo_hops=1, seed=0)
+        assert isinstance(plan, PartitionedGraph)
+        assert plan.num_nodes == medium_graph.num_nodes
+        raw = medium_graph.adjacency(normalization="none", self_loops=False)
+        assert plan.csr.shape == raw.shape
+        assert plan.csr.nnz == raw.nnz
+
+    def test_describe_is_json_safe(self):
+        import json
+
+        csr = _sbm_csr(60, 7)
+        summary = partition_graph(csr, 3, halo_hops=2, seed=9).describe()
+        parsed = json.loads(json.dumps(summary))
+        assert parsed["num_partitions"] == 3
+        assert parsed["halo_hops"] == 2
+        assert 0.0 <= parsed["edge_cut"] <= 1.0
+        assert sum(parsed["owned_sizes"]) == 60
+
+    def test_edge_cut_counts_crossing_edges(self):
+        # A 4-cycle split into two opposite pairs: all 4 edges cross.
+        csr = sp.csr_matrix(np.array([[0, 1, 0, 1],
+                                      [1, 0, 1, 0],
+                                      [0, 1, 0, 1],
+                                      [1, 0, 1, 0]], dtype=np.float64))
+        plan = partition_graph(csr, 2, method="block")
+        # block: {0,1} vs {2,3}; edges 0-1 and 2-3 stay, 1-2 and 3-0 cross.
+        assert plan.edge_cut() == pytest.approx(0.5)
+
+    def test_induced_csr_matches_dense_slicing(self, rng):
+        dense = rng.random((30, 30))
+        dense[dense < 0.7] = 0.0
+        matrix = sp.csr_matrix(dense)
+        nodes = np.asarray([2, 3, 7, 11, 19, 28])
+        local = induced_csr(matrix, nodes)
+        np.testing.assert_array_equal(local.toarray(),
+                                      dense[np.ix_(nodes, nodes)])
+        assert local.has_sorted_indices
+
+    def test_halo_rings_standalone(self):
+        # Path graph 0-1-2-3-4: rings around {0} are {1}, {2}, {3}.
+        edges = np.array([[0, 1], [1, 2], [2, 3], [3, 4]])
+        data = np.ones(8)
+        rows = np.concatenate([edges[:, 0], edges[:, 1]])
+        cols = np.concatenate([edges[:, 1], edges[:, 0]])
+        csr = sp.csr_matrix((data, (rows, cols)), shape=(5, 5))
+        rings = halo_rings(csr, np.asarray([0]), 3)
+        assert [ring.tolist() for ring in rings] == [[1], [2], [3]]
+
+    def test_validation_errors(self):
+        csr = _sbm_csr(30, 1)
+        with pytest.raises(ValueError, match=">= 1"):
+            partition_graph(csr, 0)
+        with pytest.raises(ValueError, match="cannot split"):
+            partition_graph(csr, 31)
+        with pytest.raises(ValueError, match="halo_hops"):
+            partition_graph(csr, 2, halo_hops=-1)
+        with pytest.raises(ValueError, match="unknown partition method"):
+            partition_graph(csr, 2, method="metis")
+        with pytest.raises(ValueError, match="square"):
+            partition_graph(sp.csr_matrix(np.ones((3, 4))), 2)

@@ -1,40 +1,16 @@
 """Tests for the batch-inference serving layer (``repro.serve``)."""
 
-import time
-
 import numpy as np
 import pytest
 
-from repro import AutoHEnsGNN, AutoHEnsGNNConfig, load_dataset
-from repro.core.config import ProxyConfig
+from repro import load_dataset
 from repro.serve import BatchScorer, ServeResult, load_scorer
 from repro.serve.__main__ import build_parser, main
-from repro.tasks.trainer import TrainConfig
 
-POOL = ["gcn", "sgc"]
-DATASET_ARGS = {"scale": 0.15, "seed": 0}
+from conftest import DATASET_ARGS
 
-
-def serving_config() -> AutoHEnsGNNConfig:
-    config = AutoHEnsGNNConfig(
-        pool_size=2, ensemble_size=2, max_layers=2, search_epochs=4,
-        bagging_splits=1, hidden=16, candidate_models=POOL,
-        proxy=ProxyConfig(dataset_fraction=0.5, bagging_rounds=1,
-                          hidden_fraction=0.5, max_epochs=4),
-        seed=0)
-    config.train = TrainConfig(lr=0.02, max_epochs=6, patience=5)
-    return config
-
-
-@pytest.fixture(scope="module")
-def served(tmp_path_factory):
-    """One fitted ensemble + saved artifact + the graph it was fitted on."""
-    graph = load_dataset("kddcup-A", **DATASET_ARGS)
-    start = time.perf_counter()
-    fitted = AutoHEnsGNN(serving_config()).fit(graph, pool=POOL)
-    fit_seconds = time.perf_counter() - start
-    path = fitted.save(str(tmp_path_factory.mktemp("serve") / "artifact"))
-    return graph, fitted, path, fit_seconds
+# The ``served`` fixture (fitted ensemble + saved artifact) lives in conftest
+# and is shared with the streaming and sharded-scoring suites.
 
 
 class TestBatchScorer:

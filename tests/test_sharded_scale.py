@@ -1,0 +1,162 @@
+"""The ``slow`` campaign: multi-million-node sharded training and serving.
+
+Excluded from tier-1 by ``pytest.ini`` (run with ``-m slow``; CI runs this
+in the dedicated ``sharded-scale`` job).  The headline demo of the sharding
+layer: a 2M-node / 20M-stored-edge synthetic SBM is fitted and served on one
+machine, and partition-parallel scoring stays bit-for-bit identical to the
+serial pass while every shard touches only a fraction of the graph.
+
+Measured numbers from this workload (per-shard view sizes, partition times,
+peak per-worker RSS) are recorded in ``docs/SCALING.md``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.dtype import compute_dtype_scope
+from repro.core import AutoHEnsGNN
+from repro.core.config import AutoHEnsGNNConfig, ProxyConfig
+from repro.datasets.generators import make_large_sbm
+from repro.graph.graph import Graph
+from repro.graph.partition import partition_graph
+from repro.graph.splits import random_split
+from repro.nn.data import GraphTensors
+from repro.serve import BatchScorer
+from repro.serve.sharded import slice_view
+from repro.tasks.trainer import TrainConfig
+
+pytestmark = pytest.mark.slow
+
+
+def _view_bytes(view) -> int:
+    total = view.features.data.nbytes
+    for name in ("adj_sym", "adj_rw", "adj_raw"):
+        matrix = getattr(view, name).matrix
+        total += matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+    return total
+
+
+@pytest.fixture(scope="module")
+def two_million(tmp_path_factory):
+    """Generate, fit and save the 2M-node workload once for the module."""
+    graph = make_large_sbm(num_nodes=2_000_000, num_classes=7, num_features=16,
+                           average_degree=10.0, seed=0, name="sbm-2m")
+    graph = random_split(graph, val_fraction=0.1, seed=0)
+    config = AutoHEnsGNNConfig(
+        pool_size=1, ensemble_size=1, max_layers=2, search_epochs=2,
+        bagging_splits=1, hidden=16, candidate_models=["sgc"],
+        compute_dtype="float32", seed=0,
+        proxy=ProxyConfig(dataset_fraction=0.05, bagging_rounds=1,
+                          hidden_fraction=0.5, max_epochs=2))
+    config.train = TrainConfig(lr=0.05, max_epochs=3, patience=3)
+    fitted = AutoHEnsGNN(config).fit(graph, pool=["sgc"])
+    path = fitted.save(str(tmp_path_factory.mktemp("sbm2m") / "artifact"))
+    return graph, fitted, path
+
+
+class TestTwoMillionNodeDemo:
+    def test_graph_has_headline_dimensions(self, two_million):
+        graph, _, _ = two_million
+        assert graph.num_nodes == 2_000_000
+        assert graph.edge_index.shape[1] >= 20_000_000
+
+    def test_fit_produces_valid_probabilities(self, two_million):
+        graph, fitted, _ = two_million
+        probabilities = fitted.fit_report.probabilities
+        assert probabilities.shape == (graph.num_nodes, graph.num_classes)
+        assert probabilities.dtype == np.float32
+        np.testing.assert_allclose(
+            probabilities[:1000].sum(axis=1), 1.0, atol=1e-3)
+
+    @pytest.mark.parametrize("num_partitions", [2, 4])
+    def test_sharded_scoring_bitwise_at_scale(self, two_million, num_partitions):
+        graph, fitted, _ = two_million
+        reference = fitted.predict_proba(graph)
+        with BatchScorer(fitted, num_partitions=num_partitions,
+                         partition_seed=0) as scorer:
+            result = scorer.score(graph)
+        np.testing.assert_array_equal(result.probabilities, reference)
+
+    def test_halo_saturates_on_expander_graphs(self, two_million):
+        """Honest caveat: expander-like graphs do not shard economically.
+
+        A degree-10 SBM is an expander — the 2-hop frontier of a 500k-node
+        owned block reaches nearly every other node, so each shard's halo
+        approaches the whole remaining graph.  Sharding such graphs still
+        bounds the *scoring output* per worker and stays bit-exact, but the
+        per-worker view does not shrink.  ``docs/SCALING.md`` records the
+        measured halo fractions; this test pins the behaviour so the docs
+        cannot silently drift from reality.
+        """
+        graph, fitted, _ = two_million
+        with compute_dtype_scope(fitted.compute_dtype):
+            data = GraphTensors.from_graph(graph)
+        plan = partition_graph(data.adj_raw.matrix, 4,
+                               halo_hops=fitted.receptive_field(), seed=0)
+        summary = plan.describe()
+        halo_fraction = float(np.sum(summary["halo_sizes"]) /
+                              np.sum(summary["owned_sizes"]))
+        assert halo_fraction > 1.0
+        owned_union = np.concatenate([p.owned for p in plan.partitions])
+        np.testing.assert_array_equal(np.sort(owned_union),
+                                      np.arange(graph.num_nodes))
+
+    def test_process_backend_serves_from_shared_store(self, two_million):
+        """Workers map the published graph; scores stay bit-identical."""
+        graph, fitted, path = two_million
+        reference = fitted.predict_proba(graph)
+        with BatchScorer(path, num_partitions=4, shard_backend="process",
+                         max_workers=2) as scorer:
+            result = scorer.score(graph)
+        np.testing.assert_array_equal(result.probabilities, reference)
+
+
+def _banded_graph(num_nodes: int, band: int = 5, num_features: int = 16,
+                  seed: int = 0) -> Graph:
+    """A 2M-node graph with spatial locality: node ``i`` links to ``i±1..band``.
+
+    Road networks, meshes and other geometry-derived graphs look like this —
+    neighbourhoods are short ranges of node ids, so contiguous ``block``
+    partitions have halos of only ``band * halo_hops`` nodes per side.
+    """
+    rng = np.random.default_rng(seed)
+    base = np.arange(num_nodes, dtype=np.int64)
+    src = np.concatenate([base[:-k] for k in range(1, band + 1)])
+    dst = np.concatenate([base[k:] for k in range(1, band + 1)])
+    edge_index = np.vstack([np.concatenate([src, dst]),
+                            np.concatenate([dst, src])])
+    features = rng.normal(size=(num_nodes, num_features))
+    labels = base * 7 // num_nodes
+    return Graph(edge_index=edge_index, features=features, labels=labels,
+                 directed=False, num_classes=7, name="banded-2m",
+                 metadata={"generator": "banded",
+                           "has_node_features": True,
+                           "has_edge_features": False})
+
+
+class TestLocalityScaling:
+    def test_shard_views_shrink_with_partition_count(self):
+        """The scaling claim: with locality, each worker holds ~1/P + halo.
+
+        Uses a banded graph (the locality-friendly shape) rather than the
+        SBM: partition economics are a property of the *graph*, and the SBM
+        expander saturates its halos (see the test above).
+        """
+        graph = _banded_graph(2_000_000)
+        with compute_dtype_scope("float32"):
+            data = GraphTensors.from_graph(graph)
+        full = _view_bytes(data)
+        plan = partition_graph(data.adj_raw.matrix, 8, halo_hops=2, seed=0,
+                               method="block")
+        shard_bytes = [_view_bytes(slice_view(data, part.local_nodes))
+                       for part in plan.partitions]
+        # Contiguous blocks on a banded graph have O(band * hops) halos, so
+        # each of the 8 shards is ~1/8 of the full view.
+        assert max(shard_bytes) < full / 4
+        summary = plan.describe()
+        assert max(summary["halo_sizes"]) <= 2 * 2 * 5  # hops * sides * band
+        owned_union = np.concatenate([p.owned for p in plan.partitions])
+        np.testing.assert_array_equal(np.sort(owned_union),
+                                      np.arange(graph.num_nodes))

@@ -1,0 +1,183 @@
+"""Shared-memory graph store: round-trips, mmap lifecycle, leak hygiene.
+
+The store backs the ``shared_graph`` pipeline mode and process-backend
+sharded scoring, so the suite pins down three contracts:
+
+* published blocks resolve to byte-identical, **read-only** views,
+* ``close()`` unlinks every backing file — including after worker crashes
+  injected through :mod:`repro.resilience.faults` — and is idempotent,
+* no store directory survives any code path (the session-wide autouse
+  fixture in ``conftest.py`` additionally guards the whole suite).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.graph.shm import (
+    STORE_PREFIX,
+    SharedGraphHandle,
+    SharedGraphStore,
+    clear_shared_cache,
+    default_shm_dir,
+    resolve_graph,
+    resolve_graph_data,
+    shared_store_paths,
+)
+from repro.resilience import FaultPlan, FaultRule, ResiliencePolicy
+
+
+class TestStoreRoundTrip:
+    def test_tensors_round_trip_byte_identical(self, tiny_data):
+        with SharedGraphStore() as store:
+            handle = store.put_tensors(tiny_data)
+            clear_shared_cache()
+            view = handle.tensors()
+            assert view.num_nodes == tiny_data.num_nodes
+            assert view.num_features == tiny_data.num_features
+            assert view.features.data.tobytes() == tiny_data.features.data.tobytes()
+            for name in ("adj_sym", "adj_rw", "adj_raw"):
+                ours = getattr(tiny_data, name).matrix
+                theirs = getattr(view, name).matrix
+                assert ours.data.tobytes() == theirs.data.tobytes()
+                assert ours.indices.tobytes() == theirs.indices.tobytes()
+                assert ours.indptr.tobytes() == theirs.indptr.tobytes()
+            np.testing.assert_array_equal(view.edge_index, tiny_data.edge_index)
+            np.testing.assert_array_equal(view.edge_weight, tiny_data.edge_weight)
+        clear_shared_cache()
+
+    def test_mapped_blocks_are_read_only(self, tiny_data):
+        with SharedGraphStore() as store:
+            handle = store.put_tensors(tiny_data)
+            clear_shared_cache()
+            view = handle.tensors()
+            with pytest.raises((ValueError, RuntimeError)):
+                view.features.data[0, 0] = 1.0
+            with pytest.raises((ValueError, RuntimeError)):
+                view.adj_sym.matrix.data[0] = 1.0
+        clear_shared_cache()
+
+    def test_graph_round_trip(self, tiny_split_graph):
+        with SharedGraphStore() as store:
+            handle = store.put_graph(tiny_split_graph)
+            clear_shared_cache()
+            rebuilt = handle.graph()
+            np.testing.assert_array_equal(rebuilt.edge_index,
+                                          tiny_split_graph.edge_index)
+            np.testing.assert_array_equal(rebuilt.features,
+                                          tiny_split_graph.features)
+            np.testing.assert_array_equal(rebuilt.labels, tiny_split_graph.labels)
+            np.testing.assert_array_equal(rebuilt.train_mask,
+                                          tiny_split_graph.train_mask)
+            assert rebuilt.num_classes == tiny_split_graph.num_classes
+            assert rebuilt.name == tiny_split_graph.name
+        clear_shared_cache()
+
+    def test_handle_is_a_tiny_pickle(self, tiny_data):
+        """The point of the store: tasks carry a reference, not the graph."""
+        with SharedGraphStore() as store:
+            handle = store.put_tensors(tiny_data)
+            handle_bytes = len(pickle.dumps(handle))
+            data_bytes = len(pickle.dumps(tiny_data))
+            assert handle_bytes < 2_000
+            assert handle_bytes * 10 < data_bytes
+
+    def test_resolvers_pass_through_materialised_objects(self, tiny_data,
+                                                         tiny_split_graph):
+        assert resolve_graph_data(tiny_data) is tiny_data
+        assert resolve_graph(tiny_split_graph) is tiny_split_graph
+
+    def test_resolution_is_cached_per_process(self, tiny_data):
+        with SharedGraphStore() as store:
+            handle = store.put_tensors(tiny_data)
+            clear_shared_cache()
+            assert handle.tensors() is handle.tensors()
+            assert handle.csr("tensors.sym") is handle.csr("tensors.sym")
+        clear_shared_cache()
+
+
+class TestStoreLifecycle:
+    def test_close_unlinks_and_is_idempotent(self, tiny_data):
+        store = SharedGraphStore()
+        store.put_tensors(tiny_data)
+        path = store.path
+        assert os.path.isdir(path)
+        assert path in shared_store_paths()
+        store.close()
+        assert not os.path.exists(path)
+        assert path not in shared_store_paths()
+        store.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            store.put_array("late", np.zeros(3))
+        with pytest.raises(RuntimeError, match="closed"):
+            store.handle()
+
+    def test_store_lives_under_prefixed_directory(self):
+        store = SharedGraphStore()
+        try:
+            assert os.path.basename(store.path).startswith(STORE_PREFIX)
+            assert os.path.dirname(store.path) == default_shm_dir()
+        finally:
+            store.close()
+
+    def test_explicit_directory_override(self, tmp_path, tiny_data):
+        store = SharedGraphStore(directory=str(tmp_path))
+        try:
+            handle = store.put_tensors(tiny_data)
+            assert os.path.dirname(store.path) == str(tmp_path)
+            assert store.path in shared_store_paths(str(tmp_path))
+            clear_shared_cache()
+            assert handle.tensors().num_nodes == tiny_data.num_nodes
+        finally:
+            store.close()
+        assert shared_store_paths(str(tmp_path)) == ()
+        clear_shared_cache()
+
+    def test_scorer_close_unlinks_blocks(self, served):
+        """Process-backend sharded scoring must leave no store behind."""
+        graph, fitted, path, _ = served
+        from repro.serve import BatchScorer
+
+        before = set(shared_store_paths())
+        with BatchScorer(path, num_partitions=2,
+                         shard_backend="process", max_workers=2) as scorer:
+            result = scorer.score(graph)
+            np.testing.assert_array_equal(result.probabilities,
+                                          fitted.fit_report.probabilities)
+        assert set(shared_store_paths()) == before
+
+    def test_store_cleaned_up_after_worker_crash(self, served):
+        """A shard worker dying mid-map must not leak the published store.
+
+        The crash is injected deterministically at the backend task site; with
+        retries disabled the map fails, and the ``finally`` in
+        ``sharded_predict_proba`` must still unlink the store.
+        """
+        graph, fitted, path, _ = served
+        from repro.serve import BatchScorer
+        from repro.serve.sharded import ShardScoreError
+
+        before = set(shared_store_paths())
+        plan = FaultPlan([FaultRule(site="backend.task", kind="crash",
+                                    backends=("process",))])
+        scorer = BatchScorer(path, num_partitions=2,
+                             shard_backend="process", max_workers=2,
+                             resilience=ResiliencePolicy(
+                                 max_retries=0, on_failure="drop",
+                                 degrade=False, backoff_seconds=0.0))
+        try:
+            with plan.installed():
+                with pytest.raises(ShardScoreError):
+                    scorer.score(graph)
+        finally:
+            scorer.close()
+        assert set(shared_store_paths()) == before
+        # And the scorer recovers once the faults are gone.
+        fresh = scorer.score(graph)
+        np.testing.assert_array_equal(fresh.probabilities,
+                                      fitted.fit_report.probabilities)
+        scorer.close()
