@@ -248,23 +248,24 @@ MICROBENCH_POOL = ("gcn", "sgc", "graphsage-mean")
 TABLE6_POOL = ("gcn", "gat", "sgc", "tagcn", "mlp", "graphsage-mean")
 
 
-def capture_speedup_study(epochs: int = 30, repeats: int = 3) -> Dict[str, float]:
-    """Dynamic engine vs capture replay on the six-model Table VI workload.
+def _capture_speedup_sweep(epochs: int = 60) -> Dict[str, Dict[str, float]]:
+    """One paired engine sweep: per-model engine seconds on both engines.
 
-    Trains the six Table VI candidates serially for a fixed ``epochs``
-    full-batch epochs each (no early stopping, validation every 5 epochs so
-    the study measures the *training engine* — validation runs the same
-    PR-2 raw-ndarray inference fast path under both engines) on the
-    benchmark-scale arxiv analogue, once on the dynamic autograd engine and
-    once through capture-replay, asserting bit-identical predictions.
-    Reports the **median paired ratio**: both engines are timed back to back
-    within each repeat and the per-repeat ratios aggregated by median (the
-    returned seconds are the pair behind that median).
+    Trains the six Table VI candidates for a fixed ``epochs`` full-batch
+    epochs each (no early stopping) on the benchmark-scale arxiv analogue,
+    once on the dynamic autograd engine and once through capture-replay,
+    asserting bit-identical predictions.  Each model is trained on both
+    engines back to back — the tightest pairing the workload allows, so a
+    machine-load burst hits both halves of a pair.  The compared quantity
+    is the trainer's ``engine_seconds`` — wall time inside ``run_epoch``
+    calls only — so model building, validation and best-state snapshots,
+    which are identical engine-independent work on both paths, do not
+    dilute the engine ratio.  (The capture side still pays its trace epoch,
+    pass pipeline and arena planning inside ``run_epoch`` timing.)
     """
-    import time as _time
-
-    from repro.core.baselines import train_single_models
     from repro.datasets import make_arxiv_dataset
+    from repro.nn.model_zoo import build_model
+    from repro.tasks.trainer import NodeClassificationTrainer
 
     cfg = settings()
     graph = prepare_node_dataset(
@@ -274,38 +275,86 @@ def capture_speedup_study(epochs: int = 30, repeats: int = 3) -> Dict[str, float
     train_idx = graph.mask_indices("train")
     val_idx = graph.mask_indices("val")
 
-    def run(capture: bool):
+    def train_one(name: str, capture: bool):
+        model = build_model(name, data.num_features, graph.num_classes,
+                            hidden=cfg.hidden, seed=0)
         config = TrainConfig(lr=0.02, max_epochs=epochs, patience=epochs,
-                             evaluate_every=5, capture=capture)
-        start = _time.perf_counter()
-        outcome = train_single_models(
-            list(TABLE6_POOL), data, labels, train_idx, val_idx,
-            num_classes=graph.num_classes, hidden=cfg.hidden,
-            train_config=config, replicas=1, seed=0)
-        return _time.perf_counter() - start, outcome
+                             evaluate_every=5, capture=capture, seed=0)
+        result = NodeClassificationTrainer(config).train(
+            model, data, labels, train_idx, val_idx)
+        return result.engine_seconds, model.predict_proba(data)
 
-    # Both engines are timed back to back within each repeat and the
-    # *paired* ratios are aggregated by median: a noisy-neighbour burst
-    # slows both halves of a pair together, whereas independent best-of
-    # timings would let one engine luck into a quiet window.
-    pairs = []
-    probas: Dict[bool, Dict[str, object]] = {}
-    run(True)   # warm the compute cache so the first pair is not skewed
-    for _ in range(max(repeats, 1)):
-        dynamic_seconds, probas[False] = run(False)
-        replay_seconds, probas[True] = run(True)
-        pairs.append((dynamic_seconds / max(replay_seconds, 1e-9),
-                      dynamic_seconds, replay_seconds))
+    for name in TABLE6_POOL:   # warm the compute cache before the pairs
+        train_one(name, True)
+    sweep: Dict[str, Dict[str, float]] = {}
     for name in TABLE6_POOL:
-        assert np.array_equal(probas[False][name]["probas"][0],
-                              probas[True][name]["probas"][0]), \
+        d_seconds, d_probas = train_one(name, False)
+        r_seconds, r_probas = train_one(name, True)
+        assert np.array_equal(d_probas, r_probas), \
             f"capture replay diverged from the dynamic engine for {name}"
-    pairs.sort()
-    ratio, dynamic_seconds, replay_seconds = pairs[len(pairs) // 2]
+        sweep[name] = {"dynamic": d_seconds, "replay": r_seconds}
+    return sweep
+
+
+def capture_speedup_study(epochs: int = 60, repeats: int = 5,
+                          isolated: bool = True) -> Dict[str, float]:
+    """Dynamic engine vs capture replay on the six-model Table VI workload.
+
+    ``epochs=60`` matches the pipeline's shortest real training stage (the
+    proxy search; GSE/bagging stages run 120–200), so the one-time trace
+    epoch, pass pipeline and arena planning amortize the way they do in an
+    actual run — a shorter horizon under-states the engine.
+
+    Runs :func:`_capture_speedup_sweep` ``repeats`` times and reduces each
+    model's engine seconds by **per-model median** across repeats before
+    summing: a machine-load burst that lands on one model in one repeat
+    perturbs one sample out of ``repeats``, not a whole repeat's aggregate.
+    The reported speedup is the ratio of the summed per-model medians.
+
+    With ``isolated=True`` (the default) every sweep runs in a fresh
+    interpreter: the dynamic engine speeds up 10–15 % as the process heap
+    ages (its allocation-heavy epochs increasingly hit warm allocator
+    arenas) while the allocation-free replay is insensitive to heap state,
+    so in-process repeats — or a study run late in a larger benchmark
+    suite — systematically deflate the ratio relative to the fresh-process
+    regime a training run actually starts in.  Process isolation makes
+    every sample a fresh-regime sample.
+    """
+    if isolated:
+        import json
+        import os
+        import subprocess
+        import sys
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(root, "src"), root] +
+            ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        code = ("import json\n"
+                "from benchmarks.harness import _capture_speedup_sweep\n"
+                f"print(json.dumps(_capture_speedup_sweep({int(epochs)})))\n")
+        sweeps = []
+        for _ in range(max(repeats, 1)):
+            proc = subprocess.run([sys.executable, "-c", code], cwd=root,
+                                  env=env, capture_output=True, text=True)
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"isolated capture sweep failed:\n{proc.stderr}")
+            sweeps.append(json.loads(proc.stdout.strip().splitlines()[-1]))
+    else:
+        sweeps = [_capture_speedup_sweep(epochs)
+                  for _ in range(max(repeats, 1))]
+    dynamic_seconds = sum(
+        float(np.median([sweep[name]["dynamic"] for sweep in sweeps]))
+        for name in TABLE6_POOL)
+    replay_seconds = sum(
+        float(np.median([sweep[name]["replay"] for sweep in sweeps]))
+        for name in TABLE6_POOL)
     return {
         "capture_dynamic_seconds": dynamic_seconds,
         "capture_replay_seconds": replay_seconds,
-        "capture_speedup": ratio,
+        "capture_speedup": dynamic_seconds / max(replay_seconds, 1e-9),
     }
 
 
@@ -372,8 +421,141 @@ def capture_engine_microbenchmark(rounds: int = 5,
         report[f"epoch_ms_replay_{name}"] = best_replay * 1000.0
         total_dynamic += best_dynamic
         total_replay += best_replay
+        replay.release()
     report["engine_speedup"] = total_dynamic / max(total_replay, 1e-12)
     return report
+
+
+def ir_pass_study(rounds: int = 3, iterations: int = 20) -> Dict[str, float]:
+    """Replay throughput and fused-op counts per IR pass configuration.
+
+    For each Table VI candidate the training iteration is traced four times
+    and finalized under a different pass pipeline — no passes, spmm fusion
+    only, elementwise-chain fusion only, the full default pipeline — and the
+    steady-state replay epoch is timed for each (best of ``rounds`` windows
+    of ``iterations`` epochs).  Losses are bit-identical across
+    configurations by the IR contract (regression-tested in tests/test_ir),
+    so the study isolates what each pass contributes to replay throughput,
+    alongside the fused/replayed op counts from the plans.
+    """
+    import timeit
+
+    from repro.autograd import capture as _capture
+    from repro.autograd import functional as _F
+    from repro.autograd import optim as _optim
+    from repro.autograd.ir.passes import (fuse_elementwise_chains,
+                                          fuse_spmm_linear)
+    from repro.datasets import make_arxiv_dataset
+    from repro.nn.model_zoo import build_model
+
+    cfg = settings()
+    graph = prepare_node_dataset(
+        make_arxiv_dataset(scale=0.25 * cfg.dataset_scale, seed=0), seed=0)
+    data = GraphTensors.from_graph(graph)
+    labels = graph.labels
+    train_idx = graph.mask_indices("train")
+    configs = (
+        ("no_passes", ()),
+        ("spmm_fusion", (fuse_spmm_linear,)),
+        ("chain_fusion", (fuse_elementwise_chains,)),
+        ("all_passes", None),
+    )
+    report: Dict[str, float] = {}
+    for label, passes in configs:
+        total_seconds = 0.0
+        fused = 0
+        replayed = 0
+        for name in TABLE6_POOL:
+            model = build_model(name, data.num_features, graph.num_classes,
+                                hidden=cfg.hidden, seed=0)
+            optimizer = _optim.Adam(model.parameters(), lr=0.02,
+                                    weight_decay=5e-4)
+            scheduler = _optim.StepLR(optimizer)
+
+            def dynamic_epoch():
+                model.train()
+                optimizer.zero_grad()
+                logits = model(data)
+                loss = _F.cross_entropy(logits[train_idx], labels[train_idx])
+                loss.backward()
+                optimizer.step()
+                scheduler.step()
+                return float(loss.item())
+
+            tape = _capture.Tape()
+            with _capture.tracing(tape):
+                dynamic_epoch()
+            replay = tape.finalize(optimizer, scheduler, passes=passes)
+            assert replay is not None, f"{name}: {tape.failure}"
+            replay.run_epoch()
+            count = max(iterations // 4, 5) if name.startswith("gat") else iterations
+            best = float("inf")
+            for _ in range(max(rounds, 1)):
+                best = min(best,
+                           timeit.timeit(replay.run_epoch, number=count) / count)
+            total_seconds += best
+            fused += int(replay.plan.get("ops_fused", 0))
+            replayed += int(replay.plan["ops_replayed"])
+            replay.release()
+        report[f"ir_epoch_ms_{label}"] = total_seconds * 1000.0
+        report[f"ir_ops_fused_{label}"] = float(fused)
+        report[f"ir_ops_replayed_{label}"] = float(replayed)
+    report["ir_fusion_speedup"] = (report["ir_epoch_ms_no_passes"]
+                                   / max(report["ir_epoch_ms_all_passes"], 1e-9))
+    return report
+
+
+def ensemble_arena_study(members: int = 4, epochs: int = 6) -> Dict[str, float]:
+    """Cross-member arena sharing: pooled vs private allocation, in bytes.
+
+    Trains ``members`` capture-enabled GCN members back to back — the
+    sequential shape of GSE/bagged ensemble fitting — twice: once against
+    the shared :func:`~repro.autograd.ir.arena.global_pool` and once with
+    pooling disabled (every replay allocates private arenas, the pre-pool
+    behaviour).  The pool's byte counters are exact, so the study is
+    deterministic: the reuse ratio is how many bytes of private arena
+    allocation the pool avoided, and the high-water mark is the true peak
+    of simultaneously leased storage.
+    """
+    from repro.autograd.ir.arena import global_pool, pooling_disabled
+    from repro.datasets.generators import SBMConfig, make_attributed_sbm
+    from repro.nn.model_zoo import build_model
+    from repro.tasks.trainer import NodeClassificationTrainer
+
+    graph = prepare_node_dataset(
+        make_attributed_sbm(SBMConfig(num_nodes=700, num_classes=4, num_features=48)),
+        seed=0)
+    data = GraphTensors.from_graph(graph)
+    train_idx = graph.mask_indices("train")
+    val_idx = graph.mask_indices("val")
+
+    def train_members() -> None:
+        for seed in range(members):
+            model = build_model("gcn", data.num_features, graph.num_classes,
+                                hidden=32, seed=seed)
+            config = TrainConfig(lr=0.02, max_epochs=epochs, patience=epochs,
+                                 capture=True, seed=seed)
+            NodeClassificationTrainer(config).train(
+                model, data, graph.labels, train_idx, val_idx)
+
+    pool = global_pool()
+    pool.clear()
+    pool.reset_stats()
+    train_members()
+    pooled = pool.stats()
+    pool.clear()
+    pool.reset_stats()
+    with pooling_disabled():
+        train_members()
+    unpooled = pool.stats()
+    return {
+        "ensemble_members": float(members),
+        "ensemble_arena_pooled_mb": pooled["allocated_bytes"] / 2.0 ** 20,
+        "ensemble_arena_unpooled_mb": unpooled["allocated_bytes"] / 2.0 ** 20,
+        "ensemble_arena_high_water_mb": pooled["high_water_bytes"] / 2.0 ** 20,
+        "ensemble_arena_reuse_ratio": (unpooled["allocated_bytes"]
+                                       / max(pooled["allocated_bytes"], 1)),
+    }
 
 
 def memory_microbenchmark(epochs: int = 14) -> Dict[str, float]:
@@ -874,13 +1056,22 @@ def emit_runtime_baseline(path: str, repeats: int = 5) -> Dict[str, float]:
     Alongside the normalized serial wall clock, the baseline records the
     memory profile (peak RSS, per-epoch tracemalloc allocation peaks for
     both engines), the capture-replay speedup on the six-model Table VI
-    workload, and the fit-once/serve-many profile (artifact cold-load time,
-    per-request inference latency and the fit/request ratio), so memory and
-    engine regressions gate like runtime ones.
+    workload, the per-pass IR study (replay throughput and fused-op counts
+    under each pass configuration), the cross-member arena-sharing byte
+    accounting, and the fit-once/serve-many profile (artifact cold-load
+    time, per-request inference latency and the fit/request ratio), so
+    memory and engine regressions gate like runtime ones.
     """
     import json
     import platform
 
+    # Ordering matters for the in-process gated metrics: the regression
+    # checker runs runtime_microbenchmark then memory_microbenchmark first
+    # thing in a fresh process, so the baseline measures them in the same
+    # regime (a warmed process runs the workload ~15-20 % faster relative
+    # to the calibration loop, which would emit an unreachably tight
+    # baseline).  The capture study spawns a fresh interpreter per sweep,
+    # so its position here is immaterial.
     measured = runtime_microbenchmark(repeats=repeats)
     payload = dict(measured)
     payload.update(memory_microbenchmark())
@@ -888,9 +1079,11 @@ def emit_runtime_baseline(path: str, repeats: int = 5) -> Dict[str, float]:
     payload.update(serve_latency_microbenchmark(prefit=prefit))
     payload.update(streaming_serve_microbenchmark(prefit=prefit))
     payload.update(sharded_scaling_microbenchmark(prefit=prefit))
-    payload.update(capture_speedup_study())
+    payload.update(capture_speedup_study(repeats=7))
     engine = capture_engine_microbenchmark()
     payload["engine_speedup"] = engine["engine_speedup"]
+    payload.update(ir_pass_study())
+    payload.update(ensemble_arena_study())
     payload["pool"] = list(MICROBENCH_POOL)
     payload["python"] = platform.python_version()
     payload["numpy"] = np.__version__
@@ -987,6 +1180,26 @@ def check_runtime_regression(path: str, max_regression: float = 0.25,
                 f"{sharded_limit:.2f}x (baseline "
                 f"{baseline['sharded_overhead']:.2f}x +{max_regression:.0%})")
         report.update(sharded_report)
+
+    if "ensemble_arena_reuse_ratio" in baseline:
+        # Arena gate: pooled-vs-private allocation is exact byte accounting
+        # (no wall clock involved), so it gates tightly.  A drop in the
+        # reuse ratio means ensemble members stopped sharing arena storage.
+        arena = ensemble_arena_study()
+        arena_required = baseline["ensemble_arena_reuse_ratio"] / (1.0 + max_regression)
+        arena_report = {
+            "ensemble_arena_reuse_ratio": arena["ensemble_arena_reuse_ratio"],
+            "ensemble_arena_pooled_mb": arena["ensemble_arena_pooled_mb"],
+            "ensemble_arena_unpooled_mb": arena["ensemble_arena_unpooled_mb"],
+        }
+        print("ensemble arena gate:", arena_report)
+        if arena["ensemble_arena_reuse_ratio"] < arena_required:
+            raise SystemExit(
+                f"cross-member arena sharing regressed: reuse ratio "
+                f"{arena['ensemble_arena_reuse_ratio']:.2f}x < required "
+                f"{arena_required:.2f}x (baseline "
+                f"{baseline['ensemble_arena_reuse_ratio']:.2f}x -{max_regression:.0%})")
+        report.update(arena_report)
     return report
 
 

@@ -35,28 +35,80 @@ then-add discipline in the same DFS order.  ``tests/test_capture.py`` asserts
 this across the whole model zoo, all execution backends and both compute
 dtypes.
 
-Ops without a registered replay twin (or stateful modules such as
-``BatchNorm``) make the tape *fail softly*: training silently continues on
-the dynamic path.  The trainer (:mod:`repro.tasks.trainer`) engages capture
-only for full-batch runs; minibatch training changes shapes per step and
-keeps the dynamic engine.
+Between trace and replay the recording is lowered to the graph-program IR
+(:mod:`repro.autograd.ir`): the program is verified, optimization passes run
+over it (operator fusion, see :mod:`repro.autograd.ir.passes`) and its arena
+is planned through the process-wide buffer pool
+(:mod:`repro.autograd.ir.arena`) so ensemble members share storage.
+:func:`build_inference_replay` derives a forward-only program (no backward
+schedule, no gradient or optimizer slots) for validation/serve paths.
+
+Ops without a registered replay twin make the tape *fail softly*: training
+continues on the dynamic path, now with a :class:`CaptureBailoutWarning`
+and a counter on :func:`engine_stats` so the fallback is observable.
+``BatchNorm`` records its running-stat update as an effectful ``bn_stats``
+op and captures like everything else; fixed-shape minibatch regimes capture
+per-batch programs when ``TrainConfig.static_batches`` is set.
 """
 
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+import threading
+import warnings
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.autograd import functional as F
+from repro.autograd import kernels as _kernels
 from repro.autograd import tensor as _tensor
+from repro.autograd.ir.arena import global_pool, plan_arena
+from repro.autograd.ir.passes import run_passes, strip_training
+from repro.autograd.ir.program import (OpImpl, OpRecord, Program, SlotInfo,
+                                       mark_variance, verify_program)
 from repro.autograd.tensor import Tensor, _as_array, _reduce_extra_dims, _unbroadcast
 
 
 class CaptureBailout(RuntimeError):
     """Raised when a replay precondition breaks (e.g. an input changed shape)."""
+
+
+class CaptureBailoutWarning(RuntimeWarning):
+    """A capture opportunity was abandoned and training fell back to dynamic."""
+
+
+def _fresh_stats() -> Dict[str, object]:
+    return {"traces": 0, "replays": 0, "bailouts": 0, "bailout_reasons": {}}
+
+
+_STATS_LOCK = threading.Lock()
+_STATS = _fresh_stats()
+
+
+def note_bailout(reason: str, detail: str = "", warn: bool = True) -> None:
+    """Count (and by default warn about) one abandoned capture opportunity."""
+    with _STATS_LOCK:
+        _STATS["bailouts"] += 1
+        reasons = _STATS["bailout_reasons"]
+        reasons[reason] = reasons.get(reason, 0) + 1
+    if warn:
+        warnings.warn(f"capture bailout ({reason}): {detail}",
+                      CaptureBailoutWarning, stacklevel=3)
+
+
+def engine_stats() -> Dict[str, object]:
+    """Snapshot of this process's capture-engine counters."""
+    with _STATS_LOCK:
+        out = dict(_STATS)
+        out["bailout_reasons"] = dict(out["bailout_reasons"])
+        return out
+
+
+def reset_engine_stats() -> None:
+    global _STATS
+    with _STATS_LOCK:
+        _STATS = _fresh_stats()
 
 
 try:  # pragma: no cover - scipy always ships _sparsetools today
@@ -106,69 +158,16 @@ def _scatter_sum_into(op: "OpRecord", key: str, values: np.ndarray,
 
 
 # ---------------------------------------------------------------------------
-# Program representation
+# Program representation — the datatypes live in the IR package
+# (:mod:`repro.autograd.ir.program`); this module owns the replay-op
+# registry that maps each recorded kind to its replay twin.
 # ---------------------------------------------------------------------------
-@dataclass
-class OpImpl:
-    """Replay twin of one dynamic op kind.
-
-    ``forward(op, rt)`` recomputes the op's output into ``rt.values[op.out]``
-    (through ``op.buffer`` when the op is arena-backed); ``backward(op, rt,
-    g)`` mirrors the dynamic ``_backward`` closure, contributing gradients
-    via :meth:`Replay.contribute`.  The ``bwd_reads_*`` flags feed the
-    lifetime analysis: they declare which *values* the backward pass still
-    needs, so everything else can die (and donate its buffer) right after
-    its last forward use.
-    """
-
-    kind: str
-    forward: Callable
-    backward: Optional[Callable] = None
-    out_mode: str = "fresh"           # "buffer" | "fresh" | "view"
-    rng: bool = False                 # consumes the seeded RNG stream per epoch
-    bwd_reads_in: bool = False
-    bwd_reads_out: bool = False
-    mode_fn: Optional[Callable] = None
-
-
 OPS: Dict[str, OpImpl] = {}
 
 
 def _register(impl: OpImpl) -> OpImpl:
     OPS[impl.kind] = impl
     return impl
-
-
-@dataclass
-class OpRecord:
-    """One recorded op: kind + slot wiring + metadata captured at trace time."""
-
-    kind: str
-    impl: OpImpl
-    out: int
-    ins: Tuple[int, ...]
-    prev: Tuple[int, ...]
-    in_requires: Tuple[bool, ...]
-    in_shapes: Tuple[tuple, ...]
-    needs_backward: bool
-    meta: Dict[str, object] = field(default_factory=dict)
-    state: Dict[str, object] = field(default_factory=dict)
-    mode: str = "fresh"
-    buffer: Optional[np.ndarray] = None
-
-
-@dataclass
-class SlotInfo:
-    """Static facts about one value slot of the captured program."""
-
-    index: int
-    shape: tuple
-    dtype: np.dtype
-    requires_grad: bool
-    tensor: Optional[Tensor] = None       # kept for leaves (params / constants)
-    producer: Optional[OpRecord] = None
-    variant: bool = False
-    view_base: Optional[int] = None
 
 
 # ---------------------------------------------------------------------------
@@ -181,6 +180,7 @@ class Tape:
         self.slots: List[SlotInfo] = []
         self.ops: List[OpRecord] = []
         self.loss_slot: Optional[int] = None
+        self.output_slot: Optional[int] = None
         self.failure: Optional[str] = None
         self._ids: Dict[int, int] = {}
         # Keep every traced tensor alive so ``id()`` keys stay unique for the
@@ -247,43 +247,62 @@ class Tape:
             return
         self.loss_slot = slot
 
+    def mark_output(self, t: Optional[Tensor]) -> None:
+        """Name the prediction tensor (e.g. logits) as the program's output.
+
+        Optional; enables :func:`build_inference_replay` to re-root the
+        program for inference-only replays.  Call between the traced epoch
+        and :meth:`finalize`.
+        """
+        if self.failed or t is None:
+            return
+        slot = self._ids.get(id(t))
+        if slot is not None:
+            self.output_slot = slot
+
     # -- planning --------------------------------------------------------
-    def finalize(self, optimizer, scheduler) -> Optional["Replay"]:
-        """Turn the recording into a :class:`Replay` program (or ``None``)."""
+    def finalize(self, optimizer, scheduler, passes=None) -> Optional["Replay"]:
+        """Turn the recording into a :class:`Replay` program (or ``None``).
+
+        ``passes`` overrides the IR pass pipeline (``None`` runs the default
+        :data:`repro.autograd.ir.passes.DEFAULT_PASSES`; ``()`` disables
+        passes entirely).
+        """
         if self.failed or self.loss_slot is None or not self.ops:
             if self.failure is None:
                 self.failure = "no backward() observed during trace"
+            note_bailout("trace", self.failure)
             return None
         try:
-            return self._build(optimizer, scheduler)
+            return self._build(optimizer, scheduler, passes)
         except Exception as exc:   # defensive: planning must never break training
             self.fail(f"finalize: {exc!r}")
+            note_bailout("finalize", repr(exc))
             return None
 
-    def _build(self, optimizer, scheduler) -> "Replay":
-        slots = self.slots
-
+    def _build(self, optimizer, scheduler, passes=None) -> "Replay":
+        # Lower the recording to the graph-program IR, verify it, and run
+        # the optimization passes (fusion etc.) before scheduling.
+        program = Program(slots=self.slots, ops=self.ops,
+                          loss_slot=self.loss_slot, output_slot=self.output_slot)
         # Epoch-variance: parameters change under the optimiser, RNG ops draw
-        # fresh masks; everything downstream of either must be recomputed.
-        # The rest is a pure function of graph constants — folded into the
-        # values captured during the trace.
-        for info in slots:
-            if info.producer is None:
-                info.variant = info.requires_grad        # parameters / trained leaves
-        for op in self.ops:
-            info = slots[op.out]
-            info.variant = op.impl.rng or any(slots[s].variant for s in op.ins)
-            if op.mode == "view":
-                base = op.ins[0]
-                info.view_base = slots[base].view_base if slots[base].view_base is not None else base
+        # fresh masks, effectful ops must re-run; everything downstream must
+        # be recomputed.  The rest is a pure function of graph constants —
+        # folded into the values captured during the trace.  Runs before the
+        # passes because fusion must not swallow foldable (invariant) links.
+        mark_variance(program)
+        verify_program(program)
+        pass_stats = run_passes(program, OPS, passes)
+        slots = program.slots
 
-        forward_ops = [op for op in self.ops if slots[op.out].variant]
+        forward_ops = [op for op in program.ops if slots[op.out].variant]
 
         # Mirror of ``Tensor.backward``'s iterative DFS, operating on slots.
         # The graph is isomorphic (prev tuples are the recorded ``_prev``
-        # tuples), so the resulting order — and therefore the float
+        # tuples; fused records splice their external parents in the same
+        # nesting order), so the resulting order — and therefore the float
         # accumulation order of every multi-consumer gradient — is identical.
-        prev_of = {op.out: op.prev for op in self.ops}
+        prev_of = {op.out: op.prev for op in program.ops}
         order: List[int] = []
         visited: set = set()
         stack: List[Tuple[int, bool]] = [(self.loss_slot, False)]
@@ -301,14 +320,17 @@ class Tape:
                     stack.append((parent, False))
         bwd_slots = list(reversed(order))
 
-        plan = self._plan_arena(forward_ops, bwd_slots)
+        plan, leased = plan_arena(program, forward_ops, bwd_slots,
+                                  (self.loss_slot,), global_pool())
+        plan["passes"] = pass_stats
+        plan["ops_fused"] = sum(s.get("fused", 0) for s in pass_stats)
 
         # Backward schedule (producer ops in mirrored DFS order) and the
         # per-slot contribution count.  A slot receiving exactly one gradient
         # contribution can alias the contributed array directly — the dynamic
         # engine's defensive first-copy exists only because a later
         # contribution may accumulate in place, which the count rules out.
-        producer = {op.out: op for op in self.ops}
+        producer = program.producer_map()
         backward_ops = [producer[slot] for slot in bwd_slots
                         if slot in producer and producer[slot].needs_backward]
         n_contrib: Dict[int, int] = {self.loss_slot: 1}
@@ -317,7 +339,8 @@ class Tape:
                 if requires:
                     n_contrib[s] = n_contrib.get(s, 0) + 1
 
-        leaves = [(info.index, info.tensor) for info in slots if info.producer is None]
+        leaves = [(info.index, info.tensor) for info in slots
+                  if info.producer is None and not info.dead]
         values: List[Optional[np.ndarray]] = [None] * len(slots)
         for info in slots:
             if info.producer is not None and not info.variant:
@@ -333,93 +356,12 @@ class Tape:
         self._keepalive.clear()
         self._ids.clear()
 
+        with _STATS_LOCK:
+            _STATS["traces"] += 1
         return Replay(slots=slots, forward_ops=forward_ops, backward_ops=backward_ops,
                       n_contrib=n_contrib, loss_slot=self.loss_slot, leaves=leaves,
                       values=values, optimizer=optimizer, scheduler=scheduler,
-                      plan=plan)
-
-    def _plan_arena(self, forward_ops: List[OpRecord],
-                    bwd_slots: List[int]) -> Dict[str, object]:
-        """Lifetime analysis + greedy buffer assignment for arena-backed slots.
-
-        Steps are numbered forward ops first, then the loss read, then the
-        backward schedule.  A slot's value dies at its last reading step —
-        forward consumers, plus the backward steps of ops whose gradient
-        formula still reads it (``bwd_reads_in`` / ``bwd_reads_out``).  Views
-        extend the life of their base.  Buffers are then assigned by a linear
-        scan: two slots share storage iff their live ranges do not overlap.
-        """
-        slots = self.slots
-
-        def base(slot: int) -> int:
-            vb = slots[slot].view_base
-            return slot if vb is None else vb
-
-        last_use: Dict[int, int] = {}
-        birth: Dict[int, int] = {}
-
-        def touch(slot: int, step: int) -> None:
-            slot = base(slot)
-            if step > last_use.get(slot, -1):
-                last_use[slot] = step
-
-        for step, op in enumerate(forward_ops):
-            for s in op.ins:
-                touch(s, step)
-            touch(op.out, step)
-            if op.mode == "buffer":
-                birth[op.out] = step
-        loss_step = len(forward_ops)
-        touch(self.loss_slot, loss_step)
-
-        step = loss_step + 1
-        producer = {op.out: op for op in self.ops}
-        for slot in bwd_slots:
-            op = producer.get(slot)
-            if op is None or not op.needs_backward:
-                continue
-            if op.impl.bwd_reads_in:
-                for s in op.ins:
-                    touch(s, step)
-            if op.impl.bwd_reads_out:
-                touch(op.out, step)
-            step += 1
-
-        # Greedy linear scan over births; a freed buffer is reusable only
-        # strictly after its previous owner's death step, so an op can never
-        # be handed one of its own inputs as the output buffer.
-        pool: List[Dict[str, object]] = []
-        buffer_bytes = 0
-        demand_bytes = 0
-        for op in forward_ops:
-            if op.mode != "buffer":
-                continue
-            info = slots[op.out]
-            born = birth[op.out]
-            dies = last_use.get(op.out, born)
-            key = (info.shape, info.dtype)
-            nbytes = int(np.prod(info.shape, dtype=np.int64)) * info.dtype.itemsize
-            demand_bytes += nbytes
-            chosen = None
-            for entry in pool:
-                if entry["key"] == key and entry["free_after"] < born:
-                    chosen = entry
-                    break
-            if chosen is None:
-                chosen = {"key": key, "array": np.empty(info.shape, info.dtype)}
-                pool.append(chosen)
-                buffer_bytes += nbytes
-            chosen["free_after"] = dies
-            op.buffer = chosen["array"]
-
-        return {
-            "ops_recorded": len(self.ops),
-            "ops_replayed": len(forward_ops),
-            "ops_constant_folded": len(self.ops) - len(forward_ops),
-            "arena_buffers": len(pool),
-            "arena_bytes": buffer_bytes,
-            "arena_demand_bytes": demand_bytes,
-        }
+                      plan=plan, program=program, leased=leased)
 
 
 # ---------------------------------------------------------------------------
@@ -429,7 +371,8 @@ class Replay:
     """A planned program replaying one training epoch with plain ndarrays."""
 
     def __init__(self, slots, forward_ops, backward_ops, n_contrib, loss_slot,
-                 leaves, values, optimizer, scheduler, plan) -> None:
+                 leaves, values, optimizer, scheduler, plan,
+                 program=None, leased=None) -> None:
         self.slots = slots
         self.forward_ops = forward_ops
         self.backward_ops = backward_ops
@@ -440,11 +383,28 @@ class Replay:
         self.optimizer = optimizer
         self.scheduler = scheduler
         self.plan = plan
+        self.program = program
+        self._leased = list(leased) if leased else []
         self.gradbuf: Dict[int, np.ndarray] = {}
         self.grads: List[Optional[np.ndarray]] = [None] * len(slots)
         self._touched: List[int] = []
         self._adam_groups = self._prepare_adam()
         self.epochs_replayed = 0
+        # Pre-bound (kernel, op) sequences shave two attribute loads per op
+        # per epoch off the replay interpreter loop.
+        self._fwd_seq = [(op.impl.forward, op) for op in forward_ops]
+        self._bwd_seq = [(op.impl.backward, op, op.out) for op in backward_ops]
+
+    def release(self) -> None:
+        """Return this replay's arena buffers to the process-wide pool.
+
+        After release the replay must not run again; the trainer calls this
+        once training (or a bailout) is done so the next ensemble member can
+        recycle the storage.
+        """
+        if self._leased:
+            arrays, self._leased = self._leased, []
+            global_pool().release(arrays)
 
     def _prepare_adam(self):
         """Pre-resolve Adam's per-parameter buffers for the replay step.
@@ -453,17 +413,71 @@ class Replay:
         ``optim.Adam.step`` (same scratch buffers, same order — change both
         together) minus the per-step buffer lookups; any other optimiser
         falls back to its own ``step()``.
+
+        Contiguous same-dtype parameters are additionally laid out as
+        segments of flat staging arrays (:meth:`_prepare_flat_adam`), so the
+        common step is ~a dozen ufunc calls over one long array instead of a
+        dozen per parameter.  Every op in the sequence is elementwise with
+        scalar coefficients, so each element sees the exact per-parameter
+        instruction stream — the update is bitwise identical.
         """
         from repro.autograd import optim as _optim
 
         opt = self.optimizer
         if type(opt) is not _optim.Adam:
+            self._adam_flat = None
+            self._adam_rest = []
             return None
-        return [(param, m, v,
-                 opt._buffer(opt._scratch, index, param),
-                 opt._buffer(opt._scratch2, index, param))
-                for index, (param, m, v)
-                in enumerate(zip(opt.parameters, opt._m, opt._v))]
+        self._adam_flat = self._prepare_flat_adam(opt)
+        groups = [(param, m, v,
+                   opt._buffer(opt._scratch, index, param),
+                   opt._buffer(opt._scratch2, index, param))
+                  for index, (param, m, v)
+                  in enumerate(zip(opt.parameters, opt._m, opt._v))]
+        flat_params = {id(param) for grp in self._adam_flat
+                       for param, _ in grp["segments"]}
+        self._adam_rest = [grp for grp in groups
+                           if id(grp[0]) not in flat_params]
+        return groups
+
+    @staticmethod
+    def _prepare_flat_adam(opt):
+        """Flat segment layout for :meth:`_adam_step`, cached on the optimizer.
+
+        The running moments are copied into the flat ``fm``/``fv`` arrays
+        once and the optimizer's ``_m``/``_v`` entries replaced with reshaped
+        views of them, so a dynamic-engine ``step()`` (after a bail-out, or
+        from a sibling batch replay) reads and writes the very same storage.
+        Caching on the optimizer keeps every replay sharing one layout —
+        re-planting per replay would strand earlier replays on stale arrays.
+        """
+        flat = getattr(opt, "_replay_flat_adam", None)
+        if flat is not None:
+            return flat
+        by_dtype: Dict[object, List[int]] = {}
+        for index, param in enumerate(opt.parameters):
+            if param.grad is not None and param.data.flags.c_contiguous:
+                by_dtype.setdefault(param.data.dtype, []).append(index)
+        flat = []
+        for dtype, indices in by_dtype.items():
+            total = sum(opt.parameters[i].data.size for i in indices)
+            group = {key: np.empty(total, dtype)
+                     for key in ("fp", "fg", "fb", "ft", "fm", "fv")}
+            segments = []
+            offset = 0
+            for i in indices:
+                param = opt.parameters[i]
+                run = slice(offset, offset + param.data.size)
+                group["fm"][run] = opt._m[i].ravel()
+                group["fv"][run] = opt._v[i].ravel()
+                opt._m[i] = group["fm"][run].reshape(param.data.shape)
+                opt._v[i] = group["fv"][run].reshape(param.data.shape)
+                segments.append((param, run))
+                offset = run.stop
+            group["segments"] = segments
+            flat.append(group)
+        opt._replay_flat_adam = flat
+        return flat
 
     def _adam_step(self) -> None:
         opt = self.optimizer
@@ -473,7 +487,42 @@ class Replay:
         one_minus_beta1 = 1.0 - opt.beta1
         one_minus_beta2 = 1.0 - opt.beta2
         weight_decay, eps, lr = opt.weight_decay, opt.eps, opt.lr
-        for param, m, v, buf, tmp in self._adam_groups:
+        groups = self._adam_groups
+        flat = self._adam_flat
+        if flat and all(param.grad is not None
+                        for grp in flat for param, _ in grp["segments"]):
+            groups = self._adam_rest
+            for grp in flat:
+                segments = grp["segments"]
+                fp, fg = grp["fp"], grp["fg"]
+                buf, tmp = grp["fb"], grp["ft"]
+                m, v = grp["fm"], grp["fv"]
+                for param, run in segments:
+                    fp[run] = param.data.ravel()
+                    fg[run] = param.grad.ravel()
+                grad = fg
+                if weight_decay:
+                    np.multiply(fp, weight_decay, out=buf)
+                    buf += grad
+                    grad = buf
+                np.multiply(grad, one_minus_beta1, out=tmp)
+                m *= opt.beta1
+                m += tmp
+                np.multiply(grad, grad, out=tmp)
+                tmp *= one_minus_beta2
+                v *= opt.beta2
+                v += tmp
+                np.divide(v, bias2, out=tmp)
+                np.sqrt(tmp, out=tmp)
+                tmp += eps
+                np.divide(m, bias1, out=buf)
+                buf /= tmp
+                buf *= lr
+                fp -= buf
+                for param, run in segments:
+                    np.copyto(param.data,
+                              fp[run].reshape(param.data.shape))
+        for param, m, v, buf, tmp in groups:
             grad = param.grad
             if grad is None:
                 continue
@@ -531,19 +580,25 @@ class Replay:
         else:
             current += grad
 
-    def run_epoch(self) -> float:
-        """One full ``forward → loss → backward → optimizer.step`` iteration."""
+    def run_epoch(self, step_scheduler: bool = True) -> float:
+        """One full ``forward → loss → backward → optimizer.step`` iteration.
+
+        ``step_scheduler=False`` supports per-batch replays where the
+        learning-rate schedule advances once per epoch, not once per step.
+        """
         values = self.values
         slots = self.slots
         for slot, tensor in self.leaves:
             data = tensor.data
             if data.shape != slots[slot].shape or data.dtype != slots[slot].dtype:
-                raise CaptureBailout(
-                    f"input slot {slot} changed from {slots[slot].shape} to {data.shape}")
+                message = (f"input slot {slot} changed from "
+                           f"{slots[slot].shape} to {data.shape}")
+                note_bailout("replay_shape", message)
+                raise CaptureBailout(message)
             values[slot] = data
         self.optimizer.zero_grad()
-        for op in self.forward_ops:
-            op.impl.forward(op, self)
+        for forward, op in self._fwd_seq:
+            forward(op, self)
         loss_value = float(values[self.loss_slot])
 
         grads = self.grads
@@ -554,18 +609,98 @@ class Replay:
         if seed is None:
             seed = self._seed_ones = np.ones_like(values[self.loss_slot])
         self.contribute(self.loss_slot, seed)
-        for op in self.backward_ops:
-            g = grads[op.out]
+        for backward, op, out_slot in self._bwd_seq:
+            g = grads[out_slot]
             if g is not None:
-                op.impl.backward(op, self, g)
+                backward(op, self, g)
 
         if self._adam_groups is not None:
             self._adam_step()
         else:
             self.optimizer.step()
-        self.scheduler.step()
+        if step_scheduler:
+            self.scheduler.step()
         self.epochs_replayed += 1
+        _STATS["replays"] += 1
         return loss_value
+
+
+class InferenceReplay:
+    """Forward-only replay of the stripped (inference) program.
+
+    Built by :func:`build_inference_replay` from a trained :class:`Replay`:
+    no backward schedule, no gradient buffers, no optimizer mirrors — the
+    plan leases arena storage for the forward live-set only.  ``run()``
+    refreshes the leaf slots (parameters update in place during training)
+    and returns the raw output array (e.g. logits).
+    """
+
+    def __init__(self, program, forward_ops, leaves, values, plan, leased) -> None:
+        self.program = program
+        self.slots = program.slots
+        self.output_slot = program.output_slot
+        self.forward_ops = forward_ops
+        self.leaves = leaves
+        self.values = values
+        self.plan = plan
+        self._leased = list(leased) if leased else []
+        self._fwd_seq = [(op.impl.forward, op) for op in forward_ops]
+
+    def run(self) -> np.ndarray:
+        values = self.values
+        slots = self.slots
+        for slot, tensor in self.leaves:
+            data = tensor.data
+            if data.shape != slots[slot].shape or data.dtype != slots[slot].dtype:
+                message = (f"inference input slot {slot} changed from "
+                           f"{slots[slot].shape} to {data.shape}")
+                note_bailout("replay_shape", message)
+                raise CaptureBailout(message)
+            values[slot] = data
+        for forward, op in self._fwd_seq:
+            forward(op, self)
+        return values[self.output_slot]
+
+    def release(self) -> None:
+        if self._leased:
+            arrays, self._leased = self._leased, []
+            global_pool().release(arrays)
+
+
+def build_inference_replay(replay: Replay,
+                           pool=None) -> Optional[InferenceReplay]:
+    """Derive a forward-only replay for the trained program's output slot.
+
+    Runs the :func:`~repro.autograd.ir.passes.strip_training` pass over the
+    replay's program: stochastic regularisers are rewired out (eval
+    semantics of inverted dropout), the loss head and backward-only ops are
+    dropped, and the program is re-rooted at the slot named by
+    :meth:`Tape.mark_output`.  Returns ``None`` when no output was marked or
+    the program contains effectful ops (BatchNorm: eval-mode normalisation
+    reads running stats, which the training-mode tape does not express).
+
+    Constant-folded values carry over from the training replay; the derived
+    program shares slot metadata read-only and owns its op records, buffers
+    and value table, so both replays can run interleaved.
+    """
+    program = replay.program
+    if program is None:
+        return None
+    stripped = strip_training(program)
+    if stripped is None:
+        return None
+    verify_program(stripped, check_producers=False)
+    slots = stripped.slots
+    forward_ops = [op for op in stripped.ops if slots[op.out].variant]
+    plan, leased = plan_arena(stripped, forward_ops, [],
+                              (stripped.output_slot,), pool or global_pool())
+    needed = {s for op in stripped.ops for s in op.ins}
+    needed.add(stripped.output_slot)
+    leaves = [(slot, tensor) for slot, tensor in replay.leaves if slot in needed]
+    values: List[Optional[np.ndarray]] = list(replay.values)
+    return InferenceReplay(program=stripped, forward_ops=forward_ops,
+                           leaves=leaves, values=values, plan=plan,
+                           leased=leased)
 
 
 # ---------------------------------------------------------------------------
@@ -584,13 +719,15 @@ def tracing(tape: Tape):
 
 
 def supports_capture(model) -> bool:
-    """Static check for modules whose forward has side effects replay cannot see."""
-    from repro.autograd.modules import BatchNorm
+    """Static pre-check for capture support; currently always true.
 
-    modules = getattr(model, "modules", None)
-    if modules is None:
-        return True
-    return not any(isinstance(m, BatchNorm) for m in modules())
+    ``BatchNorm`` — the one historical rejection — now records its
+    running-stat update as an effectful ``bn_stats`` op, so its side effects
+    replay exactly.  Models recording ops without a replay twin still fail
+    softly at trace time (with a :class:`CaptureBailoutWarning`); the static
+    check remains as an API hook for genuinely uncapturable modules.
+    """
+    return True
 
 
 # ---------------------------------------------------------------------------
@@ -1047,8 +1184,9 @@ def _fwd_dropout(op, rt):
     mask = state["mask"]
     op.meta["rng"].random(out=state["uniform"])
     np.greater_equal(state["uniform"], p, out=state["keep"])
-    np.copyto(mask, state["keep"])        # exact 0.0 / 1.0, like .astype()
-    np.divide(mask, 1.0 - p, out=mask)
+    # One pass: bool upcasts to exact 0.0 / 1.0 inside the divide, so this
+    # is bitwise the dynamic twin's ``mask.astype(dtype) / (1 - p)``.
+    np.divide(state["keep"], 1.0 - p, out=mask)
     _out(op, rt, np.multiply(a, mask, out=op.buffer))
 
 
@@ -1180,6 +1318,50 @@ def _bwd_scatter_add(op, rt, g):
 _register(OpImpl("scatter_add", _fwd_scatter_add, _bwd_scatter_add))
 
 
+def _fwd_attn_gather_scatter(op, rt):
+    # Fused attention aggregation: the exact index_select → broadcast-mul →
+    # scatter_add kernels of the ops it replaces, staged through private
+    # scratch so the gathered features and the weighted product never take
+    # arena slots or pay three dispatches.  ``alpha`` arrives un-reshaped;
+    # the (E, H) → (E, H, 1) view is free and value-preserving.
+    h = rt.values[op.ins[0]]
+    alpha = rt.values[op.ins[1]].reshape(op.meta["alpha_shape"])
+    index = op.meta["gather_index"]
+    gathered = _state_buffer(op, "gathered", (len(index),) + h.shape[1:],
+                             h.dtype)
+    np.take(h, index, axis=0, out=gathered)
+    product = np.multiply(gathered, alpha,
+                          out=_state_buffer(op, "product", gathered.shape,
+                                            gathered.dtype))
+    _out(op, rt, _scatter_sum_into(op, "out", product, op.meta["index"],
+                                   op.meta["dim_size"], op.meta["aggregate"]))
+
+
+def _bwd_attn_gather_scatter(op, rt, g):
+    # scatter_add backward first (gather the node grads to edges — same
+    # values as ``g[index]``), then the mul / reshape / index_select
+    # backwards verbatim, contributing in the unfused schedule's order:
+    # alpha before the gathered features.
+    gedge = _state_buffer(op, "gedge", op.state["product"].shape, g.dtype)
+    np.take(g, op.meta["index"], axis=0, out=gedge)
+    if op.in_requires[1]:
+        tmp = np.multiply(gedge, op.state["gathered"],
+                          out=_state_buffer(op, "gb_tmp", gedge.shape, g.dtype))
+        rt.contribute(op.ins[1],
+                      _unbroadcast(tmp, op.meta["alpha_shape"])
+                      .reshape(op.in_shapes[1]))
+    if op.in_requires[0]:
+        alpha = rt.values[op.ins[1]].reshape(op.meta["alpha_shape"])
+        np.multiply(gedge, alpha, out=gedge)
+        rt.contribute(op.ins[0], _scatter_sum_into(
+            op, "grad_h", gedge, op.meta["gather_index"],
+            op.in_shapes[0][0], op.meta["gather_scatter"]))
+
+
+_register(OpImpl("attn_gather_scatter", _fwd_attn_gather_scatter,
+                 _bwd_attn_gather_scatter, bwd_reads_in=True))
+
+
 def _fwd_scatter_max(op, rt):
     src = rt.values[op.ins[0]]
     index = op.meta["index"]
@@ -1283,7 +1465,12 @@ _register(OpImpl("spmm", _fwd_spmm, _bwd_spmm, out_mode="buffer",
 def _fwd_spmm_bias_act(op, rt):
     # Inline mirror of kernels.spmm_bias_act_forward with every product
     # landing in a persistent buffer: A @ (X W) or (A X) @ W, bias added
-    # in place after propagation, fused ReLU applied in place.
+    # in place after propagation, fused activation applied in place.  The
+    # leaky_relu/elu branches stage the same masked expressions the dynamic
+    # kernel (and the composed functional ops the fusion pass collapses)
+    # evaluate, with the elu gradient local computed from the
+    # *pre-activation* value — reconstructing it from the output would not
+    # be bit-identical.
     operator = op.meta["operator"]
     x = rt.values[op.ins[0]]
     weight = rt.values[op.ins[1]]
@@ -1299,10 +1486,31 @@ def _fwd_spmm_bias_act(op, rt):
         _csr_into(operator.matrix, transformed, out)
     if len(op.ins) > 2:
         out += rt.values[op.ins[2]]
-    if op.meta["activation"] == "relu":
+    activation = op.meta["activation"]
+    if activation == "relu":
         np.maximum(out, 0.0, out=out)
+    elif activation == "leaky_relu":
+        positive = _state_buffer(op, "positive", out.shape, np.bool_)
+        np.greater(out, 0, out=positive)
+        negative = _state_buffer(op, "negative", out.shape, np.bool_)
+        np.logical_not(positive, out=negative)
+        np.multiply(out, _kernels.FUSED_NEGATIVE_SLOPE, out=out, where=negative)
+    elif activation == "elu":
+        positive = _state_buffer(op, "positive", out.shape, np.bool_)
+        np.greater(out, 0, out=positive)
+        if op.needs_backward:
+            local = _state_buffer(op, "local", out.shape, out.dtype)
+            np.minimum(out, 0.0, out=local)
+            np.exp(local, out=local)
+            local[positive] = 1.0
+        scratch = _state_buffer(op, "scratch", out.shape, out.dtype)
+        np.minimum(out, 0.0, out=scratch)
+        np.expm1(scratch, out=scratch)
+        negative = _state_buffer(op, "negative", out.shape, np.bool_)
+        np.logical_not(positive, out=negative)
+        np.copyto(out, scratch, where=negative)
     _out(op, rt, out)
-    if op.needs_backward and op.meta["activation"] == "relu":
+    if op.needs_backward and activation == "relu":
         mask = _state_buffer(op, "relu_mask", out.shape, np.bool_)
         np.greater(out, 0, out=mask)
 
@@ -1311,8 +1519,17 @@ def _bwd_spmm_bias_act(op, rt, g):
     operator = op.meta["operator"]
     x = rt.values[op.ins[0]]
     weight = rt.values[op.ins[1]]
-    if op.meta["activation"] == "relu":
+    activation = op.meta["activation"]
+    if activation == "relu":
         g = g * op.state["relu_mask"]
+    elif activation == "leaky_relu":
+        grad = _state_buffer(op, "act_grad", g.shape, g.dtype)
+        np.multiply(g, _kernels.FUSED_NEGATIVE_SLOPE, out=grad)
+        np.copyto(grad, g, where=op.state["positive"])
+        g = grad
+    elif activation == "elu":
+        g = np.multiply(g, op.state["local"],
+                        out=_state_buffer(op, "act_grad", g.shape, g.dtype))
     if len(op.ins) > 2 and op.in_requires[2]:
         rt.contribute(op.ins[2], g.sum(axis=0))
     if op.meta["prop_first"]:
@@ -1336,3 +1553,164 @@ def _bwd_spmm_bias_act(op, rt, g):
 
 _register(OpImpl("spmm_bias_act", _fwd_spmm_bias_act, _bwd_spmm_bias_act,
                  out_mode="buffer", bwd_reads_in=True))
+
+
+# -- fused elementwise chains (created by the IR fusion pass) ----------------
+def _stage_key(index: int, name: str) -> str:
+    return f"s{index}_{name}"
+
+
+def _fwd_ew_chain(op, rt):
+    # One arena visit for a run of mask-backward elementwise ops, staged in
+    # place on the output buffer.  Every stage evaluates exactly the
+    # expressions of its standalone twin (same RNG draws, same masked
+    # copies), reading its input *before* overwriting it, so the chain's
+    # values — and every stage-local backward mask — are bit-identical to
+    # the unfused program.
+    values = rt.values
+    buf = op.buffer
+    needs = op.needs_backward
+    leader = op.meta["leader"]
+    if leader is not None:
+        a, b = values[op.ins[0]], values[op.ins[1]]
+        if leader == "add":
+            np.add(a, b, out=buf)
+        else:
+            np.subtract(a, b, out=buf)
+        src = buf
+    else:
+        src = values[op.ins[0]]
+    for index, (kind, meta) in enumerate(op.meta["stages"]):
+        if kind == "relu":
+            if needs:
+                mask = _state_buffer(op, _stage_key(index, "mask"),
+                                     buf.shape, np.bool_)
+                np.greater(src, 0, out=mask)
+            np.maximum(src, 0.0, out=buf)
+        elif kind == "leaky_relu":
+            slope = meta["negative_slope"]
+            positive = _state_buffer(op, _stage_key(index, "positive"),
+                                     buf.shape, np.bool_)
+            np.greater(src, 0, out=positive)
+            if src is buf:
+                negative = _state_buffer(op, _stage_key(index, "negative"),
+                                         buf.shape, np.bool_)
+                np.logical_not(positive, out=negative)
+                np.multiply(buf, slope, out=buf, where=negative)
+            else:
+                np.multiply(src, slope, out=buf)
+                np.copyto(buf, src, where=positive)
+        elif kind == "elu":
+            alpha = meta["alpha"]
+            positive = _state_buffer(op, _stage_key(index, "positive"),
+                                     buf.shape, np.bool_)
+            np.greater(src, 0, out=positive)
+            if needs:
+                # The gradient local must come from the pre-activation value.
+                local = _state_buffer(op, _stage_key(index, "local"),
+                                      buf.shape, buf.dtype)
+                np.minimum(src, 0.0, out=local)
+                np.exp(local, out=local)
+                np.multiply(alpha, local, out=local)
+                local[positive] = 1.0
+            if src is buf:
+                scratch = _state_buffer(op, _stage_key(index, "scratch"),
+                                        buf.shape, buf.dtype)
+                np.minimum(buf, 0.0, out=scratch)
+                np.expm1(scratch, out=scratch)
+                scratch *= alpha
+                negative = _state_buffer(op, _stage_key(index, "negative"),
+                                         buf.shape, np.bool_)
+                np.logical_not(positive, out=negative)
+                np.copyto(buf, scratch, where=negative)
+            else:
+                np.minimum(src, 0.0, out=buf)
+                np.expm1(buf, out=buf)
+                buf *= alpha
+                np.copyto(buf, src, where=positive)
+        elif kind == "dropout":
+            p = meta["p"]
+            uniform = _state_buffer(op, _stage_key(index, "uniform"),
+                                    buf.shape, np.float64)
+            keep = _state_buffer(op, _stage_key(index, "keep"),
+                                 buf.shape, np.bool_)
+            mask = _state_buffer(op, _stage_key(index, "mask"),
+                                 buf.shape, buf.dtype)
+            meta["rng"].random(out=uniform)
+            np.greater_equal(uniform, p, out=keep)
+            # bool upcasts to exact 0.0 / 1.0 inside the divide (one pass).
+            np.divide(keep, 1.0 - p, out=mask)
+            np.multiply(src, mask, out=buf)
+        else:  # drop_node — fresh per-epoch mask, like the standalone twin
+            p = meta["p"]
+            mask = _as_array(
+                (meta["rng"].random((buf.shape[0], 1)) >= p) / (1.0 - p))
+            op.state[_stage_key(index, "mask")] = mask
+            np.multiply(src, mask, out=buf)
+        src = buf
+    _out(op, rt, buf)
+
+
+def _bwd_ew_chain(op, rt, g):
+    stages = op.meta["stages"]
+    for index in range(len(stages) - 1, -1, -1):
+        kind, meta = stages[index]
+        if kind == "leaky_relu":
+            grad = _state_buffer(op, _stage_key(index, "grad"), g.shape, g.dtype)
+            np.multiply(g, meta["negative_slope"], out=grad)
+            np.copyto(grad, g, where=op.state[_stage_key(index, "positive")])
+            g = grad
+        elif kind == "drop_node":
+            g = g * op.state[_stage_key(index, "mask")]
+        else:   # relu / elu / dropout: g × stage-local mask
+            local = op.state[_stage_key(
+                index, "local" if kind == "elu" else "mask")]
+            g = np.multiply(g, local, out=_state_buffer(
+                op, _stage_key(index, "grad"), g.shape, g.dtype))
+    leader = op.meta["leader"]
+    if leader is None:
+        if op.in_requires[0]:
+            rt.contribute(op.ins[0], g)
+        return
+    sa, sb = op.in_shapes
+    if op.in_requires[0]:
+        rt.contribute(op.ins[0], _unbroadcast(g, sa))
+    if op.in_requires[1]:
+        rt.contribute(op.ins[1], _unbroadcast(g if leader == "add" else -g, sb))
+
+
+_register(OpImpl("ew_chain", _fwd_ew_chain, _bwd_ew_chain, out_mode="buffer"))
+_register(OpImpl("ew_chain_rng", _fwd_ew_chain, _bwd_ew_chain,
+                 out_mode="buffer", rng=True))
+
+
+# -- BatchNorm running statistics (effectful identity) -----------------------
+def _fwd_bn_stats(op, rt):
+    # Mirror of modules.BatchNorm's training-mode stat update: same
+    # mean/var reductions, same in-place exponential moving average (the
+    # dynamic side updates the registered buffers in place, so the arrays
+    # this op's meta holds are the module's own buffers).
+    x = rt.values[op.ins[0]]
+    momentum = op.meta["momentum"]
+    mean = _state_buffer(op, "mean", x.shape[1:], x.dtype)
+    var = _state_buffer(op, "var", x.shape[1:], x.dtype)
+    tmp = _state_buffer(op, "tmp", x.shape[1:], x.dtype)
+    np.mean(x, axis=0, out=mean)
+    np.var(x, axis=0, out=var)
+    running_mean = op.meta["running_mean"]
+    running_var = op.meta["running_var"]
+    running_mean *= (1.0 - momentum)
+    np.multiply(mean, momentum, out=tmp)
+    running_mean += tmp
+    running_var *= (1.0 - momentum)
+    np.multiply(var, momentum, out=tmp)
+    running_var += tmp
+    _out(op, rt, x)
+
+
+def _bwd_bn_stats(op, rt, g):
+    rt.contribute(op.ins[0], g)
+
+
+_register(OpImpl("bn_stats", _fwd_bn_stats, _bwd_bn_stats,
+                 out_mode="view", effectful=True))

@@ -196,6 +196,41 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 # ---------------------------------------------------------------------------
+# Normalisation statistics
+# ---------------------------------------------------------------------------
+def batch_norm_stats(x: Tensor, running_mean: np.ndarray,
+                     running_var: np.ndarray, momentum: float) -> Tensor:
+    """Update BatchNorm running statistics as a recordable identity op.
+
+    Returns ``x`` unchanged (the gradient passes straight through); the side
+    effect is the in-place exponential moving average of the batch mean/var
+    into ``running_mean`` / ``running_var``.  Exposing the update as a
+    first-class op (instead of a hidden attribute rebind inside the module)
+    lets the capture engine re-run it on every replayed epoch — the buffers
+    are updated in place, so the arrays the tape holds stay the module's own
+    registered buffers.
+    """
+    x = _ensure(x)
+    data = x.data
+    batch_mean = data.mean(axis=0)
+    batch_var = data.var(axis=0)
+    running_mean *= (1.0 - momentum)
+    running_mean += momentum * batch_mean
+    running_var *= (1.0 - momentum)
+    running_var += momentum * batch_var
+    out = Tensor(data, requires_grad=x.requires_grad,
+                 _prev=(x,) if x.requires_grad else ())
+    if out.requires_grad:
+        def _backward(grad: np.ndarray) -> None:
+            x._accumulate(grad)
+
+        out._backward = _backward
+    _record_op("bn_stats", out, (x,), running_mean=running_mean,
+               running_var=running_var, momentum=momentum)
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Regularisation
 # ---------------------------------------------------------------------------
 def dropout(x: Tensor, p: float, training: bool = True, rng: Optional[np.random.Generator] = None) -> Tensor:

@@ -1,0 +1,219 @@
+"""Arena planning and the cross-member buffer pool.
+
+:func:`plan_arena` runs lifetime analysis over a :class:`~.program.Program`
+and assigns shared storage to arena-backed ops (two slots share a buffer iff
+their live ranges do not overlap).  The buffers themselves come from an
+:class:`ArenaPool` — a process-wide, thread-safe free list keyed by
+``(shape, dtype)`` — so the K bagged/GSE members of one ensemble replay
+through a single pool sized by the *maximum* live-set across members instead
+of K private arenas.  A replay leases its buffers at plan time and releases
+them when the trainer is done with it; sequential members (and sequential
+proxy evaluations) then recycle each other's storage.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.ir.program import OpRecord, Program
+
+
+class ArenaPool:
+    """Process-wide lease pool for arena buffers, keyed by (shape, dtype).
+
+    ``lease`` hands out an exclusively-owned array (recycled when a
+    compatible one was released, freshly allocated otherwise); ``release``
+    returns arrays to the free list, bounded by ``max_retained_bytes`` so
+    one oversized program cannot pin memory forever.  All byte counters are
+    exact (``ndarray.nbytes``), which is what the ensemble memory study
+    reports: ``high_water_bytes`` is the max total of simultaneously leased
+    buffers — the pooled analogue of summing per-member arena footprints.
+    """
+
+    def __init__(self, max_retained_bytes: int = 512 << 20,
+                 enabled: bool = True) -> None:
+        self.max_retained_bytes = int(max_retained_bytes)
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._free: Dict[Tuple[tuple, str], List[np.ndarray]] = {}
+        self._retained_bytes = 0
+        self._outstanding_bytes = 0
+        self._stats = {"leases": 0, "reuses": 0, "allocated_bytes": 0,
+                       "reused_bytes": 0, "high_water_bytes": 0}
+
+    def lease(self, shape: tuple, dtype) -> np.ndarray:
+        """Return an exclusively-owned uninitialised array of the given spec."""
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        with self._lock:
+            self._stats["leases"] += 1
+            array = None
+            if self.enabled:
+                bucket = self._free.get((tuple(shape), dtype.str))
+                if bucket:
+                    array = bucket.pop()
+                    self._retained_bytes -= nbytes
+                    self._stats["reuses"] += 1
+                    self._stats["reused_bytes"] += nbytes
+            if array is None:
+                array = np.empty(shape, dtype)
+                self._stats["allocated_bytes"] += nbytes
+            self._outstanding_bytes += nbytes
+            if self._outstanding_bytes > self._stats["high_water_bytes"]:
+                self._stats["high_water_bytes"] = self._outstanding_bytes
+        return array
+
+    def release(self, arrays: Iterable[np.ndarray]) -> None:
+        """Return leased arrays to the pool (dropped beyond the byte bound)."""
+        with self._lock:
+            for array in arrays:
+                self._outstanding_bytes = max(
+                    0, self._outstanding_bytes - array.nbytes)
+                if (not self.enabled
+                        or self._retained_bytes + array.nbytes
+                        > self.max_retained_bytes):
+                    continue
+                key = (array.shape, array.dtype.str)
+                self._free.setdefault(key, []).append(array)
+                self._retained_bytes += array.nbytes
+
+    def clear(self) -> None:
+        """Drop every retained free buffer (outstanding leases unaffected)."""
+        with self._lock:
+            self._free.clear()
+            self._retained_bytes = 0
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._stats = {"leases": 0, "reuses": 0, "allocated_bytes": 0,
+                           "reused_bytes": 0,
+                           "high_water_bytes": self._outstanding_bytes}
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            out = dict(self._stats)
+            out["retained_bytes"] = self._retained_bytes
+            out["outstanding_bytes"] = self._outstanding_bytes
+            return out
+
+
+_GLOBAL_POOL = ArenaPool()
+
+
+def global_pool() -> ArenaPool:
+    """The process-wide pool shared by every captured replay."""
+    return _GLOBAL_POOL
+
+
+@contextlib.contextmanager
+def pooling_disabled(pool: Optional[ArenaPool] = None):
+    """Temporarily disable cross-replay buffer reuse (for paired A/B studies)."""
+    pool = pool or _GLOBAL_POOL
+    previous = pool.enabled
+    pool.enabled = False
+    try:
+        yield pool
+    finally:
+        pool.enabled = previous
+
+
+def plan_arena(program: Program, forward_ops: List[OpRecord],
+               bwd_slots: List[int], terminal_slots: Iterable[int],
+               pool: Optional[ArenaPool] = None):
+    """Lifetime analysis + greedy buffer assignment for arena-backed slots.
+
+    Steps are numbered forward ops first, then the terminal reads (loss /
+    retained output), then the backward schedule.  A slot's value dies at
+    its last reading step — forward consumers, plus the backward steps of
+    ops whose gradient formula still reads it (``bwd_reads_in`` /
+    ``bwd_reads_out``).  Views extend the life of their base.  Buffers are
+    then assigned by a linear scan: two slots share storage iff their live
+    ranges do not overlap.  Returns ``(plan, leased)`` where ``leased`` is
+    the list of pool-leased arrays backing this program.
+    """
+    pool = pool or _GLOBAL_POOL
+    slots = program.slots
+
+    def base(slot: int) -> int:
+        vb = slots[slot].view_base
+        return slot if vb is None else vb
+
+    last_use: Dict[int, int] = {}
+    birth: Dict[int, int] = {}
+
+    def touch(slot: int, step: int) -> None:
+        slot = base(slot)
+        if step > last_use.get(slot, -1):
+            last_use[slot] = step
+
+    for step, op in enumerate(forward_ops):
+        for s in op.ins:
+            touch(s, step)
+        touch(op.out, step)
+        if op.mode == "buffer":
+            birth[op.out] = step
+    terminal_step = len(forward_ops)
+    for slot in terminal_slots:
+        touch(slot, terminal_step)
+
+    step = terminal_step + 1
+    producer = program.producer_map()
+    for slot in bwd_slots:
+        op = producer.get(slot)
+        if op is None or not op.needs_backward:
+            continue
+        if op.impl.bwd_reads_in:
+            for s in op.ins:
+                touch(s, step)
+        if op.impl.bwd_reads_out:
+            touch(op.out, step)
+        step += 1
+
+    # Greedy linear scan over births; a freed buffer is reusable only
+    # strictly after its previous owner's death step, so an op can never
+    # be handed one of its own inputs as the output buffer.
+    entries: List[Dict[str, object]] = []
+    leased: List[np.ndarray] = []
+    buffer_bytes = 0
+    demand_bytes = 0
+    for op in forward_ops:
+        if op.mode != "buffer":
+            continue
+        info = slots[op.out]
+        born = birth[op.out]
+        dies = last_use.get(op.out, born)
+        key = (info.shape, info.dtype)
+        nbytes = int(np.prod(info.shape, dtype=np.int64)) * info.dtype.itemsize
+        demand_bytes += nbytes
+        # Most-recently-freed fit: among compatible dead buffers, pick the
+        # one whose last writer ran latest — it is the hottest in cache, so
+        # the full overwrite that follows hits lines already resident
+        # instead of pulling a cold buffer through memory.
+        chosen = None
+        for entry in entries:
+            if (entry["key"] == key and entry["free_after"] < born
+                    and (chosen is None
+                         or entry["free_after"] > chosen["free_after"])):
+                chosen = entry
+        if chosen is None:
+            array = pool.lease(info.shape, info.dtype)
+            chosen = {"key": key, "array": array}
+            entries.append(chosen)
+            leased.append(array)
+            buffer_bytes += nbytes
+        chosen["free_after"] = dies
+        op.buffer = chosen["array"]
+
+    plan = {
+        "ops_recorded": len(program.ops),
+        "ops_replayed": len(forward_ops),
+        "ops_constant_folded": len(program.ops) - len(forward_ops),
+        "arena_buffers": len(entries),
+        "arena_bytes": buffer_bytes,
+        "arena_demand_bytes": demand_bytes,
+    }
+    return plan, leased

@@ -36,7 +36,34 @@ from repro.autograd.tensor import Tensor, _record_op, is_grad_enabled
 
 #: Activations the fused kernel can apply in-place on the forward buffer
 #: ("none" is the public alias of "identity" in ``functional.ACTIVATIONS``).
-FUSED_ACTIVATIONS = (None, "identity", "none", "relu")
+#: leaky_relu/elu are fused at the library defaults only — the fused call
+#: takes a name, not parameters, so the hyper-parameters are pinned here and
+#: must match ``functional.leaky_relu`` / ``functional.elu`` defaults.
+FUSED_ACTIVATIONS = (None, "identity", "none", "relu", "leaky_relu", "elu")
+
+#: Pinned hyper-parameters of the parameterised fused activations.
+FUSED_NEGATIVE_SLOPE = 0.2
+FUSED_ELU_ALPHA = 1.0
+
+
+def apply_fused_activation(out: np.ndarray, activation: Optional[str]) -> None:
+    """Apply a fused activation in place on the pre-activation buffer.
+
+    Every branch is bit-identical to the unfused functional op on the same
+    input: relu is the same ``np.maximum``; leaky_relu multiplies only the
+    non-positive entries by the slope (IEEE multiplication is commutative,
+    so ``out * slope`` matches the functional ``slope * out``); elu
+    overwrites the non-positive entries with ``expm1(min(out, 0))`` — the
+    ``alpha == 1.0`` scale is a bitwise no-op and therefore skipped.
+    """
+    if activation == "relu":
+        np.maximum(out, 0.0, out=out)
+    elif activation == "leaky_relu":
+        np.multiply(out, FUSED_NEGATIVE_SLOPE, out=out,
+                    where=np.logical_not(out > 0))
+    elif activation == "elu":
+        negative = np.logical_not(out > 0)
+        np.copyto(out, np.expm1(np.minimum(out, 0.0)), where=negative)
 
 
 def propagate_first(operator: SparseTensor, in_features: int, out_features: int) -> bool:
@@ -72,8 +99,7 @@ def spmm_bias_act_forward(
         out = matrix @ (x @ weight)
     if bias is not None:
         out += bias
-    if activation == "relu":
-        np.maximum(out, 0.0, out=out)
+    apply_fused_activation(out, activation)
     return out, propagated
 
 
@@ -100,22 +126,46 @@ def spmm_bias_act(
 
     prop_first = propagate_first(operator, x.shape[-1], weight.shape[-1])
     bias_data = None if bias is None else bias.data
-    out_data, propagated = spmm_bias_act_forward(
-        operator.matrix, x.data, weight.data, bias_data, activation, prop_first)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     requires = is_grad_enabled() and any(p.requires_grad for p in parents)
-    out = Tensor(out_data, requires_grad=requires, _prev=parents if requires else ())
     if not requires:
+        out_data, propagated = spmm_bias_act_forward(
+            operator.matrix, x.data, weight.data, bias_data, activation, prop_first)
+        out = Tensor(out_data, requires_grad=False)
         _record_op("spmm_bias_act", out, parents, operator=operator,
                    activation=activation, prop_first=prop_first)
         return out
 
-    relu_mask = (out_data > 0) if activation == "relu" else None
+    # Gradient path: the elu backward local must come from the
+    # *pre-activation* value (``exp(min(pre, 0))`` cannot be reconstructed
+    # bit-exactly from ``expm1``), so stage the activation here instead of
+    # inside ``spmm_bias_act_forward``.
+    out_data, propagated = spmm_bias_act_forward(
+        operator.matrix, x.data, weight.data, bias_data, None, prop_first)
+    relu_mask = positive = elu_local = None
+    if activation == "relu":
+        apply_fused_activation(out_data, activation)
+        relu_mask = out_data > 0
+    elif activation == "leaky_relu":
+        positive = out_data > 0
+        apply_fused_activation(out_data, activation)
+    elif activation == "elu":
+        positive = out_data > 0
+        # alpha == 1.0: the functional op's ``alpha * exp(...)`` scale is a
+        # bitwise no-op, so the local derivative skips it too.
+        elu_local = np.exp(np.minimum(out_data, 0.0))
+        elu_local[positive] = 1.0
+        apply_fused_activation(out_data, activation)
+    out = Tensor(out_data, requires_grad=True, _prev=parents)
 
     def _backward(grad: np.ndarray) -> None:
         if relu_mask is not None:
             grad = grad * relu_mask
+        elif activation == "leaky_relu":
+            grad = np.where(positive, grad, FUSED_NEGATIVE_SLOPE * grad)
+        elif activation == "elu":
+            grad = grad * elu_local
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=0))
         if prop_first:

@@ -47,8 +47,9 @@ class Module:
         elif isinstance(value, Module):
             self.__dict__.setdefault("_modules", OrderedDict())[name] = value
         elif name in self.__dict__.get("_buffers", ()):
-            # Re-assigning a registered buffer (the idiom BatchNorm uses to
-            # update its running statistics) keeps the registry in sync.
+            # Re-assigning a registered buffer keeps the registry in sync.
+            # (Running statistics are updated in place these days, so the
+            # array identity the capture engine relies on is preserved.)
             self._buffers[name] = np.asarray(value)
             value = self._buffers[name]
         object.__setattr__(self, name, value)
@@ -161,11 +162,10 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for {name}: {buffer.shape} vs {state[name].shape}"
                 )
-            owner = self
-            *path, attr = name.split(".")
-            for part in path:
-                owner = owner._modules[part]
-            setattr(owner, attr, state[name].copy())
+            # In place, not a rebind: captured replays hold references to the
+            # registered buffer arrays, so restoring a snapshot must preserve
+            # array identity.
+            np.copyto(buffer, state[name])
 
     # ------------------------------------------------------------------
     # Call protocol

@@ -114,10 +114,11 @@ class BatchNorm(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         if self.training:
-            batch_mean = x.data.mean(axis=0)
-            batch_var = x.data.var(axis=0)
-            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * batch_mean
-            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * batch_var
+            # The running-stat update is a first-class recorded op (updating
+            # the registered buffers in place) so captured replays re-run it
+            # each epoch instead of bailing out on a hidden side effect.
+            x = F.batch_norm_stats(x, self.running_mean, self.running_var,
+                                   self.momentum)
             mean = x.mean(axis=0, keepdims=True)
             centered = x - mean
             var = (centered * centered).mean(axis=0, keepdims=True)

@@ -93,10 +93,19 @@ class TrainConfig:
         full-batch training, on by default: the first epoch runs (and is
         traced) on the dynamic engine, later epochs replay the recorded
         program through a lifetime-planned buffer arena — bit-identical
-        loss/accuracy trajectories, no per-epoch graph construction.  The
-        trainer bails out to the dynamic path automatically for minibatch
-        runs, stateful modules (``BatchNorm``) and any op without a replay
-        twin; set ``False`` to force the dynamic engine everywhere.
+        loss/accuracy trajectories, no per-epoch graph construction.
+        ``BatchNorm`` captures too (its running-stat update replays as an
+        effectful op); any op without a replay twin still bails out to the
+        dynamic path, observably (:class:`~repro.autograd.capture.
+        CaptureBailoutWarning` + ``engine_stats()`` counters).  Minibatch
+        runs bail out unless ``static_batches`` freezes the batch schedule;
+        set ``False`` to force the dynamic engine everywhere.
+    static_batches : bool
+        Freeze the minibatch schedule to the epoch-0 sample so each batch
+        has a fixed shape and can be captured and replayed (one recorded
+        program per batch).  An *opt-in trajectory change*: later epochs
+        reuse epoch 0's batches instead of re-sampling, trading sampling
+        diversity for replay speed.  Ignored for full-batch training.
     """
 
     lr: float = 0.01
@@ -115,6 +124,7 @@ class TrainConfig:
     fanouts: Optional[Tuple[int, ...]] = None
     num_partitions: Optional[int] = None
     capture: bool = True
+    static_batches: bool = False
     extra_model_kwargs: Dict[str, object] = field(default_factory=dict)
 
     def with_overrides(self, **overrides) -> "TrainConfig":
@@ -158,6 +168,11 @@ class TrainResult:
     capture_used: bool = False
     #: Replay plan statistics (op counts, arena buffers/bytes) when captured.
     capture_plan: Optional[Dict[str, object]] = None
+    #: Wall seconds spent inside ``run_epoch`` calls only — the training
+    #: engine proper, excluding model building, validation and best-state
+    #: snapshots (which are engine-independent).  The capture-speedup study
+    #: compares this across engines.
+    engine_seconds: float = 0.0
 
     def summary(self) -> Dict[str, float]:
         """The headline numbers of the run as a flat dict."""
@@ -203,12 +218,18 @@ class NodeClassificationTrainer:
         scheduler = optim.StepLR(optimizer, step_size=config.lr_decay_step,
                                  gamma=config.lr_decay_gamma)
 
+        # Holds the logits Tensor of the most recent *traced* epoch so the
+        # tape can re-root an inference-only program at it (mark_output);
+        # cleared on every non-traced path to avoid pinning the graph.
+        trace_refs: Dict[str, object] = {}
+
         def full_batch_epoch(epoch: int) -> float:
             # The seed full-batch step, op for op: any reordering here would
             # break the batch_size=None bit-identity contract.
             model.train()
             optimizer.zero_grad()
             logits = model(data, layer_weights=layer_weights)
+            trace_refs["logits"] = logits
             loss = F.cross_entropy(logits[train_index], labels[train_index])
             if soft_targets is not None:
                 log_probs = F.log_softmax(logits, axis=-1)
@@ -219,13 +240,22 @@ class NodeClassificationTrainer:
             scheduler.step()
             return float(loss.item())
 
-        # Capture-and-replay engages for full-batch runs only: epoch 0 runs
-        # (and is traced) through the unmodified dynamic path above, later
-        # epochs replay the recorded program with no Tensors and no
-        # closures.  Any bail-out — a module replay cannot model, an op
-        # without a replay twin, an input changing shape — silently
-        # continues on the dynamic path instead.
+        # Capture-and-replay for full-batch runs: epoch 0 runs (and is
+        # traced) through the unmodified dynamic path above, later epochs
+        # replay the recorded program with no Tensors and no closures.  Any
+        # bail-out — an op without a replay twin, an input changing shape —
+        # continues on the dynamic path, observably (CaptureBailoutWarning
+        # + engine_stats counters).
         capture_state = {"replay": None, "enabled": False}
+        # Forward-only replay (dead-slot-eliminated program) used for
+        # validation; "validated" flips once its logits have been checked
+        # bit-exact against forward_inference.
+        inference_state = {"replay": None, "validated": False}
+
+        def drop_inference_replay() -> None:
+            if inference_state["replay"] is not None:
+                inference_state["replay"].release()
+                inference_state["replay"] = None
 
         def captured_epoch(epoch: int) -> float:
             replay = capture_state["replay"]
@@ -233,20 +263,60 @@ class NodeClassificationTrainer:
                 try:
                     return replay.run_epoch()
                 except capture_engine.CaptureBailout:
+                    replay.release()
                     capture_state["replay"] = None
                     capture_state["enabled"] = False
-                    return full_batch_epoch(epoch)
+                    drop_inference_replay()
+                    loss = full_batch_epoch(epoch)
+                    trace_refs.clear()
+                    return loss
             if not capture_state["enabled"]:
-                return full_batch_epoch(epoch)
+                loss = full_batch_epoch(epoch)
+                trace_refs.clear()
+                return loss
             tape = capture_engine.Tape()
             with capture_engine.tracing(tape):
                 loss = full_batch_epoch(epoch)
+            tape.mark_output(trace_refs.pop("logits", None))
             replay = tape.finalize(optimizer=optimizer, scheduler=scheduler)
             if replay is None:
                 capture_state["enabled"] = False
             else:
                 capture_state["replay"] = replay
+                inference_state["replay"] = (
+                    capture_engine.build_inference_replay(replay))
             return loss
+
+        def validation_accuracy() -> float:
+            inference = inference_state["replay"]
+            if inference is None:
+                return self.evaluate(model, data, labels, val_index,
+                                     layer_weights)
+            try:
+                logits = inference.run()
+            except capture_engine.CaptureBailout:
+                drop_inference_replay()
+                return self.evaluate(model, data, labels, val_index,
+                                     layer_weights)
+            if not inference_state["validated"]:
+                # Guarded first use: the stripped program must reproduce the
+                # inference fast path bit-for-bit, or it is never used.
+                reference = model.forward_inference(
+                    data, layer_weights=layer_weights)
+                if not np.array_equal(logits, reference):
+                    capture_engine.note_bailout(
+                        "inference_parity",
+                        "stripped replay diverged from forward_inference",
+                        warn=False)
+                    drop_inference_replay()
+                    logits = reference
+                else:
+                    inference_state["validated"] = True
+            if val_index.size == 0:
+                return 0.0
+            return accuracy(logits[val_index], labels[val_index])
+
+        batch_replays: List[object] = []
 
         if not config.batch_size:  # None or the explicit full-batch 0
             capture_state["enabled"] = (config.capture
@@ -276,31 +346,98 @@ class NodeClassificationTrainer:
                         train_index, partition_plan, epoch=epoch)
                 return sampler.iter_batches(train_index, epoch=epoch)
 
-            def run_epoch(epoch: int) -> float:
-                # One optimiser step per seed batch; the loss reported for
-                # the epoch is the seed-weighted mean over its batches.
-                model.train()
-                loss_sum = 0.0
-                seeds_seen = 0
-                for batch in iter_epoch_batches(epoch):
-                    local_data = batch.tensors(features)
-                    optimizer.zero_grad()
-                    logits = model(local_data, layer_weights=layer_weights)
-                    # Seeds occupy the leading local rows (SubgraphBatch
-                    # contract), so a plain slice scores them.
-                    loss = F.cross_entropy(logits[:batch.num_seeds],
-                                           labels[batch.seed_nodes])
-                    if soft_targets is not None:
-                        log_probs = F.log_softmax(logits, axis=-1)
-                        loss = loss + 0.5 * F.soft_cross_entropy(
-                            log_probs[:batch.num_seeds],
-                            soft_targets[batch.seed_nodes])
-                    loss.backward()
-                    optimizer.step()
-                    loss_sum += float(loss.item()) * batch.num_seeds
-                    seeds_seen += batch.num_seeds
-                scheduler.step()
-                return loss_sum / max(seeds_seen, 1)
+            def batch_step(batch, local_data) -> float:
+                optimizer.zero_grad()
+                logits = model(local_data, layer_weights=layer_weights)
+                # Seeds occupy the leading local rows (SubgraphBatch
+                # contract), so a plain slice scores them.
+                loss = F.cross_entropy(logits[:batch.num_seeds],
+                                       labels[batch.seed_nodes])
+                if soft_targets is not None:
+                    log_probs = F.log_softmax(logits, axis=-1)
+                    loss = loss + 0.5 * F.soft_cross_entropy(
+                        log_probs[:batch.num_seeds],
+                        soft_targets[batch.seed_nodes])
+                loss.backward()
+                optimizer.step()
+                return float(loss.item())
+
+            if config.capture and not config.static_batches:
+                # Re-sampled batches change shape every epoch, which the
+                # fixed-shape replay cannot express; surface the fallback
+                # instead of silently training dynamic.
+                capture_engine.note_bailout(
+                    "minibatch",
+                    "batch_size set without static_batches; training dynamic")
+
+            if config.static_batches:
+                # Static batches: freeze the epoch-0 sample so every epoch
+                # trains the same fixed-shape batch list.  With capture on,
+                # every batch additionally gets its own recorded program
+                # (fixed shapes by construction) — bit-identical to the
+                # frozen dynamic schedule, which is why capture on/off over
+                # static batches is a parity oracle.  The scheduler steps
+                # once per epoch, outside the per-batch replays.
+                static_state = {"batches": None, "enabled": config.capture}
+
+                def static_epoch_batches():
+                    if static_state["batches"] is None:
+                        static_state["batches"] = [
+                            (batch, batch.tensors(features))
+                            for batch in iter_epoch_batches(0)]
+                        batch_replays.extend(
+                            [None] * len(static_state["batches"]))
+                    return static_state["batches"]
+
+                def captured_batch_step(index, batch, local_data) -> float:
+                    replay = batch_replays[index]
+                    if replay is not None:
+                        try:
+                            return replay.run_epoch(step_scheduler=False)
+                        except capture_engine.CaptureBailout:
+                            replay.release()
+                            batch_replays[index] = None
+                            static_state["enabled"] = False
+                            return batch_step(batch, local_data)
+                    if not static_state["enabled"]:
+                        return batch_step(batch, local_data)
+                    tape = capture_engine.Tape()
+                    with capture_engine.tracing(tape):
+                        loss = batch_step(batch, local_data)
+                    replay = tape.finalize(optimizer=optimizer,
+                                           scheduler=scheduler)
+                    if replay is None:
+                        static_state["enabled"] = False
+                    else:
+                        batch_replays[index] = replay
+                    return loss
+
+                def run_epoch(epoch: int) -> float:
+                    model.train()
+                    loss_sum = 0.0
+                    seeds_seen = 0
+                    for index, (batch, local_data) in enumerate(
+                            static_epoch_batches()):
+                        loss = captured_batch_step(index, batch, local_data)
+                        loss_sum += loss * batch.num_seeds
+                        seeds_seen += batch.num_seeds
+                    scheduler.step()
+                    return loss_sum / max(seeds_seen, 1)
+            else:
+                def run_epoch(epoch: int) -> float:
+                    # One optimiser step per seed batch; the loss reported
+                    # for the epoch is the seed-weighted mean over its
+                    # batches.
+                    model.train()
+                    loss_sum = 0.0
+                    seeds_seen = 0
+                    for batch in iter_epoch_batches(epoch):
+                        local_data = batch.tensors(features)
+                        loss = batch_step(batch, local_data)
+                        loss_sum += loss * batch.num_seeds
+                        seeds_seen += batch.num_seeds
+                    scheduler.step()
+                    return loss_sum / max(seeds_seen, 1)
 
         best_val = -np.inf
         best_epoch = -1
@@ -316,15 +453,18 @@ class NodeClassificationTrainer:
         epoch = 0
         last_evaluated = -1
         last_loss = float("nan")
+        engine_seconds = 0.0
         for epoch in range(config.max_epochs):
+            epoch_start = time.perf_counter()
             last_loss = run_epoch(epoch)
+            engine_seconds += time.perf_counter() - epoch_start
             if epoch_hook is not None:
                 epoch_hook(epoch, last_loss)
 
             if epoch % config.evaluate_every != 0:
                 continue
             last_evaluated = epoch
-            val_accuracy = self.evaluate(model, data, labels, val_index, layer_weights)
+            val_accuracy = validation_accuracy()
             history.append({"epoch": float(epoch), "loss": last_loss,
                             "val_accuracy": val_accuracy})
             if val_accuracy > best_val:
@@ -341,7 +481,7 @@ class NodeClassificationTrainer:
             # With ``evaluate_every > 1`` the loop can end (via max_epochs)
             # on an epoch that was trained but never scored; evaluate it so
             # ``best_state`` can capture the final weights too.
-            val_accuracy = self.evaluate(model, data, labels, val_index, layer_weights)
+            val_accuracy = validation_accuracy()
             history.append({"epoch": float(epoch), "loss": last_loss,
                             "val_accuracy": val_accuracy})
             if val_accuracy > best_val:
@@ -351,6 +491,20 @@ class NodeClassificationTrainer:
 
         model.load_state_dict(best_state)
         replay = capture_state["replay"]
+        used_batch_replays = [r for r in batch_replays if r is not None]
+        capture_used = replay is not None and replay.epochs_replayed > 0
+        capture_plan = None if replay is None else dict(replay.plan)
+        if used_batch_replays:
+            capture_used = capture_used or any(
+                r.epochs_replayed > 0 for r in used_batch_replays)
+            capture_plan = dict(used_batch_replays[0].plan)
+        # Return every leased arena buffer to the pool so the next trained
+        # member (or proxy evaluation) recycles this run's storage.
+        drop_inference_replay()
+        if replay is not None:
+            replay.release()
+        for batch_replay in used_batch_replays:
+            batch_replay.release()
         return TrainResult(
             best_val_accuracy=float(max(best_val, 0.0)),
             best_epoch=best_epoch,
@@ -358,8 +512,9 @@ class NodeClassificationTrainer:
             train_time=time.time() - start,
             history=history,
             config=config,
-            capture_used=replay is not None and replay.epochs_replayed > 0,
-            capture_plan=None if replay is None else dict(replay.plan),
+            capture_used=capture_used,
+            capture_plan=capture_plan,
+            engine_seconds=engine_seconds,
         )
 
     @staticmethod

@@ -52,6 +52,14 @@ def test_capture_matches_dynamic_bitwise(name, tiny_split_graph, tiny_data):
                           captured_model.forward_inference(tiny_data))
 
 
+def test_gat_attention_window_fuses(tiny_split_graph, tiny_data):
+    """gat's per-edge gather→broadcast-mul→scatter collapses to one visit."""
+    captured, _ = _train(tiny_split_graph, tiny_data, "gat", capture_mode=True)
+    assert captured.capture_used
+    stats = {s["pass"]: s for s in captured.capture_plan["passes"]}
+    assert stats["fuse_attention_gather"]["fused"] >= 1
+
+
 @pytest.mark.parametrize("name", ("gcn", "gat", "grand", "dna", "sign"))
 def test_capture_parity_float32(name, tiny_split_graph):
     with compute_dtype_scope("float32"):
@@ -130,14 +138,37 @@ def test_capture_parity_with_soft_targets_and_alpha(tiny_split_graph, tiny_data)
 # Bail-outs
 # ----------------------------------------------------------------------
 def test_minibatch_training_bails_to_dynamic(tiny_split_graph, tiny_data):
-    result, _ = _train(tiny_split_graph, tiny_data, "gcn", batch_size=16)
+    capture.reset_engine_stats()
+    with pytest.warns(capture.CaptureBailoutWarning, match="minibatch"):
+        result, _ = _train(tiny_split_graph, tiny_data, "gcn", batch_size=16)
     assert not result.capture_used
     assert result.capture_plan is None
+    stats = capture.engine_stats()
+    assert stats["bailouts"] >= 1
+    assert "minibatch" in stats["bailout_reasons"]
 
 
 def test_capture_config_off_uses_dynamic(tiny_split_graph, tiny_data):
     result, _ = _train(tiny_split_graph, tiny_data, "gcn", capture_mode=False)
     assert not result.capture_used
+
+
+@pytest.mark.parametrize("name", ("gcn", "graphsage-mean"))
+def test_static_batches_capture_matches_frozen_dynamic(name, tiny_split_graph,
+                                                       tiny_data):
+    """Per-batch replays over a frozen schedule are bit-identical to running
+    the same frozen schedule through the dynamic engine."""
+    dynamic, dynamic_model = _train(tiny_split_graph, tiny_data, name,
+                                    capture_mode=False, batch_size=24,
+                                    static_batches=True)
+    captured, captured_model = _train(tiny_split_graph, tiny_data, name,
+                                      capture_mode=True, batch_size=24,
+                                      static_batches=True)
+    assert captured.capture_used
+    assert captured.capture_plan is not None
+    assert dynamic.history == captured.history
+    assert np.array_equal(dynamic_model.forward_inference(tiny_data),
+                          captured_model.forward_inference(tiny_data))
 
 
 class _UnsupportedOpModel(GNNModel):
@@ -161,24 +192,58 @@ class _UnsupportedOpModel(GNNModel):
 def test_unsupported_op_bails_softly(tiny_split_graph, tiny_data):
     model = _UnsupportedOpModel(tiny_data.num_features, tiny_split_graph.num_classes)
     config = TrainConfig(lr=0.02, max_epochs=4, patience=10, seed=0)
-    result = NodeClassificationTrainer(config).train(
-        model, tiny_data, tiny_split_graph.labels,
-        tiny_split_graph.mask_indices("train"), tiny_split_graph.mask_indices("val"))
+    capture.reset_engine_stats()
+    with pytest.warns(capture.CaptureBailoutWarning, match="bce_logits"):
+        result = NodeClassificationTrainer(config).train(
+            model, tiny_data, tiny_split_graph.labels,
+            tiny_split_graph.mask_indices("train"),
+            tiny_split_graph.mask_indices("val"))
     assert not result.capture_used          # fell back, but trained fine
     assert result.epochs_run == 4
+    assert "trace" in capture.engine_stats()["bailout_reasons"]
 
 
-def test_batchnorm_models_are_rejected_statically():
-    from repro.autograd.modules import BatchNorm, Linear
+class _BatchNormModel(GNNModel):
+    """A GCN-style encoder with BatchNorm between propagation and readout."""
 
-    class WithBN(Module):
-        def __init__(self):
-            super().__init__()
-            self.linear = Linear(4, 4)
-            self.norm = BatchNorm(4)
+    def __init__(self, in_features, num_classes, hidden=16, num_layers=2,
+                 dropout=0.1, seed=0, **kwargs):
+        super().__init__(in_features, num_classes, hidden, num_layers, dropout,
+                         "relu", seed, name="with-bn", **kwargs)
+        from repro.autograd.modules import BatchNorm, Linear
 
-    assert not capture.supports_capture(WithBN())
-    assert capture.supports_capture(Linear(4, 4))
+        self.linear = Linear(in_features, hidden, rng=self.rng)
+        self.norm = BatchNorm(hidden)
+
+    def encode(self, data):
+        hidden = self.activation(self.linear(data.features))
+        normed = self.norm(hidden)
+        return [normed, normed]
+
+
+def test_batchnorm_captures_with_bit_parity(tiny_split_graph, tiny_data):
+    """BatchNorm no longer bails out: its running-stat update replays exactly."""
+
+    def run(capture_mode):
+        model = _BatchNormModel(tiny_data.num_features, tiny_split_graph.num_classes)
+        config = TrainConfig(lr=0.02, max_epochs=6, patience=50, seed=0,
+                             capture=capture_mode)
+        result = NodeClassificationTrainer(config).train(
+            model, tiny_data, tiny_split_graph.labels,
+            tiny_split_graph.mask_indices("train"),
+            tiny_split_graph.mask_indices("val"))
+        return result, model
+
+    dynamic, dynamic_model = run(False)
+    captured, captured_model = run(True)
+    assert captured.capture_used, "BatchNorm model fell back to dynamic"
+    assert dynamic.history == captured.history
+    # The effectful bn_stats op must update the *registered buffers* in
+    # place, epoch for epoch, exactly as the dynamic module does.
+    assert np.array_equal(dynamic_model.norm.running_mean,
+                          captured_model.norm.running_mean)
+    assert np.array_equal(dynamic_model.norm.running_var,
+                          captured_model.norm.running_var)
 
 
 # ----------------------------------------------------------------------
