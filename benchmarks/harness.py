@@ -859,6 +859,71 @@ def sharded_scaling_microbenchmark(partitions: Sequence[int] = (1, 2, 4),
     return results
 
 
+#: Relation counts swept by the heterogeneous runtime study.
+HETERO_RELATION_COUNTS = (1, 4, 8)
+
+
+def hetero_runtime_study(epochs: int = 10,
+                         relation_counts: Sequence[int] = HETERO_RELATION_COUNTS
+                         ) -> Dict[str, float]:
+    """Relation-wise kernel cost: GCN/GAT vs RGCN/RGAT across R ∈ {1, 4, 8}.
+
+    For each relation count, generates a typed SBM
+    (:func:`~repro.datasets.generators.make_hetero_sbm`), trains the
+    homogeneous GCN/GAT on its union adjacency and the relational
+    RGCN/RGAT at matching capacity on the per-relation blocks, and records
+    the per-epoch engine milliseconds of each.  The homogeneous rows see
+    the same graph through the same :class:`HeteroGraphTensors` view, so
+    every difference is the relation-wise dispatch itself: one fused
+    ``spmm_bias_act`` per relation for RGCN, a gsddmm → segment-softmax →
+    gspmm chain per relation for RGAT.
+
+    The headline baseline field is ``hetero_relational_overhead``: the
+    paired per-epoch ratio of RGCN to GCN at R=1, i.e. the cost of routing
+    the degenerate single-relation case through the relational layer.
+    Bit-parity guarantees that path computes the identical numbers
+    (tests/test_hetero.py), and this ratio holds its dispatch overhead
+    near the fused fast path; being a same-machine pairing it normalizes
+    runner speed away like the other paired gates.
+    """
+    import time as _time
+
+    from repro.datasets.generators import make_hetero_sbm
+    from repro.nn.model_zoo import build_model
+    from repro.tasks.trainer import NodeClassificationTrainer
+
+    report: Dict[str, float] = {}
+    for num_relations in relation_counts:
+        graph = prepare_node_dataset(
+            make_hetero_sbm(num_nodes=700, num_classes=4, num_features=48,
+                            num_relations=num_relations, num_node_types=2,
+                            seed=0), seed=0)
+        data = GraphTensors.from_graph(graph)
+        labels = graph.labels
+        train_idx = graph.mask_indices("train")
+        val_idx = graph.mask_indices("val")
+        config = TrainConfig(lr=0.02, max_epochs=epochs, patience=epochs, seed=0)
+
+        for name in ("gcn", "gat", "rgcn", "rgat"):
+            overrides = {"num_relations": num_relations} \
+                if name in ("rgcn", "rgat") else {}
+            model = build_model(name, data.num_features, graph.num_classes,
+                                hidden=32, seed=0, **overrides)
+            # Warm the per-relation operator/block caches outside the timing.
+            model.forward_inference(data)
+            start = _time.perf_counter()
+            NodeClassificationTrainer(config).train(
+                model, data, labels, train_idx, val_idx)
+            elapsed = _time.perf_counter() - start
+            report[f"hetero_epoch_ms_{name}_r{num_relations}"] = \
+                elapsed / max(epochs, 1) * 1000.0
+    if "hetero_epoch_ms_rgcn_r1" in report:
+        report["hetero_relational_overhead"] = (
+            report["hetero_epoch_ms_rgcn_r1"]
+            / max(report["hetero_epoch_ms_gcn_r1"], 1e-9))
+    return report
+
+
 def resilience_overhead_microbenchmark(rounds: int = 7,
                                        epochs: int = 5) -> Dict[str, float]:
     """Cost of the supervision machinery on the fault-free hot path.
@@ -1079,6 +1144,7 @@ def emit_runtime_baseline(path: str, repeats: int = 5) -> Dict[str, float]:
     payload.update(serve_latency_microbenchmark(prefit=prefit))
     payload.update(streaming_serve_microbenchmark(prefit=prefit))
     payload.update(sharded_scaling_microbenchmark(prefit=prefit))
+    payload.update(hetero_runtime_study())
     payload.update(capture_speedup_study(repeats=7))
     engine = capture_engine_microbenchmark()
     payload["engine_speedup"] = engine["engine_speedup"]
@@ -1180,6 +1246,31 @@ def check_runtime_regression(path: str, max_regression: float = 0.25,
                 f"{sharded_limit:.2f}x (baseline "
                 f"{baseline['sharded_overhead']:.2f}x +{max_regression:.0%})")
         report.update(sharded_report)
+
+    if "hetero_relational_overhead" in baseline:
+        # Hetero gate: the paired RGCN-vs-GCN per-epoch ratio at R=1 —
+        # the dispatch cost of routing the degenerate single-relation case
+        # through the relational layer instead of the fused fast path.
+        # Paired on this machine, so runner speed cancels.
+        # Best-of-3 pairing: scheduler interference only inflates one side
+        # of a pair, so the cleanest round estimates the intrinsic ratio.
+        hetero = min((hetero_runtime_study(relation_counts=(1,))
+                      for _ in range(3)),
+                     key=lambda study: study["hetero_relational_overhead"])
+        hetero_limit = baseline["hetero_relational_overhead"] * (1.0 + max_regression)
+        hetero_report = {
+            "hetero_relational_overhead": hetero["hetero_relational_overhead"],
+            "hetero_epoch_ms_rgcn_r1": hetero["hetero_epoch_ms_rgcn_r1"],
+            "hetero_epoch_ms_gcn_r1": hetero["hetero_epoch_ms_gcn_r1"],
+        }
+        print("hetero regression gate:", hetero_report)
+        if hetero["hetero_relational_overhead"] > hetero_limit:
+            raise SystemExit(
+                f"relational dispatch regressed: RGCN/GCN per-epoch ratio at "
+                f"R=1 {hetero['hetero_relational_overhead']:.2f}x > limit "
+                f"{hetero_limit:.2f}x (baseline "
+                f"{baseline['hetero_relational_overhead']:.2f}x +{max_regression:.0%})")
+        report.update(hetero_report)
 
     if "ensemble_arena_reuse_ratio" in baseline:
         # Arena gate: pooled-vs-private allocation is exact byte accounting

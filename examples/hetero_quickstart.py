@@ -1,0 +1,96 @@
+"""Quickstart for heterogeneous graphs: typed construction to served scores.
+
+Builds a multi-relation typed graph, runs the full AutoHEnsGNN pipeline
+with the relational candidates (RGCN/RGAT), saves the fitted ensemble and
+re-scores it through :class:`~repro.serve.BatchScorer` — the same
+fit → save → serve lifecycle as the homogeneous quickstart, with zero
+hetero-specific control flow anywhere in the pipeline.
+
+Run with::
+
+    python examples/hetero_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro import AutoHEnsGNN, AutoHEnsGNNConfig, load_dataset
+from repro.core.config import ProxyConfig
+from repro.graph.hetero import HeteroGraph
+from repro.graph.splits import holdout_test_split, random_split
+from repro.serve import BatchScorer
+from repro.tasks.trainer import TrainConfig
+
+
+def typed_construction_demo() -> HeteroGraph:
+    """Build a small typed graph by hand via :meth:`HeteroGraph.from_typed`."""
+    rng = np.random.default_rng(0)
+    features = {
+        "user": rng.normal(size=(40, 8)),
+        "item": rng.normal(size=(25, 8)),
+    }
+    edges = {
+        ("user", "buys", "item"):
+            rng.integers([[40], [25]], size=(2, 120)) % [[40], [25]],
+        ("user", "follows", "user"):
+            rng.integers(40, size=(2, 60)),
+    }
+    graph = HeteroGraph.from_typed(
+        features, edges, labels={"user": rng.integers(3, size=40)},
+        name="toy-commerce")
+    print(f"Hand-built graph: {graph.num_nodes} nodes "
+          f"({', '.join(graph.node_type_names)}), "
+          f"relations: {', '.join(graph.relation_names)}")
+    return graph
+
+
+def main() -> None:
+    typed_construction_demo()
+
+    # The typed SBM analogue: 4 canonical relations over 2 node types.
+    graph = load_dataset("sbm-hetero", num_nodes=300, num_classes=4,
+                         num_features=16, num_relations=4, num_node_types=2,
+                         seed=0)
+    graph = holdout_test_split(graph, test_fraction=0.25, seed=0)
+    graph = random_split(graph, seed=0,
+                         labelled_pool=graph.metadata["labelled_pool"])
+    print(f"\nDataset: {graph.name}, {graph.num_nodes} nodes, "
+          f"{graph.num_relations} relations")
+
+    config = AutoHEnsGNNConfig(
+        pool_size=2,
+        ensemble_size=2,
+        max_layers=2,
+        search_epochs=8,
+        bagging_splits=1,
+        hidden=32,
+        candidate_models=["rgcn", "rgcn-basis", "rgat"],
+        proxy=ProxyConfig(dataset_fraction=0.5, bagging_rounds=1,
+                          hidden_fraction=0.5, max_epochs=8),
+        seed=0,
+    )
+    config.train = TrainConfig(lr=0.02, max_epochs=25, patience=10)
+
+    fitted = AutoHEnsGNN(config).fit(graph)
+    probabilities = fitted.predict_proba(graph)
+    test_idx = graph.mask_indices("test")
+    accuracy = float(
+        (probabilities[test_idx].argmax(axis=1) == graph.labels[test_idx]).mean())
+    print(f"Pool: {fitted.fit_report.pool}")
+    print(f"Test accuracy: {accuracy:.3f}")
+
+    # Save and re-score through the serving path: same artifact format,
+    # same BatchScorer, bit-identical probabilities.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = fitted.save(f"{tmp}/hetero-ensemble")
+        result = BatchScorer(path).score(graph)
+        assert np.array_equal(result.probabilities, probabilities), \
+            "served scores diverged from fit-time probabilities"
+    print("Artifact round-trip: served scores bit-identical to fit-time scores")
+
+
+if __name__ == "__main__":
+    main()

@@ -1555,6 +1555,105 @@ _register(OpImpl("spmm_bias_act", _fwd_spmm_bias_act, _bwd_spmm_bias_act,
                  out_mode="buffer", bwd_reads_in=True))
 
 
+def _gspmm_operands(op, rt):
+    """Resolve the (lhs, rhs) replay values of a gspmm/gsddmm record."""
+    position = 0
+    lhs = rhs = None
+    lhs_index = rhs_index = None
+    if op.meta["has_lhs"]:
+        lhs_index = position
+        lhs = rt.values[op.ins[position]]
+        position += 1
+    if op.meta["has_rhs"]:
+        rhs_index = position
+        rhs = rt.values[op.ins[position]]
+    return lhs, rhs, lhs_index, rhs_index
+
+
+def _fwd_gspmm(op, rt):
+    # The forward recomputes the exact expressions of kernels.gspmm_forward;
+    # only the max reduction's argmax mask and tie counts persist (they are
+    # private fresh arrays) — the mul/mean intermediates are re-derived from
+    # the live input slots at backward time (bwd_reads_in keeps them alive),
+    # so no state entry ever aliases a reusable arena buffer.
+    lhs, rhs, _, _ = _gspmm_operands(op, rt)
+    state = {} if op.needs_backward and op.meta["reduce"] == "max" else None
+    out = _kernels.gspmm_forward(op.meta["block"], op.meta["op"],
+                                 op.meta["reduce"], lhs, rhs, state=state)
+    if state is not None:
+        op.state["argmax_mask"] = state["argmax_mask"]
+        op.state["tie_counts"] = state["tie_counts"]
+    _out(op, rt, out)
+
+
+def _bwd_gspmm(op, rt, g):
+    block = op.meta["block"]
+    reduce = op.meta["reduce"]
+    lhs, rhs, lhs_index, rhs_index = _gspmm_operands(op, rt)
+    state = {}
+    if op.meta["op"] == "mul":
+        gathered = lhs[block.u]
+        state["gathered"] = gathered
+        state["rhs_b"] = _kernels._broadcast_edge_operand(rhs, gathered.ndim)
+    if reduce == "mean":
+        inv_deg = block.inverse_degrees(g.dtype)
+        state["inv_deg"] = inv_deg.reshape((block.num_nodes,)
+                                           + (1,) * (g.ndim - 1))
+    elif reduce == "max":
+        state["argmax_mask"] = op.state["argmax_mask"]
+        state["tie_counts"] = op.state["tie_counts"]
+    lhs_shape = op.in_shapes[lhs_index] \
+        if lhs_index is not None and op.in_requires[lhs_index] else None
+    rhs_shape = op.in_shapes[rhs_index] \
+        if rhs_index is not None and op.in_requires[rhs_index] else None
+    grad_lhs, grad_rhs = _kernels.gspmm_backward(
+        block, op.meta["op"], reduce, g, state, lhs_shape, rhs_shape)
+    if grad_lhs is not None:
+        rt.contribute(op.ins[lhs_index], grad_lhs)
+    if grad_rhs is not None:
+        rt.contribute(op.ins[rhs_index], grad_rhs)
+
+
+_register(OpImpl("gspmm", _fwd_gspmm, _bwd_gspmm, bwd_reads_in=True))
+
+
+def _fwd_gsddmm(op, rt):
+    lhs, rhs, _, _ = _gspmm_operands(op, rt)
+    _out(op, rt, _kernels.gsddmm_forward(
+        op.meta["block"], op.meta["op"], lhs, rhs,
+        op.meta["lhs_target"], op.meta["rhs_target"]))
+
+
+def _bwd_gsddmm(op, rt, g):
+    block = op.meta["block"]
+    kind = op.meta["op"]
+    lhs, rhs, lhs_index, rhs_index = _gspmm_operands(op, rt)
+    state = {}
+    if kind in ("mul", "dot"):
+        # Re-gather the operands the product rule reads (cheap views/takes
+        # from the still-live input slots, never stale state).
+        if lhs is not None:
+            state["left"] = _kernels._gsddmm_operand(
+                block, lhs, op.meta["lhs_target"])
+        if rhs is not None:
+            state["right"] = _kernels._gsddmm_operand(
+                block, rhs, op.meta["rhs_target"])
+    lhs_shape = op.in_shapes[lhs_index] \
+        if lhs_index is not None and op.in_requires[lhs_index] else None
+    rhs_shape = op.in_shapes[rhs_index] \
+        if rhs_index is not None and op.in_requires[rhs_index] else None
+    grad_lhs, grad_rhs = _kernels.gsddmm_backward(
+        block, kind, g, state, lhs_shape, rhs_shape,
+        op.meta["lhs_target"], op.meta["rhs_target"])
+    if grad_lhs is not None:
+        rt.contribute(op.ins[lhs_index], grad_lhs)
+    if grad_rhs is not None:
+        rt.contribute(op.ins[rhs_index], grad_rhs)
+
+
+_register(OpImpl("gsddmm", _fwd_gsddmm, _bwd_gsddmm, bwd_reads_in=True))
+
+
 # -- fused elementwise chains (created by the IR fusion pass) ----------------
 def _stage_key(index: int, name: str) -> str:
     return f"s{index}_{name}"

@@ -316,6 +316,148 @@ def make_large_sbm(num_nodes: int = 200_000, num_classes: int = 8,
     )
 
 
+def make_hetero_sbm(num_nodes: int = 400, num_classes: int = 4,
+                    num_features: int = 16, num_relations: int = 4,
+                    num_node_types: int = 2, average_degree: float = 6.0,
+                    homophily: float = 0.8, feature_informativeness: float = 0.9,
+                    feature_noise: float = 1.0, seed: int = 0,
+                    name: str = "sbm-hetero"):
+    """Generate a typed (heterogeneous) SBM with ``num_relations`` relations.
+
+    Nodes are split evenly over ``num_node_types`` types laid out
+    contiguously; relation ``r`` connects type ``r % T`` to type
+    ``(r + 1) % T`` so consecutive relations chain the types together.
+    Within each relation, edges follow the same Bernoulli-homophily scheme
+    as :func:`make_large_sbm` (an intra-class edge with probability
+    ``homophily``, flat vectorised draws), restricted to the relation's
+    endpoint types.  Features are class-separated Gaussians with an
+    additional per-type offset, so both the label signal and the node type
+    are recoverable from the features.
+
+    Returns a :class:`~repro.graph.hetero.HeteroGraph` built through
+    :meth:`~repro.graph.hetero.HeteroGraph.from_typed`, so the generator
+    exercises the same aggregated validation as user-constructed graphs.
+    The single-relation, single-type parameterisation is the degenerate
+    case used by the homogeneous-parity tests.
+    """
+    from repro.graph.hetero import HeteroGraph
+
+    if num_nodes < 2 * num_classes:
+        raise ValueError("need at least two nodes per class")
+    if not 0.0 <= homophily <= 1.0:
+        raise ValueError("homophily must lie in [0, 1]")
+    if num_relations < 1 or num_node_types < 1:
+        raise ValueError("need at least one relation and one node type")
+    if num_node_types > num_relations + 1:
+        raise ValueError(
+            f"num_node_types={num_node_types} cannot all be reached by "
+            f"{num_relations} chained relation(s); use num_node_types <= "
+            f"num_relations + 1")
+    rng = np.random.default_rng(seed)
+
+    labels = rng.integers(0, num_classes, size=num_nodes)
+    counts = np.bincount(labels, minlength=num_classes)
+    while counts.min() < 2:
+        needy = int(counts.argmin())
+        donor = int(counts.argmax())
+        labels[np.where(labels == donor)[0][0]] = needy
+        counts[donor] -= 1
+        counts[needy] += 1
+
+    # Contiguous type layout: type t owns global ids [starts[t], starts[t+1]).
+    type_names = tuple(f"type{t}" for t in range(num_node_types))
+    sizes = np.full(num_node_types, num_nodes // num_node_types, dtype=np.int64)
+    sizes[:num_nodes % num_node_types] += 1
+    starts = np.concatenate([[0], np.cumsum(sizes)])
+    node_type = np.repeat(np.arange(num_node_types), sizes)
+
+    relations = tuple(
+        (type_names[r % num_node_types], f"rel{r}",
+         type_names[(r + 1) % num_node_types])
+        for r in range(num_relations))
+
+    edges = {}
+    target_per_relation = max(int(average_degree * num_nodes
+                                  / (2 * num_relations)), 16)
+    for r, relation in enumerate(relations):
+        src_type = r % num_node_types
+        dst_type = (r + 1) % num_node_types
+        src_size = int(sizes[src_type])
+        dst_size = int(sizes[dst_type])
+        dst_global = np.arange(starts[dst_type], starts[dst_type + 1])
+        dst_class_members = [
+            np.where(labels[dst_global] == cls)[0] for cls in range(num_classes)]
+        draw = int(target_per_relation * 1.35) + 256
+        src = rng.integers(0, src_size, size=draw)
+        dst = rng.integers(0, dst_size, size=draw)
+        intra = rng.random(draw) < homophily
+        src_labels = labels[starts[src_type] + src]
+        for cls in range(num_classes):
+            members = dst_class_members[cls]
+            mask = intra & (src_labels == cls)
+            count = int(mask.sum())
+            if count and members.size:
+                dst[mask] = members[rng.integers(0, members.size, size=count)]
+        if src_type == dst_type:
+            # Same-type relations are undirected within the type: drop self
+            # loops and canonicalise (lo, hi) so (a, b)/(b, a) dedupe to one
+            # stored edge (symmetrisation happens in build_adjacency).
+            valid = src != dst
+            src, dst = src[valid], dst[valid]
+            src, dst = np.minimum(src, dst), np.maximum(src, dst)
+        keys = np.unique(src.astype(np.int64) * dst_size + dst.astype(np.int64))
+        if keys.size > target_per_relation:
+            keys = rng.choice(keys, size=target_per_relation, replace=False)
+            keys.sort()
+        edges[relation] = np.vstack([keys // dst_size, keys % dst_size])
+
+    # Attach isolated nodes through a relation touching their type so the
+    # union graph has no degree-zero nodes.
+    degree = np.zeros(num_nodes, dtype=np.int64)
+    for r, relation in enumerate(relations):
+        src_type = r % num_node_types
+        dst_type = (r + 1) % num_node_types
+        local_src, local_dst = edges[relation]
+        degree += np.bincount(starts[src_type] + local_src, minlength=num_nodes)
+        degree += np.bincount(starts[dst_type] + local_dst, minlength=num_nodes)
+    for node in np.where(degree == 0)[0]:
+        t = int(node_type[node])
+        for r, relation in enumerate(relations):
+            src_type = r % num_node_types
+            dst_type = (r + 1) % num_node_types
+            if src_type != t and dst_type != t:
+                continue
+            local = int(node - starts[src_type if src_type == t else dst_type])
+            other_size = int(sizes[dst_type if src_type == t else src_type])
+            partner = int(rng.integers(0, other_size))
+            if src_type == dst_type and partner == local:
+                partner = (partner + 1) % other_size
+            column = [[local], [partner]] if src_type == t else [[partner], [local]]
+            edges[relation] = np.hstack([edges[relation],
+                                         np.asarray(column, dtype=np.int64)])
+            break
+
+    class_centers = rng.normal(0.0, 1.0, size=(num_classes, num_features))
+    class_centers *= feature_informativeness
+    type_centers = rng.normal(0.0, 0.5, size=(num_node_types, num_features))
+    noise = rng.normal(0.0, feature_noise, size=(num_nodes, num_features))
+    feature_table = class_centers[labels] + type_centers[node_type] + noise
+    features = {type_names[t]: feature_table[starts[t]:starts[t + 1]]
+                for t in range(num_node_types)}
+    label_blocks = {type_names[t]: labels[starts[t]:starts[t + 1]]
+                    for t in range(num_node_types)}
+
+    graph = HeteroGraph.from_typed(
+        features, edges, labels=label_blocks, directed=False,
+        num_classes=num_classes, name=name,
+        metadata={
+            "generator": "hetero_sbm",
+            "has_node_features": True,
+            "has_edge_features": False,
+        })
+    return graph
+
+
 def structural_features(graph: Graph, dimension: int = 32, seed: int = 0) -> np.ndarray:
     """Structural node features for graphs without attributes (dataset E).
 

@@ -15,7 +15,7 @@ from typing import Callable, Dict, List
 
 from repro.datasets.arxiv import make_arxiv_dataset
 from repro.datasets.citation import CITATION_DATASET_NAMES, make_citation_dataset
-from repro.datasets.generators import make_large_sbm
+from repro.datasets.generators import make_hetero_sbm, make_large_sbm
 from repro.datasets.kddcup import KDDCUP_DATASET_NAMES, make_kddcup_dataset
 from repro.graph.graph import Graph
 
@@ -82,6 +82,9 @@ def _register_builtin() -> None:
     # Large-graph regime for the minibatch engine (200k nodes by default;
     # pass num_nodes=... to scale).
     register_dataset("sbm-large", make_large_sbm, overwrite=True)
+    # Typed multi-relation regime for the heterogeneous models (RGCN/RGAT);
+    # pass num_relations=/num_node_types= to scale the relation count.
+    register_dataset("sbm-hetero", make_hetero_sbm, overwrite=True)
 
 
 _register_builtin()

@@ -131,12 +131,23 @@ class SharedGraphStore:
         self.put_array(f"{name}.features", data.features.data)
         self.put_array(f"{name}.edge_index", data.edge_index)
         self.put_array(f"{name}.edge_weight", data.edge_weight)
-        self.meta[name] = {
+        entry = {
             "kind": "tensors",
             "num_nodes": int(data.num_nodes),
             "num_features": int(data.num_features),
             "dtype": str(data.features.data.dtype),
         }
+        relations = getattr(data, "relations", None)
+        if relations:
+            # Heterogeneous view: also publish the raw per-relation CSR
+            # blocks and the node-type table.  Workers rebuild normalised
+            # per-relation operators from these through the shared
+            # ComputeCache (deterministic, hence bit-equal to the parent's).
+            for relation_id, block in enumerate(data.relation_adjacency):
+                self.put_csr(f"{name}.rel{relation_id}", block)
+            self.put_array(f"{name}.node_type", data.node_type)
+            entry["relations"] = [list(relation) for relation in relations]
+        self.meta[name] = entry
         self._write_meta()
         return self.handle()
 
@@ -278,7 +289,7 @@ class SharedGraphHandle:
             from repro.nn.data import GraphTensors
 
             entry = self.meta[name]
-            cache[key] = GraphTensors(
+            fields = dict(
                 features=Tensor(self.array(f"{name}.features")),
                 adj_sym=SparseTensor(self.csr(f"{name}.sym")),
                 adj_rw=SparseTensor(self.csr(f"{name}.rw")),
@@ -288,6 +299,18 @@ class SharedGraphHandle:
                 num_nodes=int(entry["num_nodes"]),
                 num_features=int(entry["num_features"]),
             )
+            if entry.get("relations"):
+                from repro.graph.hetero import HeteroGraphTensors
+
+                cache[key] = HeteroGraphTensors(
+                    relations=tuple(tuple(r) for r in entry["relations"]),
+                    node_type=self.array(f"{name}.node_type"),
+                    relation_adjacency=tuple(
+                        self.csr(f"{name}.rel{relation_id}")
+                        for relation_id in range(len(entry["relations"]))),
+                    **fields)
+            else:
+                cache[key] = GraphTensors(**fields)
         return cache[key]
 
     def graph(self, name: str = "graph"):

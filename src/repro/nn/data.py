@@ -16,6 +16,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd.dtype import compute_dtype
+from repro.autograd.kernels import RelationBlock
 from repro.autograd.sparse import SparseTensor
 from repro.autograd.tensor import Tensor
 from repro.graph.batching import GraphBatch
@@ -49,6 +50,12 @@ class GraphTensors:
     # ------------------------------------------------------------------
     @classmethod
     def from_graph(cls, graph: Graph) -> "GraphTensors":
+        if cls is GraphTensors and getattr(graph, "relations", None) is not None:
+            # Typed graphs get the relation-blocked view; the duck check
+            # keeps the hetero subsystem out of the homogeneous import path.
+            from repro.graph.hetero import HeteroGraph, HeteroGraphTensors
+            if isinstance(graph, HeteroGraph):
+                return HeteroGraphTensors.from_hetero(graph)
         adj = _norm.build_adjacency(graph.edge_index, graph.num_nodes,
                                     edge_weight=graph.edge_weight,
                                     make_undirected=not graph.directed)
@@ -148,6 +155,42 @@ class GraphTensors:
         if kind == "raw":
             return self.adj_raw
         raise ValueError(f"unknown propagation operator {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Relation-blocked interface (single implicit relation).
+    # ``HeteroGraphTensors`` overrides all three with per-relation blocks;
+    # relational layers are written against this interface only, so they
+    # run on homogeneous graphs as the one-relation degenerate case.
+    # ------------------------------------------------------------------
+    @property
+    def num_relations(self) -> int:
+        """Number of canonical relations (always 1 for homogeneous views)."""
+        return 1
+
+    def relation_operator(self, relation_id: int, kind: str) -> SparseTensor:
+        """Propagation operator of one relation — here the union operator."""
+        if relation_id != 0:
+            raise IndexError(
+                f"homogeneous view has a single relation, got id {relation_id}")
+        return self.propagation(kind)
+
+    def relation_block(self, relation_id: int) -> RelationBlock:
+        """Edge-parallel view of one relation — here the full edge list.
+
+        Built from the same self-looped symmetrised ``edge_index`` /
+        ``edge_weight`` the attention layers consume, so gspmm/gsddmm over
+        this block are bit-compatible with the scatter-based homogeneous
+        path.  Memoised per view.
+        """
+        if relation_id != 0:
+            raise IndexError(
+                f"homogeneous view has a single relation, got id {relation_id}")
+        key = "relation_block:0"
+        if key not in self.extras:
+            self.extras[key] = RelationBlock(
+                self.edge_index[0], self.edge_index[1], self.num_nodes,
+                edge_weight=self.edge_weight)
+        return self.extras[key]  # type: ignore[return-value]
 
     def features_fingerprint(self) -> str:
         """Content hash of the feature matrix, memoised per view."""

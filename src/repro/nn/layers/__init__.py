@@ -3,6 +3,7 @@
 from repro.nn.layers.convolutional import ARMAConv, ChebConv, GCNConv, SGConv, TAGConv
 from repro.nn.layers.spatial import GatedGraphConv, GINConv, GraphConv, SAGEConv
 from repro.nn.layers.attention import AGNNConv, GATConv
+from repro.nn.layers.relational import RGATConv, RGCNConv
 from repro.nn.layers.deep import (
     APPNPPropagation,
     DAGNNPropagation,
@@ -23,6 +24,8 @@ __all__ = [
     "GatedGraphConv",
     "GATConv",
     "AGNNConv",
+    "RGCNConv",
+    "RGATConv",
     "GCNIIConv",
     "APPNPPropagation",
     "DAGNNPropagation",

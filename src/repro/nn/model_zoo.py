@@ -21,6 +21,7 @@ from repro.nn.models.base import GNNModel
 from repro.nn.models.decoupled import APPNP, DAGNN, SGC, SIGN, MixHop
 from repro.nn.models.deep import DNA, GCNII, JKNet
 from repro.nn.models.regularized import GRAND, GraphMix, MLPNode
+from repro.nn.models.relational import RGAT, RGCN
 from repro.nn.models.standard import (
     ARMA,
     GAT,
@@ -159,6 +160,17 @@ def _register_builtin() -> None:
                   description="Graph attention network, 4 heads"),
         ModelSpec("gat-2h", GAT, "attention", extra_kwargs={"heads": 2},
                   description="Graph attention network, 2 heads"),
+        # Relational aggregators (heterogeneous graphs; capacity of 8
+        # relations — graphs with fewer relations use a prefix of the
+        # per-relation weights, keeping state-dict shapes data-independent).
+        ModelSpec("rgcn", RGCN, "relational", extra_kwargs={"num_relations": 8},
+                  description="Relational GCN, capacity 8 relations"),
+        ModelSpec("rgcn-basis", RGCN, "relational",
+                  extra_kwargs={"num_relations": 8, "num_bases": 4},
+                  description="Relational GCN with 4-basis weight sharing"),
+        ModelSpec("rgat", RGAT, "relational",
+                  extra_kwargs={"num_relations": 8, "heads": 4},
+                  description="Relational GAT, capacity 8 relations, 4 heads"),
         # Skip connections / deep models.
         ModelSpec("gcnii", GCNII, "skip-connection", default_layers=4,
                   description="GCNII with initial residual + identity mapping"),

@@ -15,6 +15,7 @@ from repro.nn.models.standard import (
 from repro.nn.models.decoupled import APPNP, DAGNN, SGC, SIGN, MixHop
 from repro.nn.models.deep import DNA, GCNII, JKNet
 from repro.nn.models.regularized import GRAND, MLPNode, GraphMix
+from repro.nn.models.relational import RGAT, RGCN
 
 __all__ = [
     "GNNModel",
@@ -39,4 +40,6 @@ __all__ = [
     "GRAND",
     "GraphMix",
     "MLPNode",
+    "RGCN",
+    "RGAT",
 ]

@@ -38,6 +38,9 @@ GATED_MODULES = (
     "src/repro/resilience/policy.py",
     "src/repro/resilience/faults.py",
     "src/repro/resilience/wal.py",
+    "src/repro/graph/hetero.py",
+    "src/repro/nn/layers/relational.py",
+    "src/repro/nn/models/relational.py",
 )
 
 
